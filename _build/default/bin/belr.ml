@@ -1,0 +1,124 @@
+(** The [belr] command-line interface.
+
+    - [belr check FILE…]   parse, elaborate, sort-check, and run the
+      conservativity translation on each file (later files see the
+      declarations of earlier ones).
+    - [belr sig FILE…]     same, then print the resulting signature summary.
+
+    Exit code 0 on success, 1 on any error. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_files files =
+  let sg = Belr_lf.Sign.create () in
+  List.iter
+    (fun f -> Belr_parser.Process.extend sg ~name:f (read_file f))
+    files;
+  sg
+
+let summarize sg =
+  let n l = List.length l in
+  let typs = ref 0 and srts = ref 0 and consts = ref 0 in
+  let schemas = Belr_lf.Sign.all_schemas sg in
+  let sschemas =
+    List.filter
+      (fun (_, (e : Belr_lf.Sign.sschema_entry)) ->
+        let s = e.Belr_lf.Sign.h_name in
+        String.length s = 0 || s.[String.length s - 1] <> '^')
+      (Belr_lf.Sign.all_sschemas sg)
+  in
+  let recs = Belr_lf.Sign.all_recs sg in
+  (* count via the public name table *)
+  Hashtbl.iter
+    (fun _ sym ->
+      match sym with
+      | Belr_lf.Sign.Sym_typ _ -> incr typs
+      | Belr_lf.Sign.Sym_srt _ -> incr srts
+      | Belr_lf.Sign.Sym_const _ -> incr consts
+      | _ -> ())
+    (Belr_lf.Sign.name_table sg);
+  Fmt.pr "signature: %d type families, %d sort families, %d constants,@."
+    !typs !srts !consts;
+  Fmt.pr "           %d schemas, %d refinement schemas, %d functions@."
+    (n schemas) (n sschemas) (n recs)
+
+let print_recs sg =
+  List.iter
+    (fun (_, (r : Belr_lf.Sign.rec_entry)) ->
+      Fmt.pr "rec %s : %a@." r.Belr_lf.Sign.r_name
+        (Belr_syntax.Pp.pp_ctyp (Belr_lf.Sign.pp_env sg))
+        r.Belr_lf.Sign.r_styp)
+    (List.sort compare (Belr_lf.Sign.all_recs sg))
+
+(** Optional analyses (the paper's §6.1 future work): coverage and
+    structural termination, reported as warnings. *)
+let analyze sg =
+  List.iter
+    (fun (id, (r : Belr_lf.Sign.rec_entry)) ->
+      (match Belr_comp.Coverage.check_rec sg id with
+      | [] -> ()
+      | issues ->
+          List.iter
+            (fun (missing, _) ->
+              Fmt.pr "warning: %s has a non-exhaustive match (missing %s)@."
+                r.Belr_lf.Sign.r_name
+                (String.concat ", " missing))
+            issues);
+      match Belr_comp.Termination.check_rec sg id with
+      | Belr_comp.Termination.Guarded -> ()
+      | Belr_comp.Termination.Issues is ->
+          List.iter (fun m -> Fmt.pr "warning: %s@." m) is)
+    (List.sort compare (Belr_lf.Sign.all_recs sg))
+
+let run_load files verbose total =
+  match
+    Belr_support.Error.protect (fun () ->
+        let sg = load_files files in
+        Fmt.pr "%d file(s) checked successfully.@." (List.length files);
+        summarize sg;
+        if verbose then print_recs sg;
+        if total then analyze sg;
+        ())
+  with
+  | Ok () -> 0
+  | Error msg ->
+      Fmt.epr "%s@." msg;
+      1
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"source files")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print checked functions")
+
+let total_arg =
+  Arg.(
+    value & flag
+    & info [ "total" ]
+        ~doc:
+          "also run the optional coverage and structural-termination \
+           analyses (the paper's §6.1 extensions) and report warnings")
+
+let check_cmd =
+  let doc = "parse, elaborate, and sort-check source files" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const (fun files v t -> run_load files v t)
+      $ files_arg $ verbose_arg $ total_arg)
+
+let main =
+  let doc =
+    "a proof environment with contextual refinement types (Gaulin & \
+     Pientka reproduction)"
+  in
+  Cmd.group (Cmd.info "belr" ~version:"1.0.0" ~doc) [ check_cmd ]
+
+let () = exit (Cmd.eval' main)

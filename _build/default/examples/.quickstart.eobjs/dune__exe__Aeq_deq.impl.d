@@ -1,0 +1,1 @@
+examples/aeq_deq.ml: Belr_comp Belr_core Belr_kits Belr_lf Belr_parser Belr_support Belr_syntax Check_lfr Comp Ctxs Error Eval Fmt Lf List Meta Pp Sctxops Sign Surface

@@ -1,0 +1,1 @@
+examples/aeq_deq.mli:

@@ -1,0 +1,1 @@
+examples/conventional_baseline.ml: Belr_kits Conventional Fmt Stats Surface

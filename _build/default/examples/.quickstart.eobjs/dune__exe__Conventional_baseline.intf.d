@@ -1,0 +1,1 @@
+examples/conventional_baseline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Belr_comp Belr_core Belr_kits Belr_lf Belr_parser Belr_support Belr_syntax Check_lfr Comp Coverage Ctxs Error Eval Fmt Lf List Meta Pp Sign String Sys

@@ -1,0 +1,1 @@
+examples/typed_lambda.ml: Belr_comp Belr_core Belr_lf Belr_parser Belr_syntax Check_lfr Comp Ctxs Eval Fmt Lf List Meta Pp Shift Sign

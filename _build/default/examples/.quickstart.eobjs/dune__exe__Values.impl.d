@@ -1,0 +1,1 @@
+examples/values.ml: Belr_comp Belr_core Belr_kits Belr_lf Belr_syntax Check_lfr Comp Ctxs Eval Fmt Lf List Meta Pp Sign Values

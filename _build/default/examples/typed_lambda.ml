@@ -1,0 +1,157 @@
+(** Typed λ-calculus with {e parameterized} schema worlds.
+
+    The §2 example's blocks take no parameters; this example exercises
+    the general form [Πy:A.Σx:A'. …] of schema elements (§3.1.2): typing
+    contexts whose blocks are parameterized by the variable's type,
+    [schema tG = tW : {A : tp} block (x : tm, t : oft x A)].
+
+    It declares simple types, Church-style terms, and the typing
+    judgment, then runs a small type-inference function written by
+    pattern matching on typing derivations (including the
+    parameter-variable case [#b.2] whose world instantiation [tW A0] is
+    itself a pattern variable).
+
+    Run with: [dune exec examples/typed_lambda.exe] *)
+
+open Belr_syntax
+open Belr_lf
+open Belr_core
+open Belr_comp
+open Lf
+
+let program =
+  {bel|
+LF tp : type =
+| base : tp
+| arr : tp -> tp -> tp;
+
+LF tm : type =
+| lam : tp -> (tm -> tm) -> tm
+| app : tm -> tm -> tm;
+
+LF oft : tm -> tp -> type =
+| t-lam : {A : tp} ({x : tm} oft x A -> oft (M x) B)
+          -> oft (lam A M) (arr A B)
+| t-app : oft M (arr A B) -> oft N A -> oft (app M N) B;
+
+% blocks parameterized by the variable's type
+schema tG = | tW : {A : tp} block (x : tm, t : oft x A);
+
+% a tiny type-inference function: reading the type off the derivation
+rec infer : (Psi : tG) (M : [Psi |- tm]) (A : [Psi |- tp])
+            [Psi |- oft M A] -> [Psi |- tp] =
+mlam Psi => mlam M => mlam A => fn d =>
+case d of
+| {A0 : [Psi |- tp]} {#b : #[Psi |- tW A0]}
+  [Psi |- #b.2] => [Psi |- A0]
+| {A0 : [Psi |- tp]} {B0 : [Psi |- tp]} {M' : [Psi, x : tm |- tm]}
+  {D : [Psi, x : tm, t : oft x A0 |- oft M' B0]}
+  [Psi |- t-lam (\x. M') B0 A0 (\x. \t. D)] => [Psi |- arr A0 B0]
+| {M0 : [Psi |- tm]} {A0 : [Psi |- tp]} {B0 : [Psi |- tp]} {N0 : [Psi |- tm]}
+  {D1 : [Psi |- oft M0 (arr A0 B0)]} {D2 : [Psi |- oft N0 A0]}
+  [Psi |- t-app M0 A0 B0 N0 D1 D2] => [Psi |- B0];
+|bel}
+
+let () =
+  Fmt.pr "=== typed λ-calculus: parameterized schema worlds ===@.@.";
+  let sg = Belr_parser.Process.program ~name:"typed.bel" program in
+  Fmt.pr "-> program checked@.@.";
+  let penv = Sign.pp_env sg in
+  let find_c n =
+    match Sign.lookup_name sg n with
+    | Some (Sign.Sym_const c) -> c
+    | _ -> failwith (n ^ " not found")
+  in
+  let base = find_c "base"
+  and arr = find_c "arr"
+  and lam = find_c "lam"
+  and t_lam = find_c "t-lam"
+  and t_app = find_c "t-app" in
+  let infer =
+    match Sign.lookup_name sg "infer" with
+    | Some (Sign.Sym_rec r) -> r
+    | _ -> failwith "infer not found"
+  in
+  let hat0 = { Meta.hat_var = None; Meta.hat_names = [] } in
+  let b = Root (Const base, []) in
+  let arrow a c = Root (Const arr, [ a; c ]) in
+  (* the identity at base: lam base (\x. x), typed by t-lam with the
+     variable case *)
+  let id_tm = Root (Const lam, [ b; Lam ("x", Root (BVar 1, [])) ]) in
+  let d_id =
+    Root
+      ( Const t_lam,
+        [ Lam ("x", Root (BVar 1, [])); b; b;
+          Lam ("x", Lam ("t", Root (BVar 1, []))) ] )
+  in
+  let env = Check_lfr.make_env sg [] in
+  let oft_a =
+    match Sign.lookup_name sg "oft" with
+    | Some (Sign.Sym_typ a) -> a
+    | _ -> failwith "oft not found"
+  in
+  ignore
+    (Check_lfr.check_normal env Ctxs.empty_sctx d_id
+       (SEmbed (oft_a, [ id_tm; arrow b b ])));
+  Fmt.pr "⊢ lam base (\\x. x) : base → base  (derivation checks)@.";
+  (* apply it to itself?  No — self-application is not typable; apply a
+     variable instead: in context b : tW base. *)
+  let mapps f args = List.fold_left (fun e a -> Comp.MApp (e, a)) f args in
+  let run d m a =
+    let call =
+      Comp.App
+        ( mapps (Comp.RecConst infer)
+            [
+              Meta.MOCtx Ctxs.empty_sctx;
+              Meta.MOTerm (hat0, m);
+              Meta.MOTerm (hat0, a);
+            ],
+          Comp.Box (Meta.MOTerm (hat0, d)) )
+    in
+    match Eval.as_box (Eval.eval (Eval.make_env sg) call) with
+    | Meta.MOTerm (_, t) -> t
+    | _ -> assert false
+  in
+  let t1 = run d_id id_tm (arrow b b) in
+  Fmt.pr "infer (t-lam …)  =  %a@." (Pp.pp_normal penv) t1;
+  (* an application: (lam base \x.x) applied to (lam base \x.x)?  not
+     typable at base; instead type the application of a variable f of
+     type base → base to a variable y : base — in a parameterized
+     context. *)
+  let tw =
+    match Belr_parser.Elab.find_world sg "tW" with
+    | Some (Belr_parser.Elab.Wsort f) -> f
+    | _ -> failwith "tW not found"
+  in
+  let psi =
+    Ctxs.sctx_push
+      (Ctxs.sctx_push Ctxs.empty_sctx (Ctxs.SCBlock ("f", tw, [ arrow b b ])))
+      (Ctxs.SCBlock ("y", tw, [ b ]))
+  in
+  (* y = index 1, f = index 2 *)
+  let app_c = find_c "app" in
+  let m = Root (Const app_c, [ Root (Proj (BVar 2, 1), []); Root (Proj (BVar 1, 1), []) ]) in
+  let d =
+    Root
+      ( Const t_app,
+        [ Root (Proj (BVar 2, 1), []); b; b; Root (Proj (BVar 1, 1), []);
+          Root (Proj (BVar 2, 2), []); Root (Proj (BVar 1, 2), []) ] )
+  in
+  ignore
+    (Check_lfr.check_normal env psi d
+       (SEmbed (oft_a, [ m; Shift.shift_normal 0 0 b ])));
+  Fmt.pr "f : base → base, y : base ⊢ f y : base  (derivation checks)@.";
+  let h = Meta.hat_of_sctx psi in
+  let call =
+    Comp.App
+      ( mapps (Comp.RecConst infer)
+          [ Meta.MOCtx psi; Meta.MOTerm (h, m); Meta.MOTerm (h, b) ],
+        Comp.Box (Meta.MOTerm (h, d)) )
+  in
+  (match Eval.as_box (Eval.eval (Eval.make_env sg) call) with
+  | Meta.MOTerm (_, t) ->
+      Fmt.pr "infer (t-app …)  =  %a@." (Pp.pp_normal penv) t
+  | _ -> assert false);
+  Fmt.pr "@.parameterized blocks: the block (x : tm, t : oft x A) is@.";
+  Fmt.pr "instantiated at different types (base → base, base) in the@.";
+  Fmt.pr "same context, and the pattern world tW A0 binds A0.@."

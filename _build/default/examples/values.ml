@@ -1,0 +1,69 @@
+(** The values case study: [val ⊑ tm] and the refinement-indexed
+    evaluation judgment [evalv ⊑ eval : tm → val → sort] — a proper sort
+    in a refinement-kind domain.
+
+    Run with: [dune exec examples/values.exe] *)
+
+open Belr_syntax
+open Belr_lf
+open Belr_core
+open Belr_comp
+open Belr_kits
+open Lf
+
+let () =
+  Fmt.pr "=== values: a datasort in a refinement kind ===@.@.";
+  Fmt.pr "%s@." Values.src;
+  let sg = Values.load () in
+  Fmt.pr "-> development checked@.@.";
+  let penv = Sign.pp_env sg in
+  let find_c n =
+    match Sign.lookup_name sg n with
+    | Some (Sign.Sym_const c) -> c
+    | _ -> failwith (n ^ " not found")
+  in
+  let lam = find_c "lam"
+  and app = find_c "app"
+  and ev_lam = find_c "ev-lam"
+  and ev_app = find_c "ev-app" in
+  let strengthen =
+    match Sign.lookup_name sg "strengthen" with
+    | Some (Sign.Sym_rec r) -> r
+    | _ -> failwith "strengthen not found"
+  in
+  let idf = Lam ("x", Root (BVar 1, [])) in
+  let idt = Root (Const lam, [ idf ]) in
+  let appt = Root (Const app, [ idt; idt ]) in
+  let ev_id = Root (Const ev_lam, [ idf ]) in
+  let d =
+    Root (Const ev_app, [ idt; idf; idt; idt; idt; ev_id; ev_id; ev_id ])
+  in
+  Fmt.pr "evaluation derivation for (\\x.x) (\\x.x):@.  %a@.@."
+    (Pp.pp_normal penv) d;
+  let hat0 = { Meta.hat_var = None; Meta.hat_names = [] } in
+  let mapps f args = List.fold_left (fun e a -> Comp.MApp (e, a)) f args in
+  let call =
+    Comp.App
+      ( mapps (Comp.RecConst strengthen)
+          [ Meta.MOTerm (hat0, appt); Meta.MOTerm (hat0, idt) ],
+        Comp.Box (Meta.MOTerm (hat0, d)) )
+  in
+  let res =
+    match Eval.as_box (Eval.eval (Eval.make_env sg) call) with
+    | Meta.MOTerm (_, m) -> m
+    | _ -> assert false
+  in
+  let evalv =
+    match Sign.lookup_name sg "evalv" with
+    | Some (Sign.Sym_srt s) -> s
+    | _ -> failwith "evalv not found"
+  in
+  Fmt.pr "strengthened into the refined judgment:@.  %a@.@."
+    (Pp.pp_normal penv) res;
+  let env = Check_lfr.make_env sg [] in
+  ignore
+    (Check_lfr.check_normal env Ctxs.empty_sctx res
+       (SAtom (evalv, [ appt; idt ])));
+  Fmt.pr "result checks at evalv — the value-ness of the result index is@.";
+  Fmt.pr "enforced by the refinement KIND tm -> val -> sort: writing@.";
+  Fmt.pr "evalv M (app …) is not even a well-formed sort.@."

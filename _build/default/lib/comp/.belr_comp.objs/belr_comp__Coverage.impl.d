@@ -1,0 +1,1 @@
+lib/comp/coverage.ml: Belr_core Belr_lf Belr_support Belr_syntax Check_comp Comp Ctxs Lf List Meta Printf Shift Sign String

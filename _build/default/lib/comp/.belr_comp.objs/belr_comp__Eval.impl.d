@@ -1,0 +1,1 @@
+lib/comp/eval.ml: Belr_lf Belr_meta Belr_support Belr_syntax Belr_unify Comp Error List Meta Msub Name Shift Sign Unify

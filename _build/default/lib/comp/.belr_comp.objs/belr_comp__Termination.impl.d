@@ -1,0 +1,1 @@
+lib/comp/termination.ml: Belr_lf Belr_syntax Comp Fmt Lf List Meta Sign

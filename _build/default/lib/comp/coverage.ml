@@ -1,0 +1,232 @@
+(** A conservative coverage checker for refinement patterns — the paper's
+    §6.1 future work ("refinements allow validating the correctness of
+    functions containing non-exhaustive pattern matching…a natural next
+    step is therefore to develop a coverage…checker").
+
+    The sorting rules deliberately do {e not} require coverage (§4.1);
+    this checker is an optional analysis.  It is conservative in the
+    usual direction: [check] never accepts an uncovered match, but may
+    report a match as uncovered when a cleverer analysis could prove the
+    missing cases impossible.
+
+    For a scrutinee of sort [Ψ ⊢ Q] the split candidates are:
+
+    - every constant carrying a sort in [Q]'s family (for [Q = s·sp]) or
+      every constructor of the family (for [Q = ⌊a·sp⌋]) — this is where
+      refinements shrink the obligation: [pred] on [pos] needs no [z]
+      case;
+    - a parameter-variable case for every component of every world of the
+      context's schema whose target family matches [Q]'s, plus every
+      matching projection of a concrete block in [Ψ].
+
+    A candidate is discharged if some branch pattern has the same head, or
+    if its result sort {e rigidly clashes} with [Q] (distinct constants in
+    the same spine position), which is how the impossible variable cases
+    of [aeq-trans]'s inner matches are dismissed. *)
+
+open Belr_syntax
+open Belr_lf
+open Belr_core
+open Lf
+
+type verdict = Covered | Uncovered of string list
+
+(** Rigid head of a normal term, if any. *)
+let rec rigid_head (m : normal) : cid_const option =
+  match m with
+  | Root (Const c, _) -> Some c
+  | Lam (_, m) -> rigid_head m
+  | _ -> None
+
+(** Do two terms rigidly clash (distinct constant heads)? *)
+let clashes (m1 : normal) (m2 : normal) : bool =
+  match (rigid_head m1, rigid_head m2) with
+  | Some c1, Some c2 -> c1 <> c2
+  | _ -> false
+
+let spine_clashes sp1 sp2 =
+  List.length sp1 = List.length sp2 && List.exists2 clashes sp1 sp2
+
+(** The result spine of a constant's sort at family [target]. *)
+let result_spine (sg : Sign.t) (c : cid_const) ~(target : srt) : spine option =
+  let rec target_spine = function
+    | SAtom (_, sp) | SEmbed (_, sp) -> sp
+    | SPi (_, _, s) -> target_spine s
+  in
+  match target with
+  | SAtom (s_fam, _) -> (
+      match Sign.csort sg ~const:c ~family:s_fam with
+      | Some (s, _) -> Some (target_spine s)
+      | None -> None)
+  | SEmbed (_, _) ->
+      let rec typ_spine = function
+        | Atom (_, sp) -> sp
+        | Pi (_, _, b) -> typ_spine b
+      in
+      Some (typ_spine (Sign.const_entry sg c).Sign.c_typ)
+  | SPi _ -> None
+
+(** Candidate constants for an atomic scrutinee sort. *)
+let constant_candidates (sg : Sign.t) (q : srt) : cid_const list =
+  match q with
+  | SAtom (s, _) -> Sign.constants_of_srt sg s
+  | SEmbed (a, _) -> Sign.constants_of_typ sg a
+  | SPi _ -> []
+
+(** Does sort [s] target the same family as the scrutinee sort [q]
+    (reading [q] through its embedding when needed)? *)
+let family_matches (sg : Sign.t) (s : srt) (q : srt) : bool =
+  let fam_of = function
+    | SAtom (sid, _) -> `S sid
+    | SEmbed (a, _) -> `T a
+    | SPi _ -> `None
+  in
+  let rec tgt = function SPi (_, _, b) -> tgt b | s -> s in
+  match (fam_of (tgt s), fam_of (tgt q)) with
+  | `S s1, `S s2 -> s1 = s2
+  | `T a1, `T a2 -> a1 = a2
+  | `S s1, `T a2 -> (Sign.srt_entry sg s1).Sign.s_refines = a2
+  | `T _, `S _ -> false (* an embedded assumption cannot inhabit a proper sort *)
+  | _ -> false
+
+(** Variable candidates: projections (world-name, component index) that
+    could inhabit the scrutinee sort. *)
+let variable_candidates (sg : Sign.t) (omega : Meta.mctx) (psi : Ctxs.sctx)
+    (q : srt) : string list =
+  let of_selem prefix (f : Ctxs.selem) =
+    List.concat
+      (List.mapi
+         (fun k (_, s) ->
+           if family_matches sg s q then
+             [ Printf.sprintf "%s#%s.%d" prefix
+                 (Belr_support.Name.to_string f.Ctxs.f_name)
+                 (k + 1) ]
+           else [])
+         f.Ctxs.f_block)
+  in
+  let schema_cands =
+    match psi.Ctxs.s_var with
+    | None -> []
+    | Some i -> (
+        match Shift.mctx_lookup_shifted omega i with
+        | Some (Meta.MDCtx (_, h)) ->
+            let entry = Sign.sschema_entry sg h in
+            let elems =
+              if psi.Ctxs.s_promoted then
+                (Sign.embed_schema sg entry.Sign.h_refines).Ctxs.h_elems
+              else entry.Sign.h_elems
+            in
+            List.concat_map (of_selem "") elems
+        | _ -> [])
+  in
+  let concrete_cands =
+    List.concat_map
+      (function
+        | Ctxs.SCDecl (x, s) ->
+            if family_matches sg s q then
+              [ Belr_support.Name.to_string x ]
+            else []
+        | Ctxs.SCBlock (x, f, _) ->
+            of_selem (Belr_support.Name.to_string x ^ ":") f)
+      psi.Ctxs.s_decls
+  in
+  schema_cands @ concrete_cands
+
+(** Pattern heads appearing in the branches. *)
+type pat_head = Pconst of cid_const | Pproj of int (* projection index *) | Pvar
+
+let branch_head (br : Comp.branch) : pat_head option =
+  match br.Comp.br_pat with
+  | Meta.MOTerm (_, Root (Const c, _)) -> Some (Pconst c)
+  | Meta.MOTerm (_, Root (Proj (_, k), _)) -> Some (Pproj k)
+  | Meta.MOTerm (_, Root ((BVar _ | PVar _), _)) -> Some Pvar
+  | _ -> None
+
+(** Check that the branches of a case over scrutinee sort [ms] cover the
+    candidates.  [omega] is the ambient meta-context. *)
+let check (sg : Sign.t) (omega : Meta.mctx) (ms : Meta.msrt)
+    (branches : Comp.branch list) : verdict =
+  match ms with
+  | Meta.MSTerm (psi, q) ->
+      let heads = List.filter_map branch_head branches in
+      let missing_consts =
+        List.filter_map
+          (fun c ->
+            if List.mem (Pconst c) heads then None
+            else
+              (* impossibility by rigid clash of the result spine *)
+              let q_spine =
+                match q with
+                | SAtom (_, sp) | SEmbed (_, sp) -> sp
+                | SPi _ -> []
+              in
+              match result_spine sg c ~target:q with
+              | Some sp when spine_clashes sp q_spine -> None
+              | _ -> Some (Sign.const_entry sg c).Sign.c_name)
+          (constant_candidates sg q)
+      in
+      let var_cands = variable_candidates sg omega psi q in
+      let proj_covered k =
+        List.exists (function Pproj k' -> k = k' | _ -> false) heads
+        || List.mem Pvar heads
+      in
+      let missing_vars =
+        List.filter
+          (fun cand ->
+            (* candidate strings end in ".k" for projections *)
+            match String.rindex_opt cand '.' with
+            | Some i -> (
+                match
+                  int_of_string_opt
+                    (String.sub cand (i + 1) (String.length cand - i - 1))
+                with
+                | Some k -> not (proj_covered k)
+                | None -> not (List.mem Pvar heads))
+            | None -> not (List.mem Pvar heads))
+          var_cands
+      in
+      (match missing_consts @ missing_vars with
+      | [] -> Covered
+      | ms -> Uncovered ms)
+  | _ -> Covered (* only boxed-term scrutinees are analyzed *)
+
+(** Coverage-check a declared function. *)
+let check_rec (sg : Sign.t) (id : cid_rec) : (string list * int) list =
+  match (Sign.rec_entry sg id).Sign.r_body with
+  | None -> []
+  | Some body ->
+      (* walk the mlam/fn prefix building Ω from the declared sort *)
+      let rec go omega (t : Comp.ctyp) (e : Comp.exp) =
+        match (t, e) with
+        | Comp.CPi (x, _, ms, t'), Comp.MLam (_, e') ->
+            go (Check_comp.mdecl_of_msrt x ms :: omega) t' e'
+        | Comp.CArr (_, t'), Comp.Fn (_, _, e') -> go omega t' e'
+        | _, _ ->
+            let issues = ref [] in
+            let rec walk omega (e : Comp.exp) =
+              match e with
+              | Comp.Var _ | Comp.RecConst _ | Comp.Box _ -> ()
+              | Comp.Fn (_, _, e) -> walk omega e
+              | Comp.MLam (_, e) -> walk omega e
+              | Comp.App (a, b) ->
+                  walk omega a;
+                  walk omega b
+              | Comp.MApp (e, _) -> walk omega e
+              | Comp.LetBox (_, a, b) ->
+                  walk omega a;
+                  walk omega b
+              | Comp.Case (inv, scrut, brs) -> (
+                  walk omega scrut;
+                  List.iter
+                    (fun (b : Comp.branch) ->
+                      walk (b.Comp.br_mctx @ omega) b.Comp.br_body)
+                    brs;
+                  match check sg omega inv.Comp.inv_msrt brs with
+                  | Covered -> ()
+                  | Uncovered missing ->
+                      issues := (missing, List.length omega) :: !issues)
+            in
+            walk omega e;
+            !issues
+      in
+      go [] (Sign.rec_entry sg id).Sign.r_styp body

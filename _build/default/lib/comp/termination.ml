@@ -1,0 +1,104 @@
+(** A conservative structural termination checker — with {!Coverage}, the
+    other half of the paper's §6.1 future work ("a natural next step is
+    therefore to develop a coverage and termination checker for Beluga
+    with refinement types").
+
+    A Beluga proof is a total function; the paper leaves termination
+    checking out of its formal system and so does our checker proper.
+    This optional analysis accepts a function when every {e self}-call is
+    {e guarded}: at least one of its boxed arguments is headed by a
+    pattern variable — a meta-variable bound by an enclosing [case]
+    branch, hence a strict subterm of something matched.  Calls to
+    previously defined functions (lemmas) are ignored; mutual recursion
+    is not analyzed (declare the functions separately, as the paper's
+    examples do).
+
+    This validates all developments in this repository (the §2 proofs,
+    the conventional baseline, [half], [strengthen]) and rejects the
+    obvious cycles ([rec loop = fn d => loop d]). *)
+
+open Belr_syntax
+open Belr_lf
+
+type verdict = Guarded | Issues of string list
+
+(** During the walk we track, innermost first, whether each meta-binder in
+    scope was bound by a case branch (a pattern variable). *)
+type scope = bool list
+
+let rec head_mvar : Lf.normal -> int option = function
+  | Lf.Root (Lf.MVar (u, _), _) -> Some u
+  | Lf.Root (_, _) -> None
+  | Lf.Lam (_, m) -> head_mvar m
+
+let mobj_pattern_headed (scope : scope) (mo : Meta.mobj) : bool =
+  match mo with
+  | Meta.MOTerm (_, m) -> (
+      match head_mvar m with
+      | Some u -> ( match List.nth_opt scope (u - 1) with
+                    | Some b -> b
+                    | None -> false)
+      | None -> false)
+  | _ -> false
+
+(** Collect the arguments of an application chain headed by [RecConst f];
+    returns [None] when the head is something else. *)
+let rec call_args (f : Lf.cid_rec) (e : Comp.exp) (acc : Meta.mobj list) :
+    Meta.mobj list option =
+  match e with
+  | Comp.RecConst g when g = f -> Some acc
+  | Comp.App (e1, Comp.Box mo) -> call_args f e1 (mo :: acc)
+  | Comp.App (e1, _) -> call_args f e1 acc
+  | Comp.MApp (e1, mo) -> call_args f e1 (mo :: acc)
+  | _ -> None
+
+let check_body (sg : Sign.t) (f : Lf.cid_rec) (body : Comp.exp) : verdict =
+  let issues = ref [] in
+  let name = (Sign.rec_entry sg f).Sign.r_name in
+  (* [in_chain] marks that the parent node already belongs to an
+     application chain whose head will be analyzed at its outermost node *)
+  let rec go (scope : scope) ~(in_chain : bool) (e : Comp.exp) : unit =
+    (match e with
+    | (Comp.App _ | Comp.MApp _) when not in_chain -> (
+        match call_args f e [] with
+        | Some args ->
+            if not (List.exists (mobj_pattern_headed scope) args) then
+              issues :=
+                Fmt.str
+                  "a recursive call to %s passes no boxed argument headed by \
+                   a pattern variable"
+                  name
+                :: !issues
+        | None -> ())
+    | Comp.RecConst g when g = f && not in_chain ->
+        issues :=
+          Fmt.str "%s refers to itself without applying it" name :: !issues
+    | _ -> ());
+    match e with
+    | Comp.Var _ | Comp.RecConst _ | Comp.Box _ -> ()
+    | Comp.Fn (_, _, e) -> go scope ~in_chain:false e
+    | Comp.MLam (_, e) -> go (false :: scope) ~in_chain:false e
+    | Comp.App (e1, e2) ->
+        go scope ~in_chain:true e1;
+        go scope ~in_chain:false e2
+    | Comp.MApp (e1, _) -> go scope ~in_chain:true e1
+    | Comp.LetBox (_, e1, e2) ->
+        go scope ~in_chain:false e1;
+        go (false :: scope) ~in_chain:false e2
+    | Comp.Case (_, scrut, brs) ->
+        go scope ~in_chain:false scrut;
+        List.iter
+          (fun (b : Comp.branch) ->
+            let n0 = List.length b.Comp.br_mctx in
+            let scope' = List.init n0 (fun _ -> true) @ scope in
+            go scope' ~in_chain:false b.Comp.br_body)
+          brs
+  in
+  go [] ~in_chain:false body;
+  match !issues with [] -> Guarded | is -> Issues (List.rev is)
+
+(** Analyze a declared function. *)
+let check_rec (sg : Sign.t) (id : Lf.cid_rec) : verdict =
+  match (Sign.rec_entry sg id).Sign.r_body with
+  | None -> Guarded
+  | Some body -> check_body sg id body

@@ -1,0 +1,1 @@
+lib/core/check_comp.ml: Belr_lf Belr_meta Belr_support Belr_syntax Belr_unify Check_lfr Check_meta Comp Ctxs Equal Error Lf List Meta Msub Name Pp Shift Sign Unify

@@ -1,0 +1,1 @@
+lib/core/check_lfr.ml: Belr_lf Belr_support Belr_syntax Check_lf Ctxs Embed Equal Erase Error Hsub Lf List Meta Pp Sctxops Shift Sign

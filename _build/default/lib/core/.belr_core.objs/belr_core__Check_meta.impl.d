@@ -1,0 +1,1 @@
+lib/core/check_meta.ml: Belr_lf Belr_meta Belr_support Belr_syntax Check_lfr Ctxs Equal Erase Error Hsub Lf List Meta Shift Sign

@@ -1,0 +1,1 @@
+lib/core/embed_t.ml: Belr_lf Belr_syntax Check_comp Comp Embed List Meta Option Sign

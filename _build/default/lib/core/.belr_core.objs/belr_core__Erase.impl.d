@@ -1,0 +1,1 @@
+lib/core/erase.ml: Belr_lf Belr_syntax Comp Ctxs Embed Lf List Meta Option Sign

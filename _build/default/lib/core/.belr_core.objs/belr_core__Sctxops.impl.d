@@ -1,0 +1,1 @@
+lib/core/sctxops.ml: Belr_lf Belr_support Belr_syntax Ctxs Embed Equal Erase Error Hsub Lf List Shift Sign

@@ -1,0 +1,435 @@
+(** Unified bidirectional sort checking for contextual LFR (§3.1, Fig. 2).
+
+    These functions implement the paper's {e unified} judgments, in which
+    the type level is an output of the sort level:
+
+    - sort formation / refinement   [Ω; Ψ ⊢ S ⊑ A]        ({!wf_srt})
+    - sort checking                 [Ω; Ψ ⊢ M ⇐ S ⊑ A]    ({!check_normal})
+    - sort synthesis                [Ω; Ψ ⊢ R ⇒ S ⊑ A]    ({!synth_neutral})
+    - substitutions                 [Ω; Ψ₁ ⊢ σ : Ψ₂ ⊑ Γ₂] ({!check_sub})
+    - schema checking               [Ω ⊢ Ψ : H ⊑ G]        ({!check_sctx_schema})
+
+    Because erasure ({!Erase}) is a total function on well-formed sorts,
+    the type-level output of each judgment is [Erase.*] of its sort-level
+    subject; the functions below therefore return the erased output (or
+    unit) and the conservativity theorems are exercised by re-checking
+    those outputs with {!Belr_lf.Check_lf} in the test suite.
+
+    Embedded types [⌊a·sp⌋] trigger type-level checking of the spine
+    exactly as the paper prescribes ("perform type-checking only when it
+    is needed for a sorting derivation").
+
+    Subsumption: refinements of atomic families admit subsumption
+    ([Q ⊑ P] gives [Q ≤ ⌊P⌋], §3.1.1); we implement precisely that atomic
+    case — a term of sort [aeq M N] may be used where [⌊deq M N⌋] is
+    expected.  This is what makes the promoted occurrences in §2's [ceq]
+    check. *)
+
+open Belr_support
+open Belr_syntax
+open Belr_lf
+open Lf
+
+type env = { sg : Sign.t; omega : Meta.mctx }
+
+let make_env sg omega = { sg; omega }
+
+(** The erased, type-level view of the environment (Δ = ⌊Ω⌋). *)
+let erased_env (e : env) : Check_lf.env =
+  Check_lf.make_env e.sg (Erase.mctx e.sg e.omega)
+
+let pp_env e = Sign.pp_env e.sg
+
+let pp_srt e psi ppf s =
+  Pp.pp_srt (Pp.env_of_sctx (pp_env e) psi) ppf s
+
+let pp_normal e psi ppf m =
+  Pp.pp_normal (Pp.env_of_sctx (pp_env e) psi) ppf m
+
+(* --- meta-context lookups (sort level) -------------------------------- *)
+
+let mvar_decl e (u : int) : Ctxs.sctx * srt =
+  match Shift.mctx_lookup_shifted e.omega u with
+  | Some (Meta.MDTerm (_, psi, q)) -> (psi, q)
+  | Some _ -> Error.raise_msg "meta-variable %d is not a term variable" u
+  | None -> Error.raise_msg "unbound meta-variable %d" u
+
+let pvar_decl e (p : int) : Ctxs.sctx * Ctxs.selem * normal list =
+  match Shift.mctx_lookup_shifted e.omega p with
+  | Some (Meta.MDParam (_, psi, f, ms)) -> (psi, f, ms)
+  | Some _ -> Error.raise_msg "meta-variable %d is not a parameter variable" p
+  | None -> Error.raise_msg "unbound parameter variable %d" p
+
+let cvar_sschema e (i : int) : Lf.cid_sschema =
+  match Shift.mctx_lookup_shifted e.omega i with
+  | Some (Meta.MDCtx (_, h)) -> h
+  | Some _ -> Error.raise_msg "meta-variable %d is not a context variable" i
+  | None -> Error.raise_msg "unbound context variable %d" i
+
+(* --- atomic sort comparison ------------------------------------------- *)
+
+(** Does atomic sort [got] fit where [want] is expected?  Exact equality,
+    or the admissible atomic subsumption [s·sp ≤ ⌊a·sp⌋] when [s ⊑ a]. *)
+let atomic_leq e ~(got : srt) ~(want : srt) : bool =
+  Equal.srt got want
+  ||
+  match (got, want) with
+  | SAtom (s, sp1), SEmbed (a, sp2) ->
+      (Sign.srt_entry e.sg s).Sign.s_refines = a && Equal.spine sp1 sp2
+  | _ -> false
+
+(* --- mutual judgments -------------------------------------------------- *)
+
+(** [wf_srt e psi s] is the refinement relation [Ω; Ψ ⊢ S ⊑ A] read as
+    sort well-formedness; returns the refined type [A]. *)
+let rec wf_srt e (psi : Ctxs.sctx) (s : srt) : typ =
+  match s with
+  | SAtom (s_cid, sp) ->
+      let entry = Sign.srt_entry e.sg s_cid in
+      check_spine_skind e psi sp entry.Sign.s_kind;
+      Atom (entry.Sign.s_refines, sp)
+  | SEmbed (a, sp) ->
+      (* type-level checking, performed exactly when the embedding is
+         reached *)
+      let k = (Sign.typ_entry e.sg a).Sign.t_kind in
+      Check_lf.check_spine_kind (erased_env e) (Erase.sctx e.sg psi) sp k;
+      Atom (a, sp)
+  | SPi (x, s1, s2) ->
+      let a1 = wf_srt e psi s1 in
+      let a2 = wf_srt e (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s1))) s2 in
+      Pi (x, a1, a2)
+
+and check_spine_skind e psi (sp : spine) (l : skind) : unit =
+  match (sp, l) with
+  | [], Ksort -> ()
+  | m :: sp', Kspi (_, s, l') ->
+      ignore (check_normal e psi m s);
+      check_spine_skind e psi sp' (Hsub.inst_skind l' m)
+  | [], Kspi _ -> Error.raise_msg "sort family is not fully applied"
+  | _ :: _, Ksort -> Error.raise_msg "sort family is over-applied"
+
+(** [Ω; Ψ ⊢ M ⇐ S ⊑ A]; returns the refined type [A]. *)
+and check_normal e psi (m : normal) (s : srt) : typ =
+  match (m, s) with
+  | Lam (x, body), SPi (_, s1, s2) ->
+      let a1 = Erase.srt e.sg s1 in
+      let a2 =
+        check_normal e (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s1))) body s2
+      in
+      Pi (x, a1, a2)
+  | Lam _, (SAtom _ | SEmbed _) ->
+      Error.raise_msg "abstraction checked against atomic sort %a"
+        (pp_srt e psi) s
+  | Root _, SPi _ ->
+      Error.raise_msg "term %a is not η-long at sort %a" (pp_normal e psi) m
+        (pp_srt e psi) s
+  | Root (h, sp), (SAtom _ | SEmbed _) ->
+      let s_h = head_srt e psi h ~target:s in
+      let s_res = check_spine e psi sp s_h in
+      if not (atomic_leq e ~got:s_res ~want:s) then
+        Error.raise_msg "sort mismatch: expected %a, synthesized %a"
+          (pp_srt e psi) s (pp_srt e psi) s_res;
+      Erase.srt e.sg s
+
+(** [Ω; Ψ ⊢ R ⇒ S ⊑ A]; synthesis for neutral terms whose head determines
+    its sort (variables, projections, meta-variables).  Constants
+    synthesize their embedded type (the principal sort without a target
+    family). *)
+and synth_neutral e psi (m : normal) : srt * typ =
+  match m with
+  | Root (h, sp) ->
+      let s_h = head_srt_principal e psi h in
+      let s = check_spine e psi sp s_h in
+      (s, Erase.srt e.sg s)
+  | Lam _ -> Error.raise_msg "cannot synthesize a sort for an abstraction"
+
+and check_spine e psi (sp : spine) (s : srt) : srt =
+  match (sp, s) with
+  | [], _ -> s
+  | m :: sp', SPi (_, s1, s2) ->
+      ignore (check_normal e psi m s1);
+      check_spine e psi sp' (Hsub.inst_srt s2 m)
+  | _ :: _, (SAtom _ | SEmbed _) -> Error.raise_msg "term is over-applied"
+
+(** Sort of a head.  For constants the [target] sort directs which sort
+    family's assignment to use (bidirectionality): checking against
+    [SAtom (s, _)] selects the constant's sort in family [s]; checking
+    against an embedding uses the constant's embedded type. *)
+and head_srt e psi (h : head) ~(target : srt) : srt =
+  match h with
+  | Const c -> (
+      match target with
+      | SAtom (s_cid, _) -> (
+          match Sign.csort e.sg ~const:c ~family:s_cid with
+          | Some (s, _) -> s
+          | None ->
+              Error.raise_msg
+                "constant %s has no sort in family %s (it is not among the \
+                 refinement's constructors)"
+                (Sign.const_entry e.sg c).Sign.c_name
+                (Sign.srt_entry e.sg s_cid).Sign.s_name)
+      | _ -> Embed.typ (Sign.const_entry e.sg c).Sign.c_typ)
+  | _ -> head_srt_principal e psi h
+
+(** Principal sort of a non-constant head (declaration-directed). *)
+and head_srt_principal e psi (h : head) : srt =
+  match h with
+  | Const c -> Embed.typ (Sign.const_entry e.sg c).Sign.c_typ
+  | BVar i -> Sctxops.srt_of_bvar e.sg psi i
+  | Proj (BVar i, k) -> Sctxops.srt_of_proj e.sg psi i k
+  | Proj (PVar (p, s), k) ->
+      let psi_p, f, ms = pvar_decl e p in
+      check_sub e psi s psi_p;
+      let blk = Hsub.inst_sblock f ms in
+      Sctxops.proj_srt blk (PVar (p, s)) s k
+  | Proj _ ->
+      Error.raise_msg "projection base must be a block or parameter variable"
+  | PVar _ ->
+      Error.raise_msg
+        "parameter variable used as a term (missing projection or tuple)"
+  | MVar (u, s) ->
+      let psi_u, q = mvar_decl e u in
+      check_sub e psi s psi_u;
+      Hsub.sub_srt s q
+
+(** [Ω; Ψ₁ ⊢ σ : Ψ₂ ⊑ Γ₂] (Fig. 2): [σ] maps [Ψ₂]-variables to terms over
+    [Ψ₁].  [Shift] additionally allows reading an unpromoted domain in a
+    promoted range (refinement subsumption on contexts, §2). *)
+and check_sub e (psi1 : Ctxs.sctx) (s : sub) (psi2 : Ctxs.sctx) : unit =
+  match s with
+  | Empty ->
+      if psi2.Ctxs.s_var <> None || psi2.Ctxs.s_decls <> [] then
+        Error.raise_msg "empty substitution used with a non-empty domain"
+  | Shift n ->
+      let dropped = Sctxops.sctx_drop psi1 n in
+      if not (Sctxops.sctx_weakens ~from:psi2 ~into:dropped) then
+        Error.raise_msg "shift by %d does not match the expected domain" n
+  | Dot (f, s') -> (
+      match psi2.Ctxs.s_decls with
+      | [] -> Error.raise_msg "substitution is longer than its domain"
+      | Ctxs.SCDecl (_, q) :: rest -> (
+          let psi2' = { psi2 with Ctxs.s_decls = rest } in
+          check_sub e psi1 s' psi2';
+          let q = if psi2.Ctxs.s_promoted then Sctxops.promote_srt e.sg q else q in
+          match f with
+          | Obj m -> ignore (check_normal e psi1 m (Hsub.sub_srt s' q))
+          | Tup _ -> Error.raise_msg "tuple substituted for an ordinary variable"
+          | Undef -> Error.raise_msg "undefined substitution entry")
+      | Ctxs.SCBlock (_, fel, ms) :: rest -> (
+          let psi2' = { psi2 with Ctxs.s_decls = rest } in
+          check_sub e psi1 s' psi2';
+          let fel =
+            if psi2.Ctxs.s_promoted then Sctxops.promote_selem e.sg fel else fel
+          in
+          let ms' = List.map (Hsub.sub_normal s') ms in
+          let blk = Hsub.inst_sblock (Hsub.sub_selem s' fel) ms' in
+          match f with
+          | Tup t -> check_tuple e psi1 t blk
+          | Obj (Root (h, [])) ->
+              let blk_h = sblock_of_head e psi1 h in
+              if
+                not
+                  (Equal.sblock blk_h blk
+                  || Equal.block (Erase.sblock e.sg blk_h)
+                       (Erase.sblock e.sg blk)
+                     && List.for_all2
+                          (fun (_, got) (_, want) ->
+                            atomic_or_equal e ~got ~want)
+                          blk_h blk)
+              then
+                Error.raise_msg "block variable renamed to a mismatched block"
+          | Obj _ -> Error.raise_msg "term substituted for a block variable"
+          | Undef -> Error.raise_msg "undefined substitution entry"))
+
+(** Componentwise ≤ on block sorts (subsumption on each component). *)
+and atomic_or_equal e ~(got : srt) ~(want : srt) : bool =
+  Equal.srt got want || atomic_leq e ~got ~want
+
+(** [Ω; Ψ ⊢ M⃗ ⇐ C]: tuple against a block of sort declarations. *)
+and check_tuple e psi (t : tuple) (blk : Ctxs.sblock) : unit =
+  match (t, blk) with
+  | [], [] -> ()
+  | m :: t', (_, q) :: blk' ->
+      ignore (check_normal e psi m q);
+      let blk'' = Hsub.sub_sblock (Dot (Obj m, Shift 0)) blk' in
+      check_tuple e psi t' blk''
+  | _ ->
+      Error.raise_msg "tuple has %d components but block expects %d"
+        (List.length t) (List.length blk)
+
+and sblock_of_head e psi (h : head) : Ctxs.sblock =
+  match h with
+  | BVar i -> Sctxops.sblock_of_bvar e.sg psi i
+  | PVar (p, s) ->
+      let psi_p, f, ms = pvar_decl e p in
+      check_sub e psi s psi_p;
+      let blk = Hsub.inst_sblock f ms in
+      List.mapi
+        (fun j (x, q) ->
+          let rec ext k s = if k = 0 then s else ext (k - 1) (Hsub.dot1 s) in
+          (x, Hsub.sub_srt (ext j s) q))
+        blk
+  | _ -> Error.raise_msg "expected a block or parameter variable"
+
+(* --- refinement kinds, blocks, elements -------------------------------- *)
+
+let rec wf_skind e psi (l : skind) : kind =
+  match l with
+  | Ksort -> Ktype
+  | Kspi (x, s, l') ->
+      let a = wf_srt e psi s in
+      let k = wf_skind e (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s))) l' in
+      Kpi (x, a, k)
+
+let wf_sblock e psi (b : Ctxs.sblock) : Ctxs.block =
+  let rec go psi = function
+    | [] -> []
+    | (x, s) :: rest ->
+        let a = wf_srt e psi s in
+        (x, a) :: go (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s))) rest
+  in
+  go psi b
+
+let wf_selem e psi (f : Ctxs.selem) : Ctxs.elem =
+  let rec params psi = function
+    | [] -> (psi, [])
+    | (x, s) :: rest ->
+        let a = wf_srt e psi s in
+        let psi', ps = params (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s))) rest in
+        (psi', (x, a) :: ps)
+  in
+  let psi', ps = params psi f.Ctxs.f_params in
+  let blk = wf_sblock e psi' f.Ctxs.f_block in
+  { Ctxs.e_name = f.Ctxs.f_name; Ctxs.e_params = ps; Ctxs.e_block = blk }
+
+(* --- refinement relations (declaration-time checks) -------------------- *)
+
+(** [S ⊑ A]: with unique refinement and no intersections, the relation
+    holds iff [S] is well-formed and erases to [A]. *)
+let check_srt_refines e psi (s : srt) (a : typ) : unit =
+  let a' = wf_srt e psi s in
+  if not (Equal.typ a' a) then
+    Error.raise_msg "sort %a does not refine the expected type" (pp_srt e psi)
+      s
+
+let check_skind_refines e psi (l : skind) (k : kind) : unit =
+  let k' = wf_skind e psi l in
+  if not (Equal.kind k' k) then
+    Error.raise_msg "refinement kind does not refine the expected kind"
+
+(** [F ⊑ E] for schema elements (checked in the empty context; elements
+    are closed). *)
+let check_selem_refines e (f : Ctxs.selem) (el : Ctxs.elem) : unit =
+  let el' = wf_selem e Ctxs.empty_sctx f in
+  if not (Equal.elem el' el) then
+    Error.raise_msg "schema element %s does not refine its assigned world"
+      (Belr_support.Name.to_string f.Ctxs.f_name)
+
+(** [H ⊑ G]: every element of [H] refines the [G]-element it names via
+    [f_refines]; elements must not duplicate (§3.1.2).  Multiple [H]
+    elements may refine the same [G] element. *)
+let check_sschema_refines e (h_elems : Ctxs.selem list) (g : Ctxs.schema) :
+    unit =
+  let rec dup = function
+    | [] -> ()
+    | f :: rest ->
+        if List.exists (Equal.selem f) rest then
+          Error.raise_msg "refinement schema contains duplicate elements";
+        dup rest
+  in
+  dup h_elems;
+  List.iter
+    (fun (f : Ctxs.selem) ->
+      match List.nth_opt g f.Ctxs.f_refines with
+      | None ->
+          Error.raise_msg "schema element %s refines a non-existent world"
+            (Belr_support.Name.to_string f.Ctxs.f_name)
+      | Some el -> check_selem_refines e f el)
+    h_elems
+
+(* --- contexts and schema checking --------------------------------------- *)
+
+(** Check the instantiations of a sort-level schema element's parameters
+    ([Ω ⊢ M⃗ : F > C]). *)
+let check_selem_inst e psi (f : Ctxs.selem) (ms : normal list) : unit =
+  let rec go s params ms =
+    match (params, ms) with
+    | [], [] -> ()
+    | (_, q) :: params', m :: ms' ->
+        ignore (check_normal e psi m (Hsub.sub_srt s q));
+        go (Dot (Obj m, s)) params' ms'
+    | _ ->
+        Error.raise_msg "schema element applied to %d arguments, expected %d"
+          (List.length ms)
+          (List.length f.Ctxs.f_params)
+  in
+  go Empty f.Ctxs.f_params ms
+
+(** Context well-formedness [Ω ⊢ Ψ ⊑ Γ] (Fig. 1), entrywise. *)
+let wf_sctx e (psi : Ctxs.sctx) : Ctxs.ctx =
+  (match psi.Ctxs.s_var with
+  | Some i -> ignore (cvar_sschema e i)
+  | None -> ());
+  let rec go rest =
+    match rest with
+    | [] -> ()
+    | d :: rest' ->
+        go rest';
+        let prefix = { psi with Ctxs.s_decls = rest' } in
+        (match d with
+        | Ctxs.SCDecl (_, s) -> ignore (wf_srt e prefix s)
+        | Ctxs.SCBlock (_, f, ms) ->
+            ignore (wf_selem e Ctxs.empty_sctx f);
+            check_selem_inst e prefix f ms)
+  in
+  go psi.Ctxs.s_decls;
+  Erase.sctx e.sg psi
+
+(** Schema checking [Ω ⊢ Ψ : H ⊑ G] (§3.1.2).  For a promoted context
+    [Ψ⊤], the entries are matched against the trivial refinement [⌈G⌉]
+    instead. *)
+let check_sctx_schema e (psi : Ctxs.sctx) (h_cid : Lf.cid_sschema) : unit =
+  let entry = Sign.sschema_entry e.sg h_cid in
+  let h_elems, describe =
+    if psi.Ctxs.s_promoted then
+      ( (Sign.embed_schema e.sg entry.Sign.h_refines).Ctxs.h_elems,
+        "promoted schema" )
+    else (entry.Sign.h_elems, entry.Sign.h_name)
+  in
+  (match psi.Ctxs.s_var with
+  | Some i ->
+      let h' = cvar_sschema e i in
+      (* the context variable's schema must be the one being checked, or,
+         under promotion, any refinement of the same type-level schema *)
+      if
+        (not (h' = h_cid))
+        && not
+             (psi.Ctxs.s_promoted
+             && (Sign.sschema_entry e.sg h').Sign.h_refines
+                = entry.Sign.h_refines)
+      then
+        Error.raise_msg "context variable has schema %s, expected %s"
+          (Sign.sschema_entry e.sg h').Sign.h_name describe
+  | None -> ());
+  let rec go rest =
+    match rest with
+    | [] -> ()
+    | d :: rest' ->
+        go rest';
+        let prefix = { psi with Ctxs.s_decls = rest' } in
+        (match d with
+        | Ctxs.SCDecl _ ->
+            Error.raise_msg
+              "context contains a single declaration; schema checking \
+               requires block assumptions"
+        | Ctxs.SCBlock (_, f, ms) ->
+            let f =
+              if psi.Ctxs.s_promoted then Sctxops.promote_selem e.sg f else f
+            in
+            if not (List.exists (Equal.selem f) h_elems) then
+              Error.raise_msg
+                "context block does not match any element of schema %s"
+                describe;
+            check_selem_inst e prefix f ms)
+  in
+  go psi.Ctxs.s_decls

@@ -1,0 +1,1 @@
+lib/kits/conventional.ml: Belr_core Belr_lf Belr_syntax Check_comp Comp Ctxs Embed Embed_t Erase Lf List Meta Shift Sign

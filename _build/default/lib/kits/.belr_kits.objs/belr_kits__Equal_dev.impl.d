@@ -1,0 +1,1 @@
+lib/kits/equal_dev.ml: Belr_core Belr_lf Belr_syntax Check_comp Comp Ctxs Embed_t Erase Lf List Meta Sign Ulam

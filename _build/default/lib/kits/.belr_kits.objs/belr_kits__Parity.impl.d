@@ -1,0 +1,1 @@
+lib/kits/parity.ml: Belr_lf Belr_parser

@@ -1,0 +1,1 @@
+lib/kits/stats.ml: Belr_lf Belr_syntax Comp Ctxs Fmt Hashtbl Lf List Meta Sign String

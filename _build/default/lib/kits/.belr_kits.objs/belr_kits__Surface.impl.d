@@ -1,0 +1,1 @@
+lib/kits/surface.ml: Belr_lf Belr_parser

@@ -1,0 +1,1 @@
+lib/kits/typed_equal.ml: Belr_lf Belr_parser

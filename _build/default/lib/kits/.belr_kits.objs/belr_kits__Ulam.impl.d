@@ -1,0 +1,1 @@
+lib/kits/ulam.ml: Belr_lf Belr_syntax Ctxs Lf Shift Sign

@@ -1,0 +1,1 @@
+lib/kits/values.ml: Belr_lf Belr_parser

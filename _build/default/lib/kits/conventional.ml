@@ -1,0 +1,865 @@
+(** The {e conventional} (refinement-free) mechanization of the §2
+    benchmark — the baseline of experiment E1.
+
+    Without refinements, algorithmic equality must be a separate type
+    family ([aeq] and [deq] share no constructors), and the completeness
+    proof must reconcile two different context structures.  The paper's
+    reference baseline (the ORBI solution) maintains an explicit inductive
+    relation between an [aeq]-context and a [deq]-context, at the cost of
+    "13 additional arguments, including 7 explicit ones".  Full inductive
+    computation-level relations are Beluga's full language; our system
+    (like the paper's formal fragment) does not include them, so we
+    mechanize the other standard conventional solution from the ORBI
+    suite: the {e generalized (joint) context} version, in which
+
+    - every context block carries {e all three} assumptions
+      [(x:tm, u:aeq x x, v:deq x x)] (vs. two in the refinement version);
+    - the [lam] rules of {e both} judgments are generalized to bind the
+      full triple (the object-logic rules are polluted by the
+      mechanization — exactly the phenomenon the paper's §2 criticizes);
+    - soundness of algorithmic equality ([sound]) must be {e proved} by
+      induction (3 more cases), whereas with [aeq ⊑ deq] it is free;
+    - both equality judgments duplicate constructor declarations (7 vs 5).
+
+    The E1 bench counts these overheads on both developments and checks
+    the claim's shape: the refinement solution is strictly smaller in
+    every metric and needs no extra lemma. *)
+
+open Belr_syntax
+open Belr_lf
+open Belr_core
+open Lf
+
+type t = {
+  sg : Sign.t;
+  tm : cid_typ;
+  lam : cid_const;
+  app : cid_const;
+  aeq : cid_typ;
+  ae_lam : cid_const;
+  ae_app : cid_const;
+  deq : cid_typ;
+  de_lam : cid_const;
+  de_app : cid_const;
+  de_refl : cid_const;
+  de_sym : cid_const;
+  de_trans : cid_const;
+  xg_elem : Ctxs.elem;
+  xg_selem : Ctxs.selem;  (** the trivial refinement used for contexts *)
+  xg : cid_schema;
+  xg_s : cid_sschema;  (** auto-registered ⌈xG⌉ *)
+  aeq_refl : cid_rec;
+  aeq_sym : cid_rec;
+  aeq_trans : cid_rec;
+  ceq : cid_rec;
+  sound : cid_rec;
+}
+
+let v i : normal = Root (BVar i, [])
+
+let arr a b = Pi ("_", a, Shift.shift_typ 1 0 b)
+
+let mv i : normal = Root (MVar (i, Shift 0), [])
+
+let mvs i s : normal = Root (MVar (i, s), [])
+
+let bv i : normal = Root (BVar i, [])
+
+let pj b k : normal = Root (Proj (BVar b, k), [])
+
+let pvj p k : normal = Root (Proj (PVar (p, Shift 0), k), [])
+
+let lam_eta i : normal = Lam ("x", mv i)
+
+let psi k : Ctxs.sctx =
+  { Ctxs.s_var = Some k; Ctxs.s_promoted = false; Ctxs.s_decls = [] }
+
+let hat ?(names = []) k : Meta.hat =
+  { Meta.hat_var = Some k; Meta.hat_names = names }
+
+let boxm h m : Comp.exp = Comp.Box (Meta.MOTerm (h, m))
+
+let mobj h m : Meta.mobj = Meta.MOTerm (h, m)
+
+let mlams names e = List.fold_right (fun x acc -> Comp.MLam (x, acc)) names e
+
+let non_dep_inv name msrt body : Comp.inv =
+  { Comp.inv_mctx = []; Comp.inv_name = name; Comp.inv_msrt = msrt;
+    Comp.inv_body = body }
+
+(** [σb : (ψ,x) → (ψ,b)]. *)
+let sigma_b : sub = Dot (Obj (pj 1 1), Shift 1)
+
+(** [σbd3 : (ψ,x,u,v) → (ψ,b)] for triple blocks. *)
+let sigma_bd3 : sub =
+  Dot (Obj (pj 1 3), Dot (Obj (pj 1 2), Dot (Obj (pj 1 1), Shift 1)))
+
+(** [σe3 : (ψ,b) → (ψ,x,u,v)], sending [b ↦ ⟨x;u;v⟩]. *)
+let sigma_e3 : sub = Dot (Tup [ bv 3; bv 2; bv 1 ], Shift 3)
+
+(** Weakening [(ψ,x) → (ψ,x,u,v)], canonically [↑²]. *)
+let sub_x3 : sub = Shift 2
+
+let make () : t =
+  let sg = Sign.create () in
+  let tm = Sign.add_typ sg ~name:"tm" ~kind:Ktype ~implicit:0 in
+  let tm_t = Atom (tm, []) in
+  let tm_arr = Pi ("x", tm_t, tm_t) in
+  let lam = Sign.add_const sg ~name:"lam" ~typ:(arr tm_arr tm_t) ~implicit:0 in
+  let app =
+    Sign.add_const sg ~name:"app" ~typ:(arr tm_t (arr tm_t tm_t)) ~implicit:0
+  in
+  let eq_kind = Kpi ("m", tm_t, Kpi ("n", tm_t, Ktype)) in
+  let aeq = Sign.add_typ sg ~name:"aeq" ~kind:eq_kind ~implicit:0 in
+  let deq = Sign.add_typ sg ~name:"deq" ~kind:eq_kind ~implicit:0 in
+  let aq m n = Atom (aeq, [ m; n ]) in
+  let dqt m n = Atom (deq, [ m; n ]) in
+  let eta_fn i = Lam ("x", Root (BVar (i + 1), [ v 1 ])) in
+  (* generalized lam rule for a target family [h]:
+     {M}{N} ({x:tm} aeq x x -> deq x x -> h (M x) (N x))
+            -> h (lam M) (lam N) *)
+  let gen_lam_typ h =
+    Pi
+      ( "M",
+        tm_arr,
+        Pi
+          ( "N",
+            tm_arr,
+            arr
+              (Pi
+                 ( "x",
+                   tm_t,
+                   arr
+                     (aq (v 1) (v 1))
+                     (arr
+                        (dqt (v 1) (v 1))
+                        (Atom
+                           ( h,
+                             [ Root (BVar 3, [ v 1 ]);
+                               Root (BVar 2, [ v 1 ]) ] )))))
+              (Atom
+                 ( h,
+                   [ Root (Const lam, [ eta_fn 2 ]);
+                     Root (Const lam, [ eta_fn 1 ]) ] )) ) )
+  in
+  (* NOTE on indices inside gen_lam_typ: the nested [arr]s keep all
+     sub-terms at the level of their syntactic position; under [x] the
+     binders are M(3), N(2), x(1), and crossing each (anonymous) arrow
+     binder shifts uniformly, which [arr] performs. *)
+  let gen_app_typ h =
+    Pi
+      ( "M1",
+        tm_t,
+        Pi
+          ( "N1",
+            tm_t,
+            Pi
+              ( "M2",
+                tm_t,
+                Pi
+                  ( "N2",
+                    tm_t,
+                    arr
+                      (Atom (h, [ v 4; v 3 ]))
+                      (arr
+                         (Atom (h, [ v 2; v 1 ]))
+                         (Atom
+                            ( h,
+                              [ Root (Const app, [ v 4; v 2 ]);
+                                Root (Const app, [ v 3; v 1 ]) ] ))) ) ) ) )
+  in
+  let ae_lam =
+    Sign.add_const sg ~name:"ae-lam" ~typ:(gen_lam_typ aeq) ~implicit:2
+  in
+  let ae_app =
+    Sign.add_const sg ~name:"ae-app" ~typ:(gen_app_typ aeq) ~implicit:4
+  in
+  let de_lam =
+    Sign.add_const sg ~name:"de-lam" ~typ:(gen_lam_typ deq) ~implicit:2
+  in
+  let de_app =
+    Sign.add_const sg ~name:"de-app" ~typ:(gen_app_typ deq) ~implicit:4
+  in
+  let de_refl =
+    Sign.add_const sg ~name:"de-refl"
+      ~typ:(Pi ("M", tm_t, dqt (v 1) (v 1)))
+      ~implicit:0
+  in
+  let de_sym =
+    Sign.add_const sg ~name:"de-sym"
+      ~typ:
+        (Pi
+           ("M", tm_t, Pi ("N", tm_t, arr (dqt (v 2) (v 1)) (dqt (v 1) (v 2)))))
+      ~implicit:2
+  in
+  let de_trans =
+    Sign.add_const sg ~name:"de-trans"
+      ~typ:
+        (Pi
+           ( "M1",
+             tm_t,
+             Pi
+               ( "M2",
+                 tm_t,
+                 Pi
+                   ( "M3",
+                     tm_t,
+                     arr (dqt (v 3) (v 2)) (arr (dqt (v 2) (v 1)) (dqt (v 3) (v 1)))
+                   ) ) ))
+      ~implicit:3
+  in
+  (* joint schema: block (x : tm, u : aeq x x, v : deq x x) *)
+  let xg_elem =
+    {
+      Ctxs.e_name = "xeW";
+      Ctxs.e_params = [];
+      Ctxs.e_block =
+        [ ("x", tm_t); ("u", aq (v 1) (v 1)); ("v", dqt (v 2) (v 2)) ];
+    }
+  in
+  let xg = Sign.add_schema sg ~name:"xG" ~elems:[ xg_elem ] in
+  let xg_s = (Sign.schema_entry sg xg).Sign.g_trivial in
+  let xg_selem = Embed.elem ~refines:0 xg_elem in
+
+  (* sort-level (all-embedded) views *)
+  let tm_s = SEmbed (tm, []) in
+  let aqs m n = SEmbed (aeq, [ m; n ]) in
+  let dqs m n = SEmbed (deq, [ m; n ]) in
+  let psi_x k =
+    { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
+      Ctxs.s_decls = [ Ctxs.SCDecl ("x", tm_s) ] }
+  in
+  (* (ψ@k, x:tm, u:aeq x x, v:deq x x) *)
+  let psi_xuv k =
+    { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
+      Ctxs.s_decls =
+        [ Ctxs.SCDecl ("v", dqs (bv 2) (bv 2));
+          Ctxs.SCDecl ("u", aqs (bv 1) (bv 1));
+          Ctxs.SCDecl ("x", tm_s) ] }
+  in
+  let psi_b k =
+    { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
+      Ctxs.s_decls = [ Ctxs.SCBlock ("b", xg_selem, []) ] }
+  in
+  let e_lam3 a b body = Root (Const ae_lam, [ a; b; body ]) in
+  let d_lam3 a b body = Root (Const de_lam, [ a; b; body ]) in
+  let lam3 body = Lam ("x", Lam ("u", Lam ("v", body))) in
+  let check_rec name styp body_of_id =
+    let typ = Erase.ctyp sg styp in
+    ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) styp);
+    let id = Sign.add_rec sg ~name ~styp ~typ in
+    let body = body_of_id id in
+    Check_comp.check_exp (Check_comp.make_env sg [] []) body styp;
+    Embed_t.check_exp_t sg [] [] (Erase.exp sg body) typ;
+    Sign.set_rec_body sg id body;
+    id
+  in
+
+  (* ===============================================================
+     aeq-refl : (Ψ:xG)(M:Ψ.tm) [Ψ ⊢ aeq M M]
+     =============================================================== *)
+  let refl_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx xg_s,
+    Comp.CPi ("M", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CBox (Meta.MSTerm (psi 2, aqs (mv 1) (mv 1)))))
+  in
+  let refl_id =
+    check_rec "aeq-refl" refl_styp (fun refl_id ->
+        let inv =
+          non_dep_inv "X0"
+            (Meta.MSTerm (psi 2, tm_s))
+            (Comp.CBox (Meta.MSTerm (psi 3, aqs (mv 1) (mv 1))))
+        in
+        let scrut = boxm (hat 2) (mv 1) in
+        (* var: Ω_all = [b(1); M(2); ψ(3)] *)
+        let br_var =
+          { Comp.br_mctx = [ Meta.MDParam ("b", psi 2, xg_selem, []) ];
+            Comp.br_pat = mobj (hat 3) (pvj 1 1);
+            Comp.br_body = boxm (hat 3) (pvj 1 2) }
+        in
+        (* lam: Ω_all = [M'(1); M(2); ψ(3)] *)
+        let br_lam =
+          let body =
+            Comp.LetBox
+              ( "E",
+                Comp.MApp
+                  ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi_b 3)),
+                    mobj (hat 3 ~names:[ "b" ]) (mvs 1 sigma_b) ),
+                boxm (hat 4)
+                  (e_lam3 (lam_eta 2) (lam_eta 2) (lam3 (mvs 1 sigma_e3))) )
+          in
+          { Comp.br_mctx = [ Meta.MDTerm ("M'", psi_x 2, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 3) (Root (Const lam, [ Lam ("x", mv 1) ]));
+            Comp.br_body = body }
+        in
+        (* app: Ω_all = [M2(1); M1(2); M(3); ψ(4)] *)
+        let br_app =
+          let body =
+            Comp.LetBox
+              ( "E1",
+                Comp.MApp
+                  ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 4)),
+                    mobj (hat 4) (mv 2) ),
+                Comp.LetBox
+                  ( "E2",
+                    Comp.MApp
+                      ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 5)),
+                        mobj (hat 5) (mv 2) ),
+                    boxm (hat 6)
+                      (Root
+                         (Const ae_app, [ mv 4; mv 4; mv 3; mv 3; mv 2; mv 1 ]))
+                  ) )
+          in
+          { Comp.br_mctx =
+              [ Meta.MDTerm ("M2", psi 3, tm_s);
+                Meta.MDTerm ("M1", psi 2, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 4) (Root (Const app, [ mv 2; mv 1 ]));
+            Comp.br_body = body }
+        in
+        mlams [ "Psi"; "M" ]
+          (Comp.Case (inv, scrut, [ br_var; br_lam; br_app ])))
+  in
+
+  (* ===============================================================
+     aeq-sym : (Ψ:xG)(M N:Ψ.tm) [Ψ⊢aeq M N] → [Ψ⊢aeq N M]
+     =============================================================== *)
+  let sym_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx xg_s,
+    Comp.CPi ("M", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CPi ("N", true, Meta.MSTerm (psi 2, tm_s),
+    Comp.CArr
+      ( Comp.CBox (Meta.MSTerm (psi 3, aqs (mv 2) (mv 1))),
+        Comp.CBox (Meta.MSTerm (psi 3, aqs (mv 1) (mv 2))) ))))
+  in
+  let sym_id =
+    check_rec "aeq-sym" sym_styp (fun sym_id ->
+        let inv =
+          non_dep_inv "X0"
+            (Meta.MSTerm (psi 3, aqs (mv 2) (mv 1)))
+            (Comp.CBox (Meta.MSTerm (psi 4, aqs (mv 2) (mv 3))))
+        in
+        let br_var =
+          { Comp.br_mctx = [ Meta.MDParam ("b", psi 3, xg_selem, []) ];
+            Comp.br_pat = mobj (hat 4) (pvj 1 2);
+            Comp.br_body = boxm (hat 4) (pvj 1 2) }
+        in
+        (* ae-lam: Ω_all = [D(1); N'(2); M'(3); N(4); M(5); ψ(6)] *)
+        let br_lam =
+          let d_decl =
+            Meta.MDTerm ("D", psi_xuv 5, aqs (mvs 2 sub_x3) (mvs 1 sub_x3))
+          in
+          let body =
+            Comp.LetBox
+              ( "E",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp (Comp.RecConst sym_id, Meta.MOCtx (psi_b 6)),
+                            mobj (hat 6 ~names:[ "b" ]) (mvs 3 sigma_b) ),
+                        mobj (hat 6 ~names:[ "b" ]) (mvs 2 sigma_b) ),
+                    boxm (hat 6 ~names:[ "b" ]) (mvs 1 sigma_bd3) ),
+                boxm (hat 7)
+                  (e_lam3 (lam_eta 3) (lam_eta 4) (lam3 (mvs 1 sigma_e3))) )
+          in
+          { Comp.br_mctx =
+              [ d_decl;
+                Meta.MDTerm ("N'", psi_x 4, tm_s);
+                Meta.MDTerm ("M'", psi_x 3, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 6) (e_lam3 (lam_eta 3) (lam_eta 2) (lam3 (mv 1)));
+            Comp.br_body = body }
+        in
+        (* ae-app: Ω_all = [D2(1); D1(2); N2'(3); M2'(4); N1'(5); M1'(6);
+                            N(7); M(8); ψ(9)] *)
+        let br_app =
+          let body =
+            Comp.LetBox
+              ( "E1",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp (Comp.RecConst sym_id, Meta.MOCtx (psi 9)),
+                            mobj (hat 9) (mv 6) ),
+                        mobj (hat 9) (mv 5) ),
+                    boxm (hat 9) (mv 2) ),
+                Comp.LetBox
+                  ( "E2",
+                    Comp.App
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              ( Comp.MApp
+                                  (Comp.RecConst sym_id, Meta.MOCtx (psi 10)),
+                                mobj (hat 10) (mv 5) ),
+                            mobj (hat 10) (mv 4) ),
+                        boxm (hat 10) (mv 2) ),
+                    boxm (hat 11)
+                      (Root
+                         (Const ae_app, [ mv 7; mv 8; mv 5; mv 6; mv 2; mv 1 ]))
+                  ) )
+          in
+          { Comp.br_mctx =
+              [ Meta.MDTerm ("D2", psi 8, aqs (mv 3) (mv 2));
+                Meta.MDTerm ("D1", psi 7, aqs (mv 4) (mv 3));
+                Meta.MDTerm ("N2'", psi 6, tm_s);
+                Meta.MDTerm ("M2'", psi 5, tm_s);
+                Meta.MDTerm ("N1'", psi 4, tm_s);
+                Meta.MDTerm ("M1'", psi 3, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 9)
+                (Root (Const ae_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+            Comp.br_body = body }
+        in
+        mlams [ "Psi"; "M"; "N" ]
+          (Comp.Fn
+             ("d", None, Comp.Case (inv, Comp.Var 1, [ br_var; br_lam; br_app ]))))
+  in
+
+  (* ===============================================================
+     aeq-trans : (Ψ:xG)(M1 M2 M3) [aeq M1 M2] → [aeq M2 M3] → [aeq M1 M3]
+     =============================================================== *)
+  let trans_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx xg_s,
+    Comp.CPi ("M1", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CPi ("M2", true, Meta.MSTerm (psi 2, tm_s),
+    Comp.CPi ("M3", true, Meta.MSTerm (psi 3, tm_s),
+    Comp.CArr
+      ( Comp.CBox (Meta.MSTerm (psi 4, aqs (mv 3) (mv 2))),
+        Comp.CArr
+          ( Comp.CBox (Meta.MSTerm (psi 4, aqs (mv 2) (mv 1))),
+            Comp.CBox (Meta.MSTerm (psi 4, aqs (mv 3) (mv 1))) ) )))))
+  in
+  let trans_id =
+    check_rec "aeq-trans" trans_styp (fun trans_id ->
+        let inv =
+          non_dep_inv "X0"
+            (Meta.MSTerm (psi 4, aqs (mv 3) (mv 2)))
+            (Comp.CBox (Meta.MSTerm (psi 5, aqs (mv 4) (mv 2))))
+        in
+        let br_var =
+          { Comp.br_mctx = [ Meta.MDParam ("b", psi 4, xg_selem, []) ];
+            Comp.br_pat = mobj (hat 5) (pvj 1 2);
+            Comp.br_body = Comp.Var 1 }
+        in
+        (* ae-lam outer: Ω_all = [D(1); N'(2); M'(3); M3(4); M2(5); M1(6); ψ(7)] *)
+        let br_lam =
+          let d_decl =
+            Meta.MDTerm ("D", psi_xuv 6, aqs (mvs 2 sub_x3) (mvs 1 sub_x3))
+          in
+          let inner_inv =
+            non_dep_inv "X1"
+              (Meta.MSTerm
+                 (psi 7, aqs (Root (Const lam, [ lam_eta 2 ])) (mv 4)))
+              (Comp.CBox
+                 (Meta.MSTerm
+                    (psi 8, aqs (Root (Const lam, [ lam_eta 4 ])) (mv 5))))
+          in
+          (* inner ae-lam: Ω_all2 = [D'(1); P'(2); N''(3); D(4); N'(5);
+             M'(6); M3(7); M2(8); M1(9); ψ(10)] *)
+          let inner_lam =
+            let d'_decl =
+              Meta.MDTerm ("D'", psi_xuv 9, aqs (mvs 2 sub_x3) (mvs 1 sub_x3))
+            in
+            let body =
+              Comp.LetBox
+                ( "E",
+                  Comp.App
+                    ( Comp.App
+                        ( Comp.MApp
+                            ( Comp.MApp
+                                ( Comp.MApp
+                                    ( Comp.MApp
+                                        ( Comp.RecConst trans_id,
+                                          Meta.MOCtx (psi_b 10) ),
+                                      mobj (hat 10 ~names:[ "b" ])
+                                        (mvs 6 sigma_b) ),
+                                  mobj (hat 10 ~names:[ "b" ]) (mvs 5 sigma_b)
+                                ),
+                              mobj (hat 10 ~names:[ "b" ]) (mvs 2 sigma_b) ),
+                          boxm (hat 10 ~names:[ "b" ]) (mvs 4 sigma_bd3) ),
+                      boxm (hat 10 ~names:[ "b" ]) (mvs 1 sigma_bd3) ),
+                  boxm (hat 11)
+                    (e_lam3 (lam_eta 7) (lam_eta 3) (lam3 (mvs 1 sigma_e3))) )
+            in
+            { Comp.br_mctx =
+                [ d'_decl;
+                  Meta.MDTerm ("P'", psi_x 8, tm_s);
+                  Meta.MDTerm ("N''", psi_x 7, tm_s) ];
+              Comp.br_pat =
+                mobj (hat 10) (e_lam3 (lam_eta 3) (lam_eta 2) (lam3 (mv 1)));
+              Comp.br_body = body }
+          in
+          { Comp.br_mctx =
+              [ d_decl;
+                Meta.MDTerm ("N'", psi_x 5, tm_s);
+                Meta.MDTerm ("M'", psi_x 4, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 7) (e_lam3 (lam_eta 3) (lam_eta 2) (lam3 (mv 1)));
+            Comp.br_body = Comp.Case (inner_inv, Comp.Var 1, [ inner_lam ]) }
+        in
+        (* ae-app outer: Ω_all = [D2(1); D1(2); N2'(3); M2'(4); N1'(5);
+           M1'(6); M3(7); M2(8); M1(9); ψ(10)] *)
+        let br_app =
+          let inner_inv =
+            non_dep_inv "X1"
+              (Meta.MSTerm
+                 (psi 10, aqs (Root (Const app, [ mv 5; mv 3 ])) (mv 7)))
+              (Comp.CBox
+                 (Meta.MSTerm
+                    (psi 11, aqs (Root (Const app, [ mv 7; mv 5 ])) (mv 8))))
+          in
+          let inner_app =
+            let body =
+              Comp.LetBox
+                ( "G1",
+                  Comp.App
+                    ( Comp.App
+                        ( Comp.MApp
+                            ( Comp.MApp
+                                ( Comp.MApp
+                                    ( Comp.MApp
+                                        ( Comp.RecConst trans_id,
+                                          Meta.MOCtx (psi 16) ),
+                                      mobj (hat 16) (mv 12) ),
+                                  mobj (hat 16) (mv 11) ),
+                              mobj (hat 16) (mv 5) ),
+                          boxm (hat 16) (mv 8) ),
+                      boxm (hat 16) (mv 2) ),
+                  Comp.LetBox
+                    ( "G2",
+                      Comp.App
+                        ( Comp.App
+                            ( Comp.MApp
+                                ( Comp.MApp
+                                    ( Comp.MApp
+                                        ( Comp.MApp
+                                            ( Comp.RecConst trans_id,
+                                              Meta.MOCtx (psi 17) ),
+                                          mobj (hat 17) (mv 11) ),
+                                      mobj (hat 17) (mv 10) ),
+                                  mobj (hat 17) (mv 4) ),
+                              boxm (hat 17) (mv 8) ),
+                          boxm (hat 17) (mv 2) ),
+                      boxm (hat 18)
+                        (Root
+                           ( Const ae_app,
+                             [ mv 14; mv 7; mv 12; mv 5; mv 2; mv 1 ] )) ) )
+            in
+            { Comp.br_mctx =
+                [ Meta.MDTerm ("F2", psi 15, aqs (mv 3) (mv 2));
+                  Meta.MDTerm ("F1", psi 14, aqs (mv 4) (mv 3));
+                  Meta.MDTerm ("P2'", psi 13, tm_s);
+                  Meta.MDTerm ("N2''", psi 12, tm_s);
+                  Meta.MDTerm ("P1'", psi 11, tm_s);
+                  Meta.MDTerm ("N1''", psi 10, tm_s) ];
+              Comp.br_pat =
+                mobj (hat 16)
+                  (Root (Const ae_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+              Comp.br_body = body }
+          in
+          { Comp.br_mctx =
+              [ Meta.MDTerm ("D2", psi 9, aqs (mv 3) (mv 2));
+                Meta.MDTerm ("D1", psi 8, aqs (mv 4) (mv 3));
+                Meta.MDTerm ("N2'", psi 7, tm_s);
+                Meta.MDTerm ("M2'", psi 6, tm_s);
+                Meta.MDTerm ("N1'", psi 5, tm_s);
+                Meta.MDTerm ("M1'", psi 4, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 10)
+                (Root (Const ae_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+            Comp.br_body = Comp.Case (inner_inv, Comp.Var 1, [ inner_app ]) }
+        in
+        mlams [ "Psi"; "M1"; "M2"; "M3" ]
+          (Comp.Fn
+             ( "d1", None,
+               Comp.Fn
+                 ( "d2", None,
+                   Comp.Case (inv, Comp.Var 2, [ br_var; br_lam; br_app ]) ) )))
+  in
+
+  (* ===============================================================
+     ceq : (Ψ:xG)(M N) [Ψ ⊢ deq M N] → [Ψ ⊢ aeq M N]
+     (no promotion available: the joint context carries everything)
+     =============================================================== *)
+  let ceq_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx xg_s,
+    Comp.CPi ("M", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CPi ("N", true, Meta.MSTerm (psi 2, tm_s),
+    Comp.CArr
+      ( Comp.CBox (Meta.MSTerm (psi 3, dqs (mv 2) (mv 1))),
+        Comp.CBox (Meta.MSTerm (psi 3, aqs (mv 2) (mv 1))) ))))
+  in
+  let ceq_id =
+    check_rec "ceq" ceq_styp (fun ceq_id ->
+        let inv =
+          non_dep_inv "X0"
+            (Meta.MSTerm (psi 3, dqs (mv 2) (mv 1)))
+            (Comp.CBox (Meta.MSTerm (psi 4, aqs (mv 3) (mv 2))))
+        in
+        (* var: #b.3 (deq) ↦ #b.2 (aeq) — the conventional projection
+           juggling *)
+        let br_var =
+          { Comp.br_mctx = [ Meta.MDParam ("b", psi 3, xg_selem, []) ];
+            Comp.br_pat = mobj (hat 4) (pvj 1 3);
+            Comp.br_body = boxm (hat 4) (pvj 1 2) }
+        in
+        (* de-lam: Ω_all = [D(1); N'(2); M'(3); N(4); M(5); ψ(6)] *)
+        let br_lam =
+          let d_decl =
+            Meta.MDTerm ("D", psi_xuv 5, dqs (mvs 2 sub_x3) (mvs 1 sub_x3))
+          in
+          let body =
+            Comp.LetBox
+              ( "E",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp (Comp.RecConst ceq_id, Meta.MOCtx (psi_b 6)),
+                            mobj (hat 6 ~names:[ "b" ]) (mvs 3 sigma_b) ),
+                        mobj (hat 6 ~names:[ "b" ]) (mvs 2 sigma_b) ),
+                    boxm (hat 6 ~names:[ "b" ]) (mvs 1 sigma_bd3) ),
+                boxm (hat 7)
+                  (e_lam3 (lam_eta 4) (lam_eta 3) (lam3 (mvs 1 sigma_e3))) )
+          in
+          { Comp.br_mctx =
+              [ d_decl;
+                Meta.MDTerm ("N'", psi_x 4, tm_s);
+                Meta.MDTerm ("M'", psi_x 3, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 6) (d_lam3 (lam_eta 3) (lam_eta 2) (lam3 (mv 1)));
+            Comp.br_body = body }
+        in
+        (* de-app: Ω_all = [D2(1); D1(2); N2'(3); M2'(4); N1'(5); M1'(6);
+                            N(7); M(8); ψ(9)] *)
+        let br_app =
+          let body =
+            Comp.LetBox
+              ( "E1",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp (Comp.RecConst ceq_id, Meta.MOCtx (psi 9)),
+                            mobj (hat 9) (mv 6) ),
+                        mobj (hat 9) (mv 5) ),
+                    boxm (hat 9) (mv 2) ),
+                Comp.LetBox
+                  ( "E2",
+                    Comp.App
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              ( Comp.MApp
+                                  (Comp.RecConst ceq_id, Meta.MOCtx (psi 10)),
+                                mobj (hat 10) (mv 5) ),
+                            mobj (hat 10) (mv 4) ),
+                        boxm (hat 10) (mv 2) ),
+                    boxm (hat 11)
+                      (Root
+                         (Const ae_app, [ mv 8; mv 7; mv 6; mv 5; mv 2; mv 1 ]))
+                  ) )
+          in
+          { Comp.br_mctx =
+              [ Meta.MDTerm ("D2", psi 8, dqs (mv 3) (mv 2));
+                Meta.MDTerm ("D1", psi 7, dqs (mv 4) (mv 3));
+                Meta.MDTerm ("N2'", psi 6, tm_s);
+                Meta.MDTerm ("M2'", psi 5, tm_s);
+                Meta.MDTerm ("N1'", psi 4, tm_s);
+                Meta.MDTerm ("M1'", psi 3, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 9)
+                (Root (Const de_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+            Comp.br_body = body }
+        in
+        (* de-refl: Ω_all = [M0(1); N(2); M(3); ψ(4)] *)
+        let br_refl =
+          { Comp.br_mctx = [ Meta.MDTerm ("M0", psi 3, tm_s) ];
+            Comp.br_pat = mobj (hat 4) (Root (Const de_refl, [ mv 1 ]));
+            Comp.br_body =
+              Comp.MApp
+                ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 4)),
+                  mobj (hat 4) (mv 1) ) }
+        in
+        (* de-sym: Ω_all = [D(1); N0(2); M0(3); N(4); M(5); ψ(6)] *)
+        let br_sym =
+          let body =
+            Comp.LetBox
+              ( "E",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp (Comp.RecConst ceq_id, Meta.MOCtx (psi 6)),
+                            mobj (hat 6) (mv 3) ),
+                        mobj (hat 6) (mv 2) ),
+                    boxm (hat 6) (mv 1) ),
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp (Comp.RecConst sym_id, Meta.MOCtx (psi 7)),
+                            mobj (hat 7) (mv 4) ),
+                        mobj (hat 7) (mv 3) ),
+                    boxm (hat 7) (mv 1) ) )
+          in
+          { Comp.br_mctx =
+              [ Meta.MDTerm ("D", psi 5, dqs (mv 2) (mv 1));
+                Meta.MDTerm ("N0", psi 4, tm_s);
+                Meta.MDTerm ("M0", psi 3, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 6) (Root (Const de_sym, [ mv 3; mv 2; mv 1 ]));
+            Comp.br_body = body }
+        in
+        (* de-trans: Ω_all = [D2(1); D1(2); M2'(3); M1'(4); M0'(5);
+                              N(6); M(7); ψ(8)] *)
+        let br_trans =
+          let body =
+            Comp.LetBox
+              ( "E1",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp (Comp.RecConst ceq_id, Meta.MOCtx (psi 8)),
+                            mobj (hat 8) (mv 5) ),
+                        mobj (hat 8) (mv 4) ),
+                    boxm (hat 8) (mv 2) ),
+                Comp.LetBox
+                  ( "E2",
+                    Comp.App
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              ( Comp.MApp
+                                  (Comp.RecConst ceq_id, Meta.MOCtx (psi 9)),
+                                mobj (hat 9) (mv 5) ),
+                            mobj (hat 9) (mv 4) ),
+                        boxm (hat 9) (mv 2) ),
+                    Comp.App
+                      ( Comp.App
+                          ( Comp.MApp
+                              ( Comp.MApp
+                                  ( Comp.MApp
+                                      ( Comp.MApp
+                                          ( Comp.RecConst trans_id,
+                                            Meta.MOCtx (psi 10) ),
+                                        mobj (hat 10) (mv 7) ),
+                                    mobj (hat 10) (mv 6) ),
+                                mobj (hat 10) (mv 5) ),
+                            boxm (hat 10) (mv 2) ),
+                        boxm (hat 10) (mv 1) ) ) )
+          in
+          { Comp.br_mctx =
+              [ Meta.MDTerm ("D2", psi 7, dqs (mv 3) (mv 2));
+                Meta.MDTerm ("D1", psi 6, dqs (mv 3) (mv 2));
+                Meta.MDTerm ("M2'", psi 5, tm_s);
+                Meta.MDTerm ("M1'", psi 4, tm_s);
+                Meta.MDTerm ("M0'", psi 3, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 8)
+                (Root (Const de_trans, [ mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+            Comp.br_body = body }
+        in
+        mlams [ "Psi"; "M"; "N" ]
+          (Comp.Fn
+             ( "d", None,
+               Comp.Case
+                 ( inv, Comp.Var 1,
+                   [ br_var; br_lam; br_app; br_refl; br_sym; br_trans ] ) )))
+  in
+
+  (* ===============================================================
+     sound : (Ψ:xG)(M N) [Ψ ⊢ aeq M N] → [Ψ ⊢ deq M N]
+     In the refinement development this theorem does not exist: it is
+     the refinement relation itself.  Here it needs a full induction.
+     =============================================================== *)
+  let sound_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx xg_s,
+    Comp.CPi ("M", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CPi ("N", true, Meta.MSTerm (psi 2, tm_s),
+    Comp.CArr
+      ( Comp.CBox (Meta.MSTerm (psi 3, aqs (mv 2) (mv 1))),
+        Comp.CBox (Meta.MSTerm (psi 3, dqs (mv 2) (mv 1))) ))))
+  in
+  let sound_id =
+    check_rec "sound" sound_styp (fun sound_id ->
+        let inv =
+          non_dep_inv "X0"
+            (Meta.MSTerm (psi 3, aqs (mv 2) (mv 1)))
+            (Comp.CBox (Meta.MSTerm (psi 4, dqs (mv 3) (mv 2))))
+        in
+        let br_var =
+          { Comp.br_mctx = [ Meta.MDParam ("b", psi 3, xg_selem, []) ];
+            Comp.br_pat = mobj (hat 4) (pvj 1 2);
+            Comp.br_body = boxm (hat 4) (pvj 1 3) }
+        in
+        let br_lam =
+          let d_decl =
+            Meta.MDTerm ("D", psi_xuv 5, aqs (mvs 2 sub_x3) (mvs 1 sub_x3))
+          in
+          let body =
+            Comp.LetBox
+              ( "E",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              (Comp.RecConst sound_id, Meta.MOCtx (psi_b 6)),
+                            mobj (hat 6 ~names:[ "b" ]) (mvs 3 sigma_b) ),
+                        mobj (hat 6 ~names:[ "b" ]) (mvs 2 sigma_b) ),
+                    boxm (hat 6 ~names:[ "b" ]) (mvs 1 sigma_bd3) ),
+                boxm (hat 7)
+                  (d_lam3 (lam_eta 4) (lam_eta 3) (lam3 (mvs 1 sigma_e3))) )
+          in
+          { Comp.br_mctx =
+              [ d_decl;
+                Meta.MDTerm ("N'", psi_x 4, tm_s);
+                Meta.MDTerm ("M'", psi_x 3, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 6) (e_lam3 (lam_eta 3) (lam_eta 2) (lam3 (mv 1)));
+            Comp.br_body = body }
+        in
+        let br_app =
+          let body =
+            Comp.LetBox
+              ( "E1",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp (Comp.RecConst sound_id, Meta.MOCtx (psi 9)),
+                            mobj (hat 9) (mv 6) ),
+                        mobj (hat 9) (mv 5) ),
+                    boxm (hat 9) (mv 2) ),
+                Comp.LetBox
+                  ( "E2",
+                    Comp.App
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              ( Comp.MApp
+                                  (Comp.RecConst sound_id, Meta.MOCtx (psi 10)),
+                                mobj (hat 10) (mv 5) ),
+                            mobj (hat 10) (mv 4) ),
+                        boxm (hat 10) (mv 2) ),
+                    boxm (hat 11)
+                      (Root
+                         (Const de_app, [ mv 8; mv 7; mv 6; mv 5; mv 2; mv 1 ]))
+                  ) )
+          in
+          { Comp.br_mctx =
+              [ Meta.MDTerm ("D2", psi 8, aqs (mv 3) (mv 2));
+                Meta.MDTerm ("D1", psi 7, aqs (mv 4) (mv 3));
+                Meta.MDTerm ("N2'", psi 6, tm_s);
+                Meta.MDTerm ("M2'", psi 5, tm_s);
+                Meta.MDTerm ("N1'", psi 4, tm_s);
+                Meta.MDTerm ("M1'", psi 3, tm_s) ];
+            Comp.br_pat =
+              mobj (hat 9)
+                (Root (Const ae_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+            Comp.br_body = body }
+        in
+        mlams [ "Psi"; "M"; "N" ]
+          (Comp.Fn
+             ( "d", None,
+               Comp.Case (inv, Comp.Var 1, [ br_var; br_lam; br_app ]) )))
+  in
+  {
+    sg; tm; lam; app; aeq; ae_lam; ae_app; deq; de_lam; de_app; de_refl;
+    de_sym; de_trans; xg_elem; xg_selem; xg; xg_s;
+    aeq_refl = refl_id; aeq_sym = sym_id; aeq_trans = trans_id;
+    ceq = ceq_id; sound = sound_id;
+  }

@@ -1,0 +1,693 @@
+(** The paper's §2 case study, built in internal syntax: completeness of
+    algorithmic equality for the untyped λ-calculus, in the refinement
+    style.
+
+    Four computation-level functions over the {!Ulam} signature:
+
+    - [aeq-refl  : (Ψ:xaG) (M:Ψ.tm) \[Ψ ⊢ aeq M M\]]
+    - [aeq-sym   : (Ψ:xaG) (M N:Ψ.tm) \[Ψ ⊢ aeq M N\] → \[Ψ ⊢ aeq N M\]]
+    - [aeq-trans : (Ψ:xaG) (M1 M2 M3:Ψ.tm) \[Ψ ⊢ aeq M1 M2\] →
+                   \[Ψ ⊢ aeq M2 M3\] → \[Ψ ⊢ aeq M1 M3\]]
+    - [ceq       : (Ψ:xaG) (M N:Ψ.tm) \[Ψ⊤ ⊢ deq M N\] → \[Ψ ⊢ aeq M N\]]
+
+    Soundness of algorithmic equality is {e free}: [aeq ⊑ deq], so every
+    [aeq] derivation already is a [deq] derivation (this is the point of
+    the refinement).  The [ceq] function exhibits the paper's promotion
+    [Ψ⊤] in its argument sort and in the variable case.
+
+    Everything is de Bruijn; each function's construction comments track
+    the meta-context layout ("Ω_all = ...") at the relevant program
+    point.  [make] declares the functions, sort-checks every body with
+    {!Belr_core.Check_comp}, erases them, re-checks the erasures through
+    the embedded (type-level) fragment, and installs the bodies so the
+    functions are runnable with [Belr_comp.Eval]. *)
+
+open Belr_syntax
+open Belr_lf
+open Belr_core
+open Lf
+
+type t = {
+  ulam : Ulam.t;
+  aeq_refl : cid_rec;
+  aeq_sym : cid_rec;
+  aeq_trans : cid_rec;
+  ceq : cid_rec;
+}
+
+(* ----------------------------------------------------------------- *)
+(* Shorthands                                                          *)
+
+let mv i : normal = Root (MVar (i, Shift 0), [])
+
+let mvs i s : normal = Root (MVar (i, s), [])
+
+let bv i : normal = Root (BVar i, [])
+
+let pj b k : normal = Root (Proj (BVar b, k), [])
+
+let pvj p k : normal = Root (Proj (PVar (p, Shift 0), k), [])
+
+(** η-long functional argument [λx. M'\[id\]] for a meta-variable of
+    contextual sort [(Ψ,x:tm).tm]. *)
+let lam_eta i : normal = Lam ("x", mv i)
+
+let psi k : Ctxs.sctx =
+  { Ctxs.s_var = Some k; Ctxs.s_promoted = false; Ctxs.s_decls = [] }
+
+let psi_top k : Ctxs.sctx =
+  { Ctxs.s_var = Some k; Ctxs.s_promoted = true; Ctxs.s_decls = [] }
+
+let hat ?(names = []) k : Meta.hat =
+  { Meta.hat_var = Some k; Meta.hat_names = names }
+
+let boxm h m : Comp.exp = Comp.Box (Meta.MOTerm (h, m))
+
+let mobj h m : Meta.mobj = Meta.MOTerm (h, m)
+
+(** [σb : (ψ,x) → (ψ,b)], sending [x ↦ b.1]. *)
+let sigma_b : sub = Dot (Obj (pj 1 1), Shift 1)
+
+(** [σbd : (ψ,x,u) → (ψ,b)], sending [x ↦ b.1], [u ↦ b.2]. *)
+let sigma_bd : sub = Dot (Obj (pj 1 2), Dot (Obj (pj 1 1), Shift 1))
+
+(** [σe : (ψ,b) → (ψ,x,u)], sending [b ↦ ⟨x;u⟩]. *)
+let sigma_e : sub = Dot (Tup [ bv 2; bv 1 ], Shift 2)
+
+(** The delayed substitution of the subderivation meta-variables in
+    [e-lam] branches: the weakening [(ψ,x) → (ψ,x,u)], canonically [↑¹]. *)
+let sub_x2 : sub = Shift 1
+
+let mlams names e =
+  List.fold_right (fun x acc -> Comp.MLam (x, acc)) names e
+
+let non_dep_inv name msrt body : Comp.inv =
+  { Comp.inv_mctx = []; Comp.inv_name = name; Comp.inv_msrt = msrt;
+    Comp.inv_body = body }
+
+(* ----------------------------------------------------------------- *)
+
+let make () : t =
+  let u = Ulam.make () in
+  let sg = u.Ulam.sg in
+  let tm_s = SEmbed (u.Ulam.tm, []) in
+  let aq m n = SAtom (u.Ulam.aeq, [ m; n ]) in
+  let dq m n = SEmbed (u.Ulam.deq, [ m; n ]) in
+  let lam' m = Root (Const u.Ulam.lam, [ m ]) in
+  let app' m n = Root (Const u.Ulam.app, [ m; n ]) in
+  let e_lam sp = Root (Const u.Ulam.e_lam, sp) in
+  let e_app sp = Root (Const u.Ulam.e_app, sp) in
+  (* context (ψ@k, x:tm) — the home of subterm meta-variables *)
+  let psi_x k =
+    { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
+      Ctxs.s_decls = [ Ctxs.SCDecl ("x", tm_s) ] }
+  in
+  (* context (ψ@k, x:tm, u:aeq x x) — home of aeq subderivations *)
+  let psi_xu_a k =
+    { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
+      Ctxs.s_decls = [ Ctxs.SCDecl ("u", aq (bv 1) (bv 1));
+                       Ctxs.SCDecl ("x", tm_s) ] }
+  in
+  (* context (ψ@k, x:tm, u:deq x x)⊤ — home of deq subderivations in ceq *)
+  let psi_xu_d k =
+    { Ctxs.s_var = Some k; Ctxs.s_promoted = true;
+      Ctxs.s_decls = [ Ctxs.SCDecl ("u", dq (bv 1) (bv 1));
+                       Ctxs.SCDecl ("x", tm_s) ] }
+  in
+  (* (ψ@k, b:xeW) as a context argument *)
+  let psi_b k =
+    { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
+      Ctxs.s_decls = [ Ctxs.SCBlock ("b", u.Ulam.xa_selem, []) ] }
+  in
+  (* =================================================================
+     aeq-refl : (Ψ:xaG) (M : Ψ.tm) [Ψ ⊢ aeq M M]
+     ================================================================= *)
+  let refl_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx u.Ulam.xag,
+    Comp.CPi ("M", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CBox (Meta.MSTerm (psi 2, aq (mv 1) (mv 1)))))
+  in
+  (* Declare first so recursive occurrences can refer to the id. *)
+  let refl_typ = Erase.ctyp sg refl_styp in
+  ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) refl_styp);
+  let refl_id = Sign.add_rec sg ~name:"aeq-refl" ~styp:refl_styp ~typ:refl_typ in
+  let refl_body =
+    let inv =
+      non_dep_inv "X0"
+        (Meta.MSTerm (psi 2, tm_s))
+        (Comp.CBox (Meta.MSTerm (psi 3, aq (mv 1) (mv 1))))
+    in
+    let scrut = boxm (hat 2) (mv 1) in
+    let br_var =
+      { Comp.br_mctx = [ Meta.MDParam ("b", psi 2, u.Ulam.xa_selem, []) ];
+        Comp.br_pat = mobj (hat 3) (pvj 1 1);
+        Comp.br_body = boxm (hat 3) (pvj 1 2) }
+    in
+    let br_lam =
+      let body =
+        Comp.LetBox
+          ( "E",
+            Comp.MApp
+              ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi_b 3)),
+                mobj (hat 3 ~names:[ "b" ]) (mvs 1 sigma_b) ),
+            boxm (hat 4)
+              (e_lam
+                 [ lam_eta 2; lam_eta 2;
+                   Lam ("x", Lam ("u", mvs 1 sigma_e)) ]) )
+      in
+      { Comp.br_mctx = [ Meta.MDTerm ("M'", psi_x 2, tm_s) ];
+        Comp.br_pat = mobj (hat 3) (lam' (Lam ("x", mv 1)));
+        Comp.br_body = body }
+    in
+    let br_app =
+      let body =
+        Comp.LetBox
+          ( "E1",
+            Comp.MApp
+              ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 4)),
+                mobj (hat 4) (mv 2) ),
+            Comp.LetBox
+              ( "E2",
+                Comp.MApp
+                  ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 5)),
+                    mobj (hat 5) (mv 2) ),
+                boxm (hat 6)
+                  (e_app [ mv 4; mv 4; mv 3; mv 3; mv 2; mv 1 ]) ) )
+      in
+      { Comp.br_mctx =
+          [ Meta.MDTerm ("M2", psi 3, tm_s); Meta.MDTerm ("M1", psi 2, tm_s) ];
+        Comp.br_pat = mobj (hat 4) (app' (mv 2) (mv 1));
+        Comp.br_body = body }
+    in
+    mlams [ "Psi"; "M" ]
+      (Comp.Case (inv, scrut, [ br_var; br_lam; br_app ]))
+  in
+  Check_comp.check_exp (Check_comp.make_env sg [] []) refl_body refl_styp;
+  Embed_t.check_exp_t sg [] [] (Erase.exp sg refl_body) refl_typ;
+  Sign.set_rec_body sg refl_id refl_body;
+
+  (* =================================================================
+     aeq-sym : (Ψ:xaG)(M N:Ψ.tm) [Ψ ⊢ aeq M N] → [Ψ ⊢ aeq N M]
+     ================================================================= *)
+  let sym_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx u.Ulam.xag,
+    Comp.CPi ("M", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CPi ("N", true, Meta.MSTerm (psi 2, tm_s),
+    Comp.CArr
+      ( Comp.CBox (Meta.MSTerm (psi 3, aq (mv 2) (mv 1))),
+        Comp.CBox (Meta.MSTerm (psi 3, aq (mv 1) (mv 2))) ))))
+  in
+  let sym_typ = Erase.ctyp sg sym_styp in
+  ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) sym_styp);
+  let sym_id = Sign.add_rec sg ~name:"aeq-sym" ~styp:sym_styp ~typ:sym_typ in
+  (* Case site: Ω = [N(1); M(2); ψ(3)], Φ = [d] *)
+  let sym_body =
+    let inv =
+      non_dep_inv "X0"
+        (Meta.MSTerm (psi 3, aq (mv 2) (mv 1)))
+        (Comp.CBox (Meta.MSTerm (psi 4, aq (mv 2) (mv 3))))
+    in
+    (* variable case: Ω_all = [b(1); N(2); M(3); ψ(4)] *)
+    let br_var =
+      { Comp.br_mctx = [ Meta.MDParam ("b", psi 3, u.Ulam.xa_selem, []) ];
+        Comp.br_pat = mobj (hat 4) (pvj 1 2);
+        Comp.br_body = boxm (hat 4) (pvj 1 2) }
+    in
+    (* e-lam case: Ω_all = [D(1); N'(2); M'(3); N(4); M(5); ψ(6)] *)
+    let br_elam =
+      let d_decl =
+        Meta.MDTerm
+          ( "D",
+            psi_xu_a 5,
+            aq (mvs 2 sub_x2) (mvs 1 sub_x2) )
+      in
+      let body =
+        (* let [E] = sym (ψ,b) (M'[σb]) (N'[σb]) [ψ,b ⊢ D[σbd]] in
+           [ψ ⊢ e-lam N' M' (λx.λu. E[σe])]
+           under E: D(2), N'(3), M'(4), ψ(7), E(1) *)
+        Comp.LetBox
+          ( "E",
+            Comp.App
+              ( Comp.MApp
+                  ( Comp.MApp
+                      ( Comp.MApp (Comp.RecConst sym_id, Meta.MOCtx (psi_b 6)),
+                        mobj (hat 6 ~names:[ "b" ]) (mvs 3 sigma_b) ),
+                    mobj (hat 6 ~names:[ "b" ]) (mvs 2 sigma_b) ),
+                boxm (hat 6 ~names:[ "b" ]) (mvs 1 sigma_bd) ),
+            boxm (hat 7)
+              (e_lam
+                 [ lam_eta 3; lam_eta 4;
+                   Lam ("x", Lam ("u", mvs 1 sigma_e)) ]) )
+      in
+      { Comp.br_mctx =
+          [ d_decl;
+            Meta.MDTerm ("N'", psi_x 4, tm_s);
+            Meta.MDTerm ("M'", psi_x 3, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 6)
+            (e_lam [ lam_eta 3; lam_eta 2; Lam ("x", Lam ("u", mv 1)) ]);
+        Comp.br_body = body }
+    in
+    (* e-app case:
+       Ω_all = [D2(1); D1(2); N2'(3); M2'(4); N1'(5); M1'(6);
+                N(7); M(8); ψ(9)] *)
+    let br_eapp =
+      let body =
+        (* let [E1] = sym ψ M1' N1' [ψ ⊢ D1] in
+           let [E2] = sym ψ M2' N2' [ψ ⊢ D2] in
+           [ψ ⊢ e-app N1' M1' N2' M2' E1 E2]
+           under E1: indices +1; under E2: +2 *)
+        Comp.LetBox
+          ( "E1",
+            Comp.App
+              ( Comp.MApp
+                  ( Comp.MApp
+                      ( Comp.MApp (Comp.RecConst sym_id, Meta.MOCtx (psi 9)),
+                        mobj (hat 9) (mv 6) ),
+                    mobj (hat 9) (mv 5) ),
+                boxm (hat 9) (mv 2) ),
+            Comp.LetBox
+              ( "E2",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              (Comp.RecConst sym_id, Meta.MOCtx (psi 10)),
+                            mobj (hat 10) (mv 5) ),
+                        mobj (hat 10) (mv 4) ),
+                    boxm (hat 10) (mv 2) ),
+                boxm (hat 11)
+                  (e_app [ mv 7; mv 8; mv 5; mv 6; mv 2; mv 1 ]) ) )
+      in
+      { Comp.br_mctx =
+          [ Meta.MDTerm ("D2", psi 8, aq (mv 3) (mv 2));
+            Meta.MDTerm ("D1", psi 7, aq (mv 4) (mv 3));
+            Meta.MDTerm ("N2'", psi 6, tm_s);
+            Meta.MDTerm ("M2'", psi 5, tm_s);
+            Meta.MDTerm ("N1'", psi 4, tm_s);
+            Meta.MDTerm ("M1'", psi 3, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 9) (e_app [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]);
+        Comp.br_body = body }
+    in
+    mlams [ "Psi"; "M"; "N" ]
+      (Comp.Fn
+         ( "d", None,
+           Comp.Case (inv, Comp.Var 1, [ br_var; br_elam; br_eapp ]) ))
+  in
+  Check_comp.check_exp (Check_comp.make_env sg [] []) sym_body sym_styp;
+  Embed_t.check_exp_t sg [] [] (Erase.exp sg sym_body) sym_typ;
+  Sign.set_rec_body sg sym_id sym_body;
+
+  (* =================================================================
+     aeq-trans : (Ψ:xaG)(M1 M2 M3:Ψ.tm)
+                 [Ψ ⊢ aeq M1 M2] → [Ψ ⊢ aeq M2 M3] → [Ψ ⊢ aeq M1 M3]
+     ================================================================= *)
+  let trans_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx u.Ulam.xag,
+    Comp.CPi ("M1", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CPi ("M2", true, Meta.MSTerm (psi 2, tm_s),
+    Comp.CPi ("M3", true, Meta.MSTerm (psi 3, tm_s),
+    Comp.CArr
+      ( Comp.CBox (Meta.MSTerm (psi 4, aq (mv 3) (mv 2))),
+        Comp.CArr
+          ( Comp.CBox (Meta.MSTerm (psi 4, aq (mv 2) (mv 1))),
+            Comp.CBox (Meta.MSTerm (psi 4, aq (mv 3) (mv 1))) ) )))))
+  in
+  let trans_typ = Erase.ctyp sg trans_styp in
+  ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) trans_styp);
+  let trans_id =
+    Sign.add_rec sg ~name:"aeq-trans" ~styp:trans_styp ~typ:trans_typ
+  in
+  (* Case site: Ω = [M3(1); M2(2); M1(3); ψ(4)], Φ = [d2(1); d1(2)] *)
+  let trans_body =
+    let inv =
+      non_dep_inv "X0"
+        (Meta.MSTerm (psi 4, aq (mv 3) (mv 2)))
+        (Comp.CBox (Meta.MSTerm (psi 5, aq (mv 4) (mv 2))))
+    in
+    (* variable case: Ω_all = [b(1); M3(2); M2(3); M1(4); ψ(5)]
+       M1 := b.1, M2 := b.1; the result is d2 itself. *)
+    let br_var =
+      { Comp.br_mctx = [ Meta.MDParam ("b", psi 4, u.Ulam.xa_selem, []) ];
+        Comp.br_pat = mobj (hat 5) (pvj 1 2);
+        Comp.br_body = Comp.Var 1 }
+    in
+    (* e-lam case:
+       Ω_all = [D(1); N'(2); M'(3); M3(4); M2(5); M1(6); ψ(7)]
+       M1 := lam M', M2 := lam N'.  Inner case on d2. *)
+    let br_elam =
+      let d_decl =
+        Meta.MDTerm ("D", psi_xu_a 6, aq (mvs 2 sub_x2) (mvs 1 sub_x2))
+      in
+      let inner_inv =
+        (* scrutinee sort [ψ ⊢ aeq (lam N') M3]; result [ψ ⊢ aeq (lam M') M3] *)
+        non_dep_inv "X1"
+          (Meta.MSTerm (psi 7, aq (lam' (lam_eta 2)) (mv 4)))
+          (Comp.CBox
+             (Meta.MSTerm (psi 8, aq (lam' (lam_eta 4)) (mv 5))))
+      in
+      (* inner e-lam: Ω_all2 = [D'(1); P'(2); N''(3);
+                                D(4); N'(5); M'(6); M3(7); M2(8); M1(9); ψ(10)] *)
+      let inner_elam =
+        let d'_decl =
+          Meta.MDTerm ("D'", psi_xu_a 9, aq (mvs 2 sub_x2) (mvs 1 sub_x2))
+        in
+        let body =
+          (* let [E] = trans (ψ,b) (M'[σb]) (N'[σb]) (P'[σb])
+                              [ψ,b ⊢ D[σbd]] [ψ,b ⊢ D'[σbd]] in
+             [ψ ⊢ e-lam M' P' (λx.λu. E[σe])]
+             under E: D'(2), P'(3), N''(4), D(5), N'(6), M'(7), ψ(11), E(1) *)
+          Comp.LetBox
+            ( "E",
+              Comp.App
+                ( Comp.App
+                    ( Comp.MApp
+                        ( Comp.MApp
+                            ( Comp.MApp
+                                ( Comp.MApp
+                                    ( Comp.RecConst trans_id,
+                                      Meta.MOCtx (psi_b 10) ),
+                                  mobj (hat 10 ~names:[ "b" ]) (mvs 6 sigma_b)
+                                ),
+                              mobj (hat 10 ~names:[ "b" ]) (mvs 5 sigma_b) ),
+                          mobj (hat 10 ~names:[ "b" ]) (mvs 2 sigma_b) ),
+                      boxm (hat 10 ~names:[ "b" ]) (mvs 4 sigma_bd) ),
+                  boxm (hat 10 ~names:[ "b" ]) (mvs 1 sigma_bd) ),
+              boxm (hat 11)
+                (e_lam
+                   [ lam_eta 7; lam_eta 3;
+                     Lam ("x", Lam ("u", mvs 1 sigma_e)) ]) )
+        in
+        { Comp.br_mctx =
+            [ d'_decl;
+              Meta.MDTerm ("P'", psi_x 8, tm_s);
+              Meta.MDTerm ("N''", psi_x 7, tm_s) ];
+          Comp.br_pat =
+            mobj (hat 10)
+              (e_lam [ lam_eta 3; lam_eta 2; Lam ("x", Lam ("u", mv 1)) ]);
+          Comp.br_body = body }
+      in
+      { Comp.br_mctx =
+          [ d_decl;
+            Meta.MDTerm ("N'", psi_x 5, tm_s);
+            Meta.MDTerm ("M'", psi_x 4, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 7)
+            (e_lam [ lam_eta 3; lam_eta 2; Lam ("x", Lam ("u", mv 1)) ]);
+        Comp.br_body = Comp.Case (inner_inv, Comp.Var 1, [ inner_elam ]) }
+    in
+    (* e-app case:
+       Ω_all = [D2(1); D1(2); N2'(3); M2'(4); N1'(5); M1'(6);
+                M3(7); M2(8); M1(9); ψ(10)]
+       M1 := app M1' M2', M2 := app N1' N2'. *)
+    let br_eapp =
+      let inner_inv =
+        non_dep_inv "X1"
+          (Meta.MSTerm (psi 10, aq (app' (mv 5) (mv 3)) (mv 7)))
+          (Comp.CBox
+             (Meta.MSTerm (psi 11, aq (app' (mv 7) (mv 5)) (mv 8))))
+      in
+      (* inner e-app: Ω_all2 = [F2(1); F1(2); P2'(3); N2''(4); P1'(5); N1''(6);
+                                D2(7); D1(8); N2'(9); M2'(10); N1'(11); M1'(12);
+                                M3(13); M2(14); M1(15); ψ(16)] *)
+      let inner_eapp =
+        let body =
+          (* let [G1] = trans ψ M1' N1' P1' [ψ⊢D1] [ψ⊢F1] in
+             let [G2] = trans ψ M2' N2' P2' [ψ⊢D2] [ψ⊢F2] in
+             [ψ ⊢ e-app M1' P1' M2' P2' G1 G2]
+             under G1: +1, under G2: +2 *)
+          Comp.LetBox
+            ( "G1",
+              Comp.App
+                ( Comp.App
+                    ( Comp.MApp
+                        ( Comp.MApp
+                            ( Comp.MApp
+                                ( Comp.MApp
+                                    (Comp.RecConst trans_id, Meta.MOCtx (psi 16)),
+                                  mobj (hat 16) (mv 12) ),
+                              mobj (hat 16) (mv 11) ),
+                          mobj (hat 16) (mv 5) ),
+                      boxm (hat 16) (mv 8) ),
+                  boxm (hat 16) (mv 2) ),
+              Comp.LetBox
+                ( "G2",
+                  Comp.App
+                    ( Comp.App
+                        ( Comp.MApp
+                            ( Comp.MApp
+                                ( Comp.MApp
+                                    ( Comp.MApp
+                                        ( Comp.RecConst trans_id,
+                                          Meta.MOCtx (psi 17) ),
+                                      mobj (hat 17) (mv 11) ),
+                                  mobj (hat 17) (mv 10) ),
+                              mobj (hat 17) (mv 4) ),
+                          boxm (hat 17) (mv 8) ),
+                      boxm (hat 17) (mv 2) ),
+                  boxm (hat 18)
+                    (e_app [ mv 14; mv 7; mv 12; mv 5; mv 2; mv 1 ]) ) )
+        in
+        { Comp.br_mctx =
+            [ Meta.MDTerm ("F2", psi 15, aq (mv 3) (mv 2));
+              Meta.MDTerm ("F1", psi 14, aq (mv 4) (mv 3));
+              Meta.MDTerm ("P2'", psi 13, tm_s);
+              Meta.MDTerm ("N2''", psi 12, tm_s);
+              Meta.MDTerm ("P1'", psi 11, tm_s);
+              Meta.MDTerm ("N1''", psi 10, tm_s) ];
+          Comp.br_pat =
+            mobj (hat 16) (e_app [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]);
+          Comp.br_body = body }
+      in
+      { Comp.br_mctx =
+          [ Meta.MDTerm ("D2", psi 9, aq (mv 3) (mv 2));
+            Meta.MDTerm ("D1", psi 8, aq (mv 4) (mv 3));
+            Meta.MDTerm ("N2'", psi 7, tm_s);
+            Meta.MDTerm ("M2'", psi 6, tm_s);
+            Meta.MDTerm ("N1'", psi 5, tm_s);
+            Meta.MDTerm ("M1'", psi 4, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 10) (e_app [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]);
+        Comp.br_body = Comp.Case (inner_inv, Comp.Var 1, [ inner_eapp ]) }
+    in
+    mlams [ "Psi"; "M1"; "M2"; "M3" ]
+      (Comp.Fn
+         ( "d1", None,
+           Comp.Fn
+             ( "d2", None,
+               Comp.Case (inv, Comp.Var 2, [ br_var; br_elam; br_eapp ]) ) ))
+  in
+  Check_comp.check_exp (Check_comp.make_env sg [] []) trans_body trans_styp;
+  Embed_t.check_exp_t sg [] [] (Erase.exp sg trans_body) trans_typ;
+  Sign.set_rec_body sg trans_id trans_body;
+
+  (* =================================================================
+     ceq : (Ψ:xaG)(M N:Ψ.tm) [Ψ⊤ ⊢ deq M N] → [Ψ ⊢ aeq M N]
+     The paper's §2 theorem, with promotion in the argument sort.
+     ================================================================= *)
+  let ceq_styp =
+    Comp.CPi ("Psi", true, Meta.MSCtx u.Ulam.xag,
+    Comp.CPi ("M", true, Meta.MSTerm (psi 1, tm_s),
+    Comp.CPi ("N", true, Meta.MSTerm (psi 2, tm_s),
+    Comp.CArr
+      ( Comp.CBox (Meta.MSTerm (psi_top 3, dq (mv 2) (mv 1))),
+        Comp.CBox (Meta.MSTerm (psi 3, aq (mv 2) (mv 1))) ))))
+  in
+  let ceq_typ = Erase.ctyp sg ceq_styp in
+  ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) ceq_styp);
+  let ceq_id = Sign.add_rec sg ~name:"ceq" ~styp:ceq_styp ~typ:ceq_typ in
+  (* Case site: Ω = [N(1); M(2); ψ(3)], Φ = [d] *)
+  let ceq_body =
+    let inv =
+      non_dep_inv "X0"
+        (Meta.MSTerm (psi_top 3, dq (mv 2) (mv 1)))
+        (Comp.CBox (Meta.MSTerm (psi 4, aq (mv 3) (mv 2))))
+    in
+    (* variable case (the paper's key case): pattern [Ψ⊤ ⊢ #b.2] with
+       b's declared world in H = xaG, read at ⌊deq⌋ through promotion;
+       output [Ψ ⊢ #b.2] at aeq.  Ω_all = [b(1); N(2); M(3); ψ(4)] *)
+    let br_var =
+      { Comp.br_mctx = [ Meta.MDParam ("b", psi 3, u.Ulam.xa_selem, []) ];
+        Comp.br_pat = mobj (hat 4) (pvj 1 2);
+        Comp.br_body = boxm (hat 4) (pvj 1 2) }
+    in
+    (* e-lam case: Ω_all = [D(1); N'(2); M'(3); N(4); M(5); ψ(6)]
+       D : (ψ⊤, x:tm, u:deq x x).⌊deq (M' x) (N' x)⌋ *)
+    let br_elam =
+      let d_decl =
+        Meta.MDTerm ("D", psi_xu_d 5, dq (mvs 2 sub_x2) (mvs 1 sub_x2))
+      in
+      let body =
+        (* let [E] = ceq (ψ,b) (M'[σb]) (N'[σb]) [(ψ,b)⊤ ⊢ D[σbd]] in
+           [ψ ⊢ e-lam M' N' (λx.λu. E[σe])]
+           under E: D(2), N'(3), M'(4), ψ(7), E(1) *)
+        Comp.LetBox
+          ( "E",
+            Comp.App
+              ( Comp.MApp
+                  ( Comp.MApp
+                      ( Comp.MApp (Comp.RecConst ceq_id, Meta.MOCtx (psi_b 6)),
+                        mobj (hat 6 ~names:[ "b" ]) (mvs 3 sigma_b) ),
+                    mobj (hat 6 ~names:[ "b" ]) (mvs 2 sigma_b) ),
+                boxm (hat 6 ~names:[ "b" ]) (mvs 1 sigma_bd) ),
+            boxm (hat 7)
+              (e_lam
+                 [ lam_eta 4; lam_eta 3;
+                   Lam ("x", Lam ("u", mvs 1 sigma_e)) ]) )
+      in
+      { Comp.br_mctx =
+          [ d_decl;
+            Meta.MDTerm ("N'", psi_x 4, tm_s);
+            Meta.MDTerm ("M'", psi_x 3, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 6)
+            (e_lam [ lam_eta 3; lam_eta 2; Lam ("x", Lam ("u", mv 1)) ]);
+        Comp.br_body = body }
+    in
+    (* e-app case:
+       Ω_all = [D2(1); D1(2); N2'(3); M2'(4); N1'(5); M1'(6);
+                N(7); M(8); ψ(9)] *)
+    let br_eapp =
+      let body =
+        Comp.LetBox
+          ( "E1",
+            Comp.App
+              ( Comp.MApp
+                  ( Comp.MApp
+                      ( Comp.MApp (Comp.RecConst ceq_id, Meta.MOCtx (psi 9)),
+                        mobj (hat 9) (mv 6) ),
+                    mobj (hat 9) (mv 5) ),
+                boxm (hat 9) (mv 2) ),
+            Comp.LetBox
+              ( "E2",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              (Comp.RecConst ceq_id, Meta.MOCtx (psi 10)),
+                            mobj (hat 10) (mv 5) ),
+                        mobj (hat 10) (mv 4) ),
+                    boxm (hat 10) (mv 2) ),
+                boxm (hat 11)
+                  (e_app [ mv 8; mv 7; mv 6; mv 5; mv 2; mv 1 ]) ) )
+      in
+      { Comp.br_mctx =
+          [ Meta.MDTerm ("D2", psi 8, dq (mv 3) (mv 2));
+            Meta.MDTerm ("D1", psi 7, dq (mv 4) (mv 3));
+            Meta.MDTerm ("N2'", psi 6, tm_s);
+            Meta.MDTerm ("M2'", psi 5, tm_s);
+            Meta.MDTerm ("N1'", psi 4, tm_s);
+            Meta.MDTerm ("M1'", psi 3, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 9) (e_app [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]);
+        Comp.br_body = body }
+    in
+    (* e-refl case: Ω_all = [M0(1); N(2); M(3); ψ(4)];
+       body: aeq-refl ψ M0 *)
+    let br_erefl =
+      { Comp.br_mctx = [ Meta.MDTerm ("M0", psi 3, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 4) (Root (Const u.Ulam.e_refl, [ mv 1 ]));
+        Comp.br_body =
+          Comp.MApp
+            ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 4)),
+              mobj (hat 4) (mv 1) ) }
+    in
+    (* e-sym case: Ω_all = [D(1); N0(2); M0(3); N(4); M(5); ψ(6)]
+       pattern e-sym M0 N0 D : ⌊deq N0 M0⌋; D : ⌊deq M0 N0⌋
+       body: let [E] = ceq ψ M0 N0 [Ψ⊤ ⊢ D] in aeq-sym ψ M0 N0 [ψ ⊢ E] *)
+    let br_esym =
+      let body =
+        Comp.LetBox
+          ( "E",
+            Comp.App
+              ( Comp.MApp
+                  ( Comp.MApp
+                      ( Comp.MApp (Comp.RecConst ceq_id, Meta.MOCtx (psi 6)),
+                        mobj (hat 6) (mv 3) ),
+                    mobj (hat 6) (mv 2) ),
+                boxm (hat 6) (mv 1) ),
+            (* under E: M0(4), N0(3), ψ(7), E(1) *)
+            Comp.App
+              ( Comp.MApp
+                  ( Comp.MApp
+                      ( Comp.MApp (Comp.RecConst sym_id, Meta.MOCtx (psi 7)),
+                        mobj (hat 7) (mv 4) ),
+                    mobj (hat 7) (mv 3) ),
+                boxm (hat 7) (mv 1) ) )
+      in
+      { Comp.br_mctx =
+          [ Meta.MDTerm ("D", psi 5, dq (mv 2) (mv 1));
+            Meta.MDTerm ("N0", psi 4, tm_s);
+            Meta.MDTerm ("M0", psi 3, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 6) (Root (Const u.Ulam.e_sym, [ mv 3; mv 2; mv 1 ]));
+        Comp.br_body = body }
+    in
+    (* e-trans case:
+       Ω_all = [D2(1); D1(2); M2'(3); M1'(4); M0'(5); N(6); M(7); ψ(8)]
+       pattern e-trans M0' M1' M2' D1 D2 : ⌊deq M0' M2'⌋
+       body: let [E1] = ceq ψ M0' M1' [⊤D1] in
+             let [E2] = ceq ψ M1' M2' [⊤D2] in
+             aeq-trans ψ M0' M1' M2' [ψ⊢E1] [ψ⊢E2] *)
+    let br_etrans =
+      let body =
+        Comp.LetBox
+          ( "E1",
+            Comp.App
+              ( Comp.MApp
+                  ( Comp.MApp
+                      ( Comp.MApp (Comp.RecConst ceq_id, Meta.MOCtx (psi 8)),
+                        mobj (hat 8) (mv 5) ),
+                    mobj (hat 8) (mv 4) ),
+                boxm (hat 8) (mv 2) ),
+            Comp.LetBox
+              ( "E2",
+                Comp.App
+                  ( Comp.MApp
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              (Comp.RecConst ceq_id, Meta.MOCtx (psi 9)),
+                            mobj (hat 9) (mv 5) ),
+                        mobj (hat 9) (mv 4) ),
+                    boxm (hat 9) (mv 2) ),
+                (* under E1,E2: M0'(7), M1'(6), M2'(5), ψ(10), E1(2), E2(1) *)
+                Comp.App
+                  ( Comp.App
+                      ( Comp.MApp
+                          ( Comp.MApp
+                              ( Comp.MApp
+                                  ( Comp.MApp
+                                      ( Comp.RecConst trans_id,
+                                        Meta.MOCtx (psi 10) ),
+                                    mobj (hat 10) (mv 7) ),
+                                mobj (hat 10) (mv 6) ),
+                            mobj (hat 10) (mv 5) ),
+                        boxm (hat 10) (mv 2) ),
+                    boxm (hat 10) (mv 1) ) ) )
+      in
+      { Comp.br_mctx =
+          [ Meta.MDTerm ("D2", psi 7, dq (mv 3) (mv 2));
+            Meta.MDTerm ("D1", psi 6, dq (mv 3) (mv 2));
+            Meta.MDTerm ("M2'", psi 5, tm_s);
+            Meta.MDTerm ("M1'", psi 4, tm_s);
+            Meta.MDTerm ("M0'", psi 3, tm_s) ];
+        Comp.br_pat =
+          mobj (hat 8)
+            (Root (Const u.Ulam.e_trans, [ mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+        Comp.br_body = body }
+    in
+    mlams [ "Psi"; "M"; "N" ]
+      (Comp.Fn
+         ( "d", None,
+           Comp.Case
+             ( inv, Comp.Var 1,
+               [ br_var; br_elam; br_eapp; br_erefl; br_esym; br_etrans ] ) ))
+  in
+  Check_comp.check_exp (Check_comp.make_env sg [] []) ceq_body ceq_styp;
+  Embed_t.check_exp_t sg [] [] (Erase.exp sg ceq_body) ceq_typ;
+  Sign.set_rec_body sg ceq_id ceq_body;
+
+  { ulam = u; aeq_refl = refl_id; aeq_sym = sym_id; aeq_trans = trans_id;
+    ceq = ceq_id }

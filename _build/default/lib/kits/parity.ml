@@ -1,0 +1,37 @@
+(** Mutually recursive datasorts: the classic even/odd refinement of the
+    natural numbers (Freeman–Pfenning's original motivating example,
+    which the paper's §5.1 traces the datasort tradition to).
+
+    [s] carries a sort in {e both} families — the same constructor is
+    reused twice, something impossible with separate inductive types —
+    and [half] is total on [even] although its matches are partial on
+    [nat]. *)
+
+let src =
+  {bel|
+LF nat : type =
+| z : nat
+| s : nat -> nat;
+
+% mutually recursive refinements: s is selected by both, at different sorts
+LFR even <| nat : sort =
+| z : even
+| s : odd -> even
+and odd <| nat : sort =
+| s : even -> odd;
+
+% half is total on even numbers; both matches are partial on nat
+rec half : [ |- even] -> [ |- nat] =
+fn d => case d of
+| [ |- z] => [ |- z]
+| {N : [ |- odd]}
+  [ |- s N] =>
+    (case [ |- N] of
+     | {M : [ |- even]}
+       [ |- s M] =>
+         let [H] = half [ |- M] in
+         [ |- s H]);
+|bel}
+
+let load () : Belr_lf.Sign.t =
+  Belr_parser.Process.program ~name:"parity.bel" src

@@ -1,0 +1,80 @@
+(** A second case study: call-by-value evaluation and the datasort of
+    values.
+
+    Classic datasort refinement (Freeman–Pfenning / Davies lineage, which
+    the paper's §5.1 surveys): the values of the untyped λ-calculus are a
+    refinement [val ⊑ tm] selecting only [lam].  On top we put big-step
+    CBV evaluation [eval] and its refinement [evalv ⊑ eval] whose
+    {e refinement kind} [tm → val → sort] has a proper sort in a domain
+    position — the result index of a refined evaluation is statically a
+    value.
+
+    Two theorems, same fact, two styles:
+
+    - [result-val] (conventional): a separate predicate [isval] and an
+      induction showing [eval M V → isval V];
+    - [strengthen] (refinement): [eval M V → evalv M V] where [V] is
+      [val]-sorted throughout — the value-ness lives in the indices and
+      needs no predicate.  (Like the paper's partial-function discussion,
+      the refined statement is the {e more precise domain}; coverage of
+      the val-sorted quantifier is the §6.1 future work.) *)
+
+let src =
+  {bel|
+LF tm : type =
+| lam : (tm -> tm) -> tm
+| app : tm -> tm -> tm;
+
+% the datasort of values: only abstractions
+LFR val <| tm : sort =
+| lam : (tm -> tm) -> val;
+
+% big-step call-by-value evaluation
+LF eval : tm -> tm -> type =
+| ev-lam : {M : tm -> tm} eval (lam M) (lam M)
+| ev-app : eval M1 (lam M') -> eval M2 V2 -> eval (M' V2) V
+           -> eval (app M1 M2) V;
+
+% the refinement: evaluation results are values, in the kind
+LFR evalv <| eval : tm -> val -> sort =
+| ev-lam : {M : tm -> tm} evalv (lam M) (lam M)
+| ev-app : evalv M1 (lam M') -> evalv M2 V2 -> evalv (M' V2) V
+           -> evalv (app M1 M2) V;
+
+% --- conventional version: a predicate and an induction ---------------
+LF isval : tm -> type =
+| v-lam : {M : tm -> tm} isval (lam M);
+
+rec result-val : (M : [ |- tm]) (V : [ |- tm])
+                 [ |- eval M V] -> [ |- isval V] =
+mlam M => mlam V => fn d =>
+case d of
+| {M' : [x : tm |- tm]}
+  [ |- ev-lam (\x. M')] => [ |- v-lam (\x. M')]
+| {M1 : [ |- tm]} {M' : [x : tm |- tm]} {M2 : [ |- tm]}
+  {V2 : [ |- tm]} {V0 : [ |- tm]}
+  {D1 : [ |- eval M1 (lam (\x. M'))]} {D2 : [ |- eval M2 V2]}
+  {D3 : [ |- eval (M'[.., V2]) V0]}
+  [ |- ev-app M1 (\x. M') M2 V2 V0 D1 D2 D3] =>
+    result-val [ |- M'[.., V2]] [ |- V0] [ |- D3];
+
+% --- refinement version: strengthening into the refined judgment ------
+rec strengthen : (M : [ |- tm]) (V : [ |- val])
+                 [ |- eval M V] -> [ |- evalv M V] =
+mlam M => mlam V => fn d =>
+case d of
+| {M' : [x : tm |- tm]}
+  [ |- ev-lam (\x. M')] => [ |- ev-lam (\x. M')]
+| {M1 : [ |- tm]} {M' : [x : tm |- tm]} {M2 : [ |- tm]}
+  {V2 : [ |- val]} {V0 : [ |- val]}
+  {D1 : [ |- eval M1 (lam (\x. M'))]} {D2 : [ |- eval M2 V2]}
+  {D3 : [ |- eval (M'[.., V2]) V0]}
+  [ |- ev-app M1 (\x. M') M2 V2 V0 D1 D2 D3] =>
+    let [E1] = strengthen [ |- M1] [ |- lam (\x. M')] [ |- D1] in
+    let [E2] = strengthen [ |- M2] [ |- V2] [ |- D2] in
+    let [E3] = strengthen [ |- M'[.., V2]] [ |- V0] [ |- D3] in
+    [ |- ev-app M1 (\x. M') M2 V2 V0 E1 E2 E3];
+|bel}
+
+let load () : Belr_lf.Sign.t =
+  Belr_parser.Process.program ~name:"values.bel" src

@@ -1,0 +1,1 @@
+lib/lf/check_lf.ml: Belr_support Belr_syntax Ctxops Ctxs Equal Error Hsub Lf List Meta Pp Shift Sign

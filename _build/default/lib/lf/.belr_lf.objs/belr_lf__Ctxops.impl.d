@@ -1,0 +1,1 @@
+lib/lf/ctxops.ml: Belr_support Belr_syntax Ctxs Error Hsub Lf List Shift

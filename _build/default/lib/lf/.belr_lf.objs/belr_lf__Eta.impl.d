@@ -1,0 +1,1 @@
+lib/lf/eta.ml: Belr_syntax Equal Lf List Shift

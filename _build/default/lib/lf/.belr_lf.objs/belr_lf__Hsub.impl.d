@@ -1,0 +1,1 @@
+lib/lf/hsub.ml: Belr_support Belr_syntax Ctxs Error Lf List

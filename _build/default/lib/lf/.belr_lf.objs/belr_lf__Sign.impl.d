@@ -1,0 +1,1 @@
+lib/lf/sign.ml: Belr_support Belr_syntax Comp Ctxs Embed Error Hashtbl Lf Pp

@@ -1,0 +1,231 @@
+(** Hereditary substitution (§3, §3.1.3).
+
+    Applying a substitution to a canonical form can create β-redexes
+    ([(λx.M) N]) and block projections of tuples ([⟦M⃗/b⟧(b.k)]); hereditary
+    substitution resolves both on the fly so that the result is again
+    canonical — e.g. [(λy.y)/x](x 0) yields [0], never [(λy.y) 0].
+
+    Substitutions are simultaneous ({!Belr_syntax.Lf.sub}).  The functions
+    here terminate on all well-typed inputs (the standard induction on
+    erased simple types); a depth guard turns accidental divergence on
+    ill-typed inputs into an error instead of a hang. *)
+
+open Belr_support
+open Belr_syntax
+open Lf
+
+let max_depth = 10_000
+
+let depth = ref 0
+
+let guard f =
+  incr depth;
+  if !depth > max_depth then (
+    depth := 0;
+    Error.raise_msg
+      "hereditary substitution exceeded depth %d (ill-typed input?)" max_depth);
+  let r = f () in
+  decr depth;
+  r
+
+(** Smart constructor normalizing [Dot (xₙ, ↑ⁿ)] to [↑ⁿ⁻¹] so that
+    identity substitutions stay syntactically canonical under composition
+    (needed for the structural definitional equality of canonical forms). *)
+let norm_dot (f : front) (s : sub) : sub =
+  match (f, s) with
+  | Obj (Root (BVar k, [])), Shift n when k = n -> Shift (n - 1)
+  | _ -> Dot (f, s)
+
+(** Result of pushing a substitution into a head. *)
+type head_result =
+  | Rhead of head  (** still a head *)
+  | Rnorm of normal  (** the head was replaced by a normal term *)
+  | Rtup of tuple  (** a block variable was replaced by a tuple *)
+
+let rec lookup (s : sub) (i : int) : head_result =
+  match s with
+  | Empty ->
+      Error.violation "substitution lookup: variable %d under empty substitution" i
+  | Shift n -> Rhead (BVar (i + n))
+  | Dot (f, s') ->
+      if i = 1 then
+        match f with
+        | Obj m -> Rnorm m
+        | Tup t -> Rtup t
+        | Undef ->
+            Error.raise_msg "substitution lookup hit an undefined entry"
+      else lookup s' (i - 1)
+
+(** [norm_head h] views a bare-variable normal back as a head (fronts may
+    store η-short whole-block references; see [Hsub] invariants). *)
+let norm_as_head = function
+  | Root (h, []) -> Some h
+  | _ -> None
+
+let rec sub_head (s : sub) (h : head) : head_result =
+  match h with
+  | Const _ -> Rhead h
+  | BVar i -> lookup s i
+  | PVar (p, sp) -> Rhead (PVar (p, comp sp s))
+  | MVar (u, su) -> Rhead (MVar (u, comp su s))
+  | Proj (b, k) -> (
+      match sub_head s b with
+      | Rhead b' -> Rhead (Proj (b', k))
+      | Rtup t -> (
+          match List.nth_opt t (k - 1) with
+          | Some m -> Rnorm m
+          | None -> Error.violation "projection %d out of tuple range" k)
+      | Rnorm m -> (
+          match norm_as_head m with
+          | Some b' -> Rhead (Proj (b', k))
+          | None ->
+              Error.violation
+                "projection base was substituted by a non-variable term"))
+
+and sub_normal (s : sub) (m : normal) : normal =
+  match s with
+  | Shift 0 -> m  (* identity: frequent fast path *)
+  | _ -> (
+      match m with
+      | Lam (x, n) -> Lam (x, sub_normal (dot1 s) n)
+      | Root (h, sp) -> (
+          let sp' = sub_spine s sp in
+          match sub_head s h with
+          | Rhead h' -> Root (h', sp')
+          | Rnorm n -> guard (fun () -> reduce n sp')
+          | Rtup _ ->
+              Error.violation "block variable used as a term (missing projection)"))
+
+and sub_spine s sp = List.map (sub_normal s) sp
+
+and sub_front s = function
+  | Obj m -> Obj (sub_normal s m)
+  | Tup t -> Tup (List.map (sub_normal s) t)
+  | Undef -> Undef
+
+(** [comp s1 s2] is the substitution applying [s1] first and then [s2]
+    (i.e. [sub_normal (comp s1 s2) m = sub_normal s2 (sub_normal s1 m)]). *)
+and comp (s1 : sub) (s2 : sub) : sub =
+  match (s1, s2) with
+  | Empty, _ -> Empty
+  | Shift 0, _ -> s2
+  | Shift n, Dot (_, s2') -> comp (Shift (n - 1)) s2'
+  | Shift n, Shift m -> Shift (n + m)
+  | Shift _, Empty ->
+      (* only reachable when the common context is itself empty *)
+      Empty
+  | Dot (f, s1'), _ -> norm_dot (sub_front s2 f) (comp s1' s2)
+
+(** Extend a substitution under one binder: [dot1 σ = (1 . σ ∘ ↑)]. *)
+and dot1 (s : sub) : sub =
+  match s with
+  | Shift 0 -> s
+  | _ -> norm_dot (Obj (Root (BVar 1, []))) (comp s (Shift 1))
+
+(** β-reduce a normal applied to a spine (the hereditary step). *)
+and reduce (m : normal) (sp : spine) : normal =
+  match (m, sp) with
+  | _, [] -> m
+  | Lam (_, body), n :: rest ->
+      guard (fun () -> reduce (sub_normal (Dot (Obj n, Shift 0)) body) rest)
+  | Root (h, sp0), _ -> Root (h, sp0 @ sp)
+
+(* --- types, sorts, kinds --------------------------------------------- *)
+
+let rec sub_typ (s : sub) : typ -> typ = function
+  | Atom (a, sp) -> Atom (a, sub_spine s sp)
+  | Pi (x, a, b) -> Pi (x, sub_typ s a, sub_typ (dot1 s) b)
+
+let rec sub_srt (s : sub) : srt -> srt = function
+  | SAtom (q, sp) -> SAtom (q, sub_spine s sp)
+  | SEmbed (a, sp) -> SEmbed (a, sub_spine s sp)
+  | SPi (x, s1, s2) -> SPi (x, sub_srt s s1, sub_srt (dot1 s) s2)
+
+let rec sub_kind (s : sub) : kind -> kind = function
+  | Ktype -> Ktype
+  | Kpi (x, a, k) -> Kpi (x, sub_typ s a, sub_kind (dot1 s) k)
+
+let rec sub_skind (s : sub) : skind -> skind = function
+  | Ksort -> Ksort
+  | Kspi (x, q, l) -> Kspi (x, sub_srt s q, sub_skind (dot1 s) l)
+
+(** Instantiate the body of a binder with one argument:
+    [inst body n = [n/1] body]. *)
+let inst_normal (body : normal) (n : normal) : normal =
+  sub_normal (Dot (Obj n, Shift 0)) body
+
+let inst_typ (body : typ) (n : normal) : typ =
+  sub_typ (Dot (Obj n, Shift 0)) body
+
+let inst_srt (body : srt) (n : normal) : srt =
+  sub_srt (Dot (Obj n, Shift 0)) body
+
+let inst_kind (body : kind) (n : normal) : kind =
+  sub_kind (Dot (Obj n, Shift 0)) body
+
+let inst_skind (body : skind) (n : normal) : skind =
+  sub_skind (Dot (Obj n, Shift 0)) body
+
+(* --- blocks and schema elements --------------------------------------- *)
+
+(** Substitute into a block: component [k] is under [k-1] extra binders. *)
+let sub_block (s : sub) (b : Ctxs.block) : Ctxs.block =
+  let rec go s = function
+    | [] -> []
+    | (x, a) :: rest -> (x, sub_typ s a) :: go (dot1 s) rest
+  in
+  go s b
+
+let sub_sblock (s : sub) (b : Ctxs.sblock) : Ctxs.sblock =
+  let rec go s = function
+    | [] -> []
+    | (x, q) :: rest -> (x, sub_srt s q) :: go (dot1 s) rest
+  in
+  go s b
+
+let sub_elem (s : sub) (e : Ctxs.elem) : Ctxs.elem =
+  (* parameters first-to-last, each under the previous ones *)
+  let rec params s = function
+    | [] -> (s, [])
+    | (x, a) :: rest ->
+        let a' = sub_typ s a in
+        let s' = dot1 s in
+        let s'', ps = params s' rest in
+        (s'', (x, a') :: ps)
+  in
+  let s', ps = params s e.Ctxs.e_params in
+  { e with Ctxs.e_params = ps; Ctxs.e_block = sub_block s' e.Ctxs.e_block }
+
+let sub_selem (s : sub) (f : Ctxs.selem) : Ctxs.selem =
+  let rec params s = function
+    | [] -> (s, [])
+    | (x, q) :: rest ->
+        let q' = sub_srt s q in
+        let s' = dot1 s in
+        let s'', ps = params s' rest in
+        (s'', (x, q') :: ps)
+  in
+  let s', ps = params s f.Ctxs.f_params in
+  { f with Ctxs.f_params = ps; Ctxs.f_block = sub_sblock s' f.Ctxs.f_block }
+
+(** Instantiate a schema element's parameters with concrete terms,
+    yielding the block of declarations [D] with [Ω ⊢ M⃗ : F > D] (§3.1.2).
+    [ms] lists instantiations for the parameters in declaration order and
+    must live in the context where the block will be used. *)
+let inst_block (e : Ctxs.elem) (ms : normal list) : Ctxs.block =
+  if List.length e.Ctxs.e_params <> List.length ms then
+    Error.raise_msg "schema element applied to %d arguments, expected %d"
+      (List.length ms)
+      (List.length e.Ctxs.e_params);
+  (* Build σ mapping the innermost parameter (index 1) to the last
+     instantiation. *)
+  let s = List.fold_left (fun acc m -> Dot (Obj m, acc)) (Shift 0) ms in
+  sub_block s e.Ctxs.e_block
+
+let inst_sblock (f : Ctxs.selem) (ms : normal list) : Ctxs.sblock =
+  if List.length f.Ctxs.f_params <> List.length ms then
+    Error.raise_msg "schema element applied to %d arguments, expected %d"
+      (List.length ms)
+      (List.length f.Ctxs.f_params);
+  let s = List.fold_left (fun acc m -> Dot (Obj m, acc)) (Shift 0) ms in
+  sub_sblock s f.Ctxs.f_block

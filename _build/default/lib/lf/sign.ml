@@ -1,0 +1,257 @@
+(** The global signature Σ.
+
+    Holds every declared atomic type family, atomic sort family, constant,
+    sort assignment ([c :: S] for an already-declared constant), schema,
+    refinement schema, and computation-level function.  Ids handed out are
+    dense integers; name lookup goes through a single namespace, as in
+    Beluga.
+
+    Implicit arguments: a declaration elaborated from the surface syntax
+    may have [implicit] leading Π-quantifiers that were inserted for free
+    capitalized variables; checkers ignore the flag (terms are fully
+    explicit internally) but printers and the elaborator use it. *)
+
+open Belr_support
+open Belr_syntax
+
+type typ_entry = {
+  t_name : string;
+  t_kind : Lf.kind;
+  t_implicit : int;
+  mutable t_consts : Lf.cid_const list;  (** constructors, in declaration order *)
+}
+
+type srt_entry = {
+  s_name : string;
+  s_refines : Lf.cid_typ;
+  s_kind : Lf.skind;
+  s_implicit : int;
+  mutable s_consts : Lf.cid_const list;
+      (** constants given a sort in this family, in declaration order *)
+}
+
+type const_entry = {
+  c_name : string;
+  c_typ : Lf.typ;
+  c_implicit : int;
+  c_family : Lf.cid_typ;  (** target family of [c_typ] *)
+}
+
+type schema_entry = {
+  g_name : string;
+  g_elems : Ctxs.schema;
+  mutable g_trivial : Lf.cid_sschema;
+      (** the auto-registered trivial refinement [⌈G⌉ ⊑ G]; the type level
+          is the embedded fragment of the refinement level, so every
+          schema needs its embedding to be nameable *)
+}
+
+type sschema_entry = {
+  h_name : string;
+  h_refines : Lf.cid_schema;
+  h_elems : Ctxs.selem list;
+}
+
+type rec_entry = {
+  r_name : string;
+  r_styp : Comp.ctyp;  (** declared comp sort ζ *)
+  r_typ : Comp.ctyp_t;  (** its erasure τ (conservativity output) *)
+  mutable r_body : Comp.exp option;
+      (** filled after the body is checked, enabling recursion *)
+}
+
+type sym =
+  | Sym_typ of Lf.cid_typ
+  | Sym_srt of Lf.cid_srt
+  | Sym_const of Lf.cid_const
+  | Sym_schema of Lf.cid_schema
+  | Sym_sschema of Lf.cid_sschema
+  | Sym_rec of Lf.cid_rec
+
+type t = {
+  typs : (int, typ_entry) Hashtbl.t;
+  srts : (int, srt_entry) Hashtbl.t;
+  consts : (int, const_entry) Hashtbl.t;
+  schemas : (int, schema_entry) Hashtbl.t;
+  sschemas : (int, sschema_entry) Hashtbl.t;
+  recs : (int, rec_entry) Hashtbl.t;
+  csorts : (int * int, Lf.srt * int) Hashtbl.t;
+      (** (constant, sort family) → (assigned sort, implicit count) *)
+  by_name : (string, sym) Hashtbl.t;
+  mutable fresh : int;
+}
+
+let create () =
+  {
+    typs = Hashtbl.create 64;
+    srts = Hashtbl.create 64;
+    consts = Hashtbl.create 64;
+    schemas = Hashtbl.create 16;
+    sschemas = Hashtbl.create 16;
+    recs = Hashtbl.create 16;
+    csorts = Hashtbl.create 64;
+    by_name = Hashtbl.create 128;
+    fresh = 0;
+  }
+
+let next sg =
+  let i = sg.fresh in
+  sg.fresh <- i + 1;
+  i
+
+let bind_name sg name sym =
+  if Hashtbl.mem sg.by_name name then
+    Error.raise_msg "name %s is already declared" name;
+  Hashtbl.replace sg.by_name name sym
+
+let lookup_name sg name = Hashtbl.find_opt sg.by_name name
+
+(* --- declaration ---------------------------------------------------- *)
+
+let add_typ sg ~name ~kind ~implicit : Lf.cid_typ =
+  let id = next sg in
+  Hashtbl.replace sg.typs id
+    { t_name = name; t_kind = kind; t_implicit = implicit; t_consts = [] };
+  bind_name sg name (Sym_typ id);
+  id
+
+let add_srt sg ~name ~refines ~skind ~implicit : Lf.cid_srt =
+  let id = next sg in
+  Hashtbl.replace sg.srts id
+    {
+      s_name = name;
+      s_refines = refines;
+      s_kind = skind;
+      s_implicit = implicit;
+      s_consts = [];
+    };
+  bind_name sg name (Sym_srt id);
+  id
+
+let add_const sg ~name ~typ ~implicit : Lf.cid_const =
+  let id = next sg in
+  let family = Lf.typ_target typ in
+  Hashtbl.replace sg.consts id
+    { c_name = name; c_typ = typ; c_implicit = implicit; c_family = family };
+  bind_name sg name (Sym_const id);
+  (match Hashtbl.find_opt sg.typs family with
+  | Some te -> te.t_consts <- te.t_consts @ [ id ]
+  | None -> Error.violation "add_const: unknown target family");
+  id
+
+(** Record the sort assignment [c :: S] where [S]'s target is the sort
+    family [s]; used when an [LFR s ⊑ a] declaration lists [c]. *)
+let add_csort sg ~const ~srt ~implicit : unit =
+  let family =
+    match Lf.srt_target srt with
+    | Some s -> s
+    | None ->
+        Error.violation "add_csort: assigned sort targets an embedding"
+  in
+  if Hashtbl.mem sg.csorts (const, family) then
+    Error.raise_msg "constant already has a sort in this family";
+  Hashtbl.replace sg.csorts (const, family) (srt, implicit);
+  match Hashtbl.find_opt sg.srts family with
+  | Some se -> se.s_consts <- se.s_consts @ [ const ]
+  | None -> Error.violation "add_csort: unknown sort family"
+
+let add_schema sg ~name ~elems : Lf.cid_schema =
+  let id = next sg in
+  Hashtbl.replace sg.schemas id { g_name = name; g_elems = elems; g_trivial = -1 };
+  bind_name sg name (Sym_schema id);
+  (* auto-register the trivial refinement ⌈G⌉ under a hidden name *)
+  let tid = next sg in
+  let selems = (Embed.schema ~cid:id elems).Ctxs.h_elems in
+  Hashtbl.replace sg.sschemas tid
+    { h_name = name ^ "^"; h_refines = id; h_elems = selems };
+  bind_name sg (name ^ "^") (Sym_sschema tid);
+  (Hashtbl.find sg.schemas id).g_trivial <- tid;
+  id
+
+let add_sschema sg ~name ~refines ~elems : Lf.cid_sschema =
+  let id = next sg in
+  Hashtbl.replace sg.sschemas id
+    { h_name = name; h_refines = refines; h_elems = elems };
+  bind_name sg name (Sym_sschema id);
+  id
+
+let add_rec sg ~name ~styp ~typ : Lf.cid_rec =
+  let id = next sg in
+  Hashtbl.replace sg.recs id { r_name = name; r_styp = styp; r_typ = typ; r_body = None };
+  bind_name sg name (Sym_rec id);
+  id
+
+let set_rec_body sg id body =
+  match Hashtbl.find_opt sg.recs id with
+  | Some e -> e.r_body <- Some body
+  | None -> Error.violation "set_rec_body: unknown function"
+
+(* --- lookup ---------------------------------------------------------- *)
+
+let fail_unknown what id = Error.violation "unknown %s id %d" what id
+
+let typ_entry sg id =
+  match Hashtbl.find_opt sg.typs id with Some e -> e | None -> fail_unknown "type" id
+
+let srt_entry sg id =
+  match Hashtbl.find_opt sg.srts id with Some e -> e | None -> fail_unknown "sort" id
+
+let const_entry sg id =
+  match Hashtbl.find_opt sg.consts id with
+  | Some e -> e
+  | None -> fail_unknown "constant" id
+
+let schema_entry sg id =
+  match Hashtbl.find_opt sg.schemas id with
+  | Some e -> e
+  | None -> fail_unknown "schema" id
+
+let sschema_entry sg id =
+  match Hashtbl.find_opt sg.sschemas id with
+  | Some e -> e
+  | None -> fail_unknown "refinement schema" id
+
+let rec_entry sg id =
+  match Hashtbl.find_opt sg.recs id with
+  | Some e -> e
+  | None -> fail_unknown "function" id
+
+(** The sort assigned to constant [c] in sort family [s], if any. *)
+let csort sg ~const ~family : (Lf.srt * int) option =
+  Hashtbl.find_opt sg.csorts (const, family)
+
+(** All declared computation-level functions (unordered). *)
+let all_recs sg : (Lf.cid_rec * rec_entry) list =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.recs []
+
+(** The name table (for tooling; read-only use). *)
+let name_table sg = sg.by_name
+
+let all_schemas sg : (Lf.cid_schema * schema_entry) list =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.schemas []
+
+let all_sschemas sg : (Lf.cid_sschema * sschema_entry) list =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.sschemas []
+
+(** Constructors of a type family, in declaration order. *)
+let constants_of_typ sg a = (typ_entry sg a).t_consts
+
+(** Constants carrying a sort in family [s], in declaration order. *)
+let constants_of_srt sg s = (srt_entry sg s).s_consts
+
+(** The trivial refinement [⌈G⌉] of a declared schema (every world
+    embedded); used for promotion [Ψ⊤]. *)
+let embed_schema sg (g : Lf.cid_schema) : Ctxs.sschema =
+  Embed.schema ~cid:g (schema_entry sg g).g_elems
+
+let resolver sg : Pp.resolver =
+  {
+    Pp.r_typ = (fun i -> (typ_entry sg i).t_name);
+    Pp.r_srt = (fun i -> (srt_entry sg i).s_name);
+    Pp.r_const = (fun i -> (const_entry sg i).c_name);
+    Pp.r_schema = (fun i -> (schema_entry sg i).g_name);
+    Pp.r_sschema = (fun i -> (sschema_entry sg i).h_name);
+    Pp.r_rec = (fun i -> (rec_entry sg i).r_name);
+  }
+
+let pp_env sg = Pp.env ~res:(resolver sg) ()

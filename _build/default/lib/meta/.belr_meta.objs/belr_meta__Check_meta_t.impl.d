@@ -1,0 +1,1 @@
+lib/meta/check_meta_t.ml: Belr_lf Belr_support Belr_syntax Check_lf Ctxs Equal Error Hsub Lf List Meta Msub Shift Sign

@@ -1,0 +1,1 @@
+lib/meta/msub.ml: Belr_lf Belr_support Belr_syntax Comp Ctxs Error Hsub Lf List Meta Option Shift

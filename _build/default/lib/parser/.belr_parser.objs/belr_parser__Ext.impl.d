@@ -1,0 +1,1 @@
+lib/parser/ext.ml: Belr_support Loc

@@ -1,0 +1,1 @@
+lib/parser/lexer.ml: Belr_support Buffer Error List Loc String Token

@@ -1,0 +1,1 @@
+lib/parser/parse.ml: Array Belr_support Error Ext Format Lexer List Token

@@ -1,0 +1,1 @@
+lib/parser/process.ml: Belr_core Belr_lf Belr_support Belr_syntax Check_comp Check_lf Check_lfr Ctxs Elab Embed Embed_t Erase Error Ext Lf List Loc Name Parse Sign

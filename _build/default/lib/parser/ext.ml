@@ -1,0 +1,109 @@
+(** External (surface) abstract syntax, produced by {!Parse} and consumed
+    by {!Elab}.  Everything carries locations for error reporting. *)
+
+open Belr_support
+
+(** LF-level terms, types, sorts, and kinds share one syntax; the
+    elaborator sorts them out from context. *)
+type term =
+  | Ident of Loc.t * string
+  | TypeKw of Loc.t  (** the kind [type] *)
+  | SortKw of Loc.t  (** the refinement kind [sort] *)
+  | App of term * term
+  | Arrow of term * term  (** [a -> b], right-associative *)
+  | Pi of Loc.t * string * term * term  (** [{x : A} B] *)
+  | Lam of Loc.t * string * term  (** [\x. M] *)
+  | Hash of Loc.t * string  (** [#b], a parameter variable *)
+  | Proj of Loc.t * term * int  (** [t.k] *)
+  | Sub of Loc.t * term * esub  (** [M\[σ\]] *)
+
+(** Substitutions [\[.., f₁, …, fₖ\]]; [es_dots] records whether the
+    identity prefix [..] is present (it must be, unless the domain is
+    closed). *)
+and esub = { es_dots : bool; es_fronts : efront list }
+
+and efront =
+  | Fterm of term
+  | Ftuple of Loc.t * term list  (** [<t₁; …; tₙ>], replacing a block *)
+
+(** Context entry classifiers. *)
+type eclass =
+  | Cworld of Loc.t * string * term list  (** [b : xeW M₁ … Mₙ] *)
+  | Cblock of Loc.t * (string * term) list  (** [b : block (x:t, …)] *)
+  | Cterm of term  (** [x : A] *)
+
+type ectx_entry = { ce_name : string; ce_class : eclass }
+
+(** Contexts [Ψ], possibly rooted at a (promoted) context variable. *)
+type ectx = {
+  ec_loc : Loc.t;
+  ec_var : (string * bool) option;  (** (name, promoted?) *)
+  ec_entries : ectx_entry list;  (** outermost first, as written *)
+}
+
+(** Computation-level sorts. *)
+type csort =
+  | SBox of Loc.t * ectx * term  (** [\[Ψ ⊢ S\]] *)
+  | SArr of csort * csort
+  | SPi of Loc.t * string * bool * cdom * csort
+      (** [{X : dom} ζ]; the [bool] marks surface [(X : dom)] (implicit
+          style — still explicit internally in this front end) *)
+
+and cdom =
+  | DSchema of Loc.t * string  (** a schema name *)
+  | DBox of Loc.t * ectx * term  (** a boxed sort *)
+  | DParam of Loc.t * ectx * string * term list
+      (** [#\[Ψ ⊢ w M₁…\]], a parameter-variable domain *)
+
+(** Computation-level expressions. *)
+type cexp =
+  | EIdent of Loc.t * string
+  | EApp of Loc.t * cexp * cexp
+  | EFn of Loc.t * string * cexp
+  | EMlam of Loc.t * string * cexp
+  | ECase of Loc.t * cexp * branch list
+  | ELetBox of Loc.t * string * cexp * cexp
+  | EBox of Loc.t * ectx * term  (** [\[Ψ ⊢ M\]] *)
+  | ECtx of Loc.t * ectx  (** [\[Ψ\]] — a context argument *)
+
+and branch = {
+  b_loc : Loc.t;
+  b_decls : (Loc.t * string * cdom) list;  (** [{X : dom}] prefix, outermost first *)
+  b_ctx : ectx;
+  b_pat : term;
+  b_body : cexp;
+}
+
+(** Top-level declarations. *)
+type ctor = { k_loc : Loc.t; k_name : string; k_typ : term }
+
+type world = {
+  w_loc : Loc.t;
+  w_name : string;
+  w_params : (string * term) list;
+  w_fields : (string * term) list;
+}
+
+type typ_decl = {
+  d_loc : Loc.t;
+  d_name : string;
+  d_refines : string option;  (** [LFR s <| a : …] *)
+  d_kind : term;
+  d_ctors : ctor list;
+}
+
+type decl =
+  | Dtyp of typ_decl
+  | Dmutual of typ_decl list
+      (** [LFR s₁ <| a : … = … and s₂ <| a : … = …;] — mutually recursive
+          (refinement) families: all families are declared before any
+          constructor is processed *)
+  | Dschema of {
+      s_loc : Loc.t;
+      s_name : string;
+      s_refines : string option;
+      s_worlds : world list;
+    }
+  | Drec of { r_loc : Loc.t; r_name : string; r_sort : csort; r_body : cexp }
+
+type program = decl list

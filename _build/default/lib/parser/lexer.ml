@@ -1,0 +1,176 @@
+(** Hand-written lexer for the surface language.
+
+    Identifiers may contain [-] (e.g. [e-lam]) provided the next character
+    continues the identifier, so [a->b] still lexes as [a], [->], [b].
+    Comments are [% … end-of-line] (as in Twelf/Beluga). *)
+
+open Belr_support
+
+type lexeme = { tok : Token.t; loc : Loc.t }
+
+type state = {
+  src : string;
+  name : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let make ?(name = "<string>") src = { src; name; pos = 0; line = 1; bol = 0 }
+
+let peek_at st k =
+  if st.pos + k < String.length st.src then Some st.src.[st.pos + k] else None
+
+let peek st = peek_at st 0
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let here st : Loc.pos =
+  { Loc.line = st.line; Loc.col = st.pos - st.bol; Loc.offset = st.pos }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\'' || c = '!'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "LF" -> Some Token.KW_LF
+  | "LFR" -> Some Token.KW_LFR
+  | "schema" -> Some Token.KW_SCHEMA
+  | "rec" -> Some Token.KW_REC
+  | "block" -> Some Token.KW_BLOCK
+  | "type" -> Some Token.KW_TYPE
+  | "sort" -> Some Token.KW_SORT
+  | "fn" -> Some Token.KW_FN
+  | "mlam" -> Some Token.KW_MLAM
+  | "case" -> Some Token.KW_CASE
+  | "of" -> Some Token.KW_OF
+  | "let" -> Some Token.KW_LET
+  | "in" -> Some Token.KW_IN
+  | "and" -> Some Token.KW_AND
+  | _ -> None
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '%' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws st
+  | _ -> ()
+
+let next (st : state) : lexeme =
+  skip_ws st;
+  let start = here st in
+  let fin tok =
+    let stop = here st in
+    { tok; loc = Loc.make ~source:st.name ~start_pos:start ~end_pos:stop }
+  in
+  match peek st with
+  | None -> fin Token.EOF
+  | Some c when is_ident_start c ->
+      let b = Buffer.create 8 in
+      let rec go () =
+        match peek st with
+        | Some c when is_ident_char c ->
+            Buffer.add_char b c;
+            advance st;
+            go ()
+        | Some '-' -> (
+            (* include '-' only when the identifier continues *)
+            match peek_at st 1 with
+            | Some c2 when is_ident_char c2 || c2 = '-' ->
+                Buffer.add_char b '-';
+                advance st;
+                go ()
+            | _ -> ())
+        | _ -> ()
+      in
+      Buffer.add_char b c;
+      advance st;
+      go ();
+      let s = Buffer.contents b in
+      fin (match keyword s with Some k -> k | None -> Token.IDENT s)
+  | Some c when is_digit c ->
+      let b = Buffer.create 4 in
+      let rec go () =
+        match peek st with
+        | Some c when is_digit c ->
+            Buffer.add_char b c;
+            advance st;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      fin (Token.NUM (int_of_string (Buffer.contents b)))
+  | Some '-' when peek_at st 1 = Some '>' ->
+      advance st;
+      advance st;
+      fin Token.ARROW
+  | Some '=' when peek_at st 1 = Some '>' ->
+      advance st;
+      advance st;
+      fin Token.DARROW
+  | Some '<' when peek_at st 1 = Some '|' ->
+      advance st;
+      advance st;
+      fin Token.REFINES
+  | Some '|' when peek_at st 1 = Some '-' ->
+      advance st;
+      advance st;
+      fin Token.TURNSTILE
+  | Some '.' when peek_at st 1 = Some '.' ->
+      advance st;
+      advance st;
+      fin Token.DOTDOT
+  | Some c ->
+      advance st;
+      fin
+        (match c with
+        | '(' -> Token.LPAREN
+        | ')' -> Token.RPAREN
+        | '[' -> Token.LBRACK
+        | ']' -> Token.RBRACK
+        | '{' -> Token.LBRACE
+        | '}' -> Token.RBRACE
+        | '<' -> Token.LANGLE
+        | '>' -> Token.RANGLE
+        | ';' -> Token.SEMI
+        | ':' -> Token.COLON
+        | ',' -> Token.COMMA
+        | '.' -> Token.DOT
+        | '|' -> Token.BAR
+        | '=' -> Token.EQUAL
+        | '\\' -> Token.BACKSLASH
+        | '#' -> Token.HASH
+        | '^' -> Token.CARET
+        | c ->
+            Error.raise_at
+              (Loc.make ~source:st.name ~start_pos:start ~end_pos:(here st))
+              "unexpected character %c" c)
+
+(** Lex the whole input. *)
+let tokens ?name src : lexeme list =
+  let st = make ?name src in
+  let rec go acc =
+    let l = next st in
+    if l.tok = Token.EOF then List.rev (l :: acc) else go (l :: acc)
+  in
+  go []

@@ -1,0 +1,183 @@
+(** Declaration processing: parse → elaborate → check → extend the
+    signature.
+
+    Every elaborated object is re-checked with the unified sort checker,
+    and every computation-level function additionally has its erasure
+    re-checked through the type-level (embedded) fragment — running the
+    conservativity theorems on all user code. *)
+
+open Belr_support
+open Belr_syntax
+open Belr_lf
+open Belr_core
+
+(** Phase 1: declare the family (type or sort); phase 2 processes the
+    constructors — split so that mutually recursive declaration groups
+    ([LFR … and …]) can declare every family first. *)
+let declare_family (sg : Sign.t) (d : Ext.typ_decl) :
+    [ `T of Lf.cid_typ | `S of Lf.cid_srt ] =
+  let e = Elab.make_env sg in
+  let l0 = { Elab.lctx = Ctxs.empty_sctx; Elab.lnames = [] } in
+  match d.Ext.d_refines with
+  | None ->
+      let kind = Elab.elab_kind e l0 d.Ext.d_kind in
+      Check_lf.check_kind (Check_lf.make_env sg []) Ctxs.empty_ctx kind;
+      `T (Sign.add_typ sg ~name:d.Ext.d_name ~kind ~implicit:0)
+  | Some a_name ->
+      let a =
+        match Sign.lookup_name sg a_name with
+        | Some (Sign.Sym_typ a) -> a
+        | _ ->
+            Error.raise_at d.Ext.d_loc "%s does not name a type family" a_name
+      in
+      let skind = Elab.elab_skind e l0 d.Ext.d_kind in
+      Check_lfr.check_skind_refines (Check_lfr.make_env sg []) Ctxs.empty_sctx
+        skind
+        (Sign.typ_entry sg a).Sign.t_kind;
+      `S (Sign.add_srt sg ~name:d.Ext.d_name ~refines:a ~skind ~implicit:0)
+
+let process_family_ctors (sg : Sign.t) (d : Ext.typ_decl)
+    (fam : [ `T of Lf.cid_typ | `S of Lf.cid_srt ]) : unit =
+  let e = Elab.make_env sg in
+  match fam with
+  | `T a ->
+      List.iter
+        (fun (c : Ext.ctor) ->
+          let typ, implicit = Elab.elab_decl_typ e c.Ext.k_typ in
+          Check_lf.check_typ (Check_lf.make_env sg []) Ctxs.empty_ctx typ;
+          if Lf.typ_target typ <> a then
+            Error.raise_at c.Ext.k_loc
+              "constructor %s does not target the family %s" c.Ext.k_name
+              d.Ext.d_name;
+          ignore (Sign.add_const sg ~name:c.Ext.k_name ~typ ~implicit))
+        d.Ext.d_ctors
+  | `S s ->
+      List.iter
+        (fun (c : Ext.ctor) ->
+          let const =
+            match Sign.lookup_name sg c.Ext.k_name with
+            | Some (Sign.Sym_const cid) -> cid
+            | _ ->
+                Error.raise_at c.Ext.k_loc
+                  "%s does not name an existing constructor (refinements \
+                   select constructors of the refined family)"
+                  c.Ext.k_name
+          in
+          let srt, implicit = Elab.elab_decl_srt e c.Ext.k_typ in
+          (match Lf.srt_target srt with
+          | Some s' when s' = s -> ()
+          | _ ->
+              Error.raise_at c.Ext.k_loc
+                "assigned sort does not target the declared family");
+          Check_lfr.check_srt_refines (Check_lfr.make_env sg [])
+            Ctxs.empty_sctx srt
+            (Sign.const_entry sg const).Sign.c_typ;
+          Sign.add_csort sg ~const ~srt ~implicit)
+        d.Ext.d_ctors
+
+let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
+  let e = Elab.make_env sg in
+  match d with
+  | Ext.Dtyp td -> process_family_ctors sg td (declare_family sg td)
+  | Ext.Dmutual tds ->
+      (* declare every family first, then process every constructor *)
+      let fams = List.map (declare_family sg) tds in
+      List.iter2 (process_family_ctors sg) tds fams
+  | Ext.Dschema { s_loc; s_name; s_refines = None; s_worlds } ->
+      let elems =
+        List.map
+          (fun (w : Ext.world) ->
+            let rec params l acc = function
+              | [] -> (l, List.rev acc)
+              | (x, t) :: rest ->
+                  let ty = Elab.elab_typ e l t in
+                  params (Elab.lpush l x (Embed.typ ty)) ((x, ty) :: acc) rest
+            in
+            let l0 = { Elab.lctx = Ctxs.empty_sctx; Elab.lnames = [] } in
+            let l1, ps = params l0 [] w.Ext.w_params in
+            let rec fields l acc = function
+              | [] -> List.rev acc
+              | (x, t) :: rest ->
+                  let ty = Elab.elab_typ e l t in
+                  fields (Elab.lpush l x (Embed.typ ty)) ((x, ty) :: acc) rest
+            in
+            let blk = fields l1 [] w.Ext.w_fields in
+            { Ctxs.e_name = w.Ext.w_name; Ctxs.e_params = ps;
+              Ctxs.e_block = blk })
+          s_worlds
+      in
+      Check_lf.check_schema (Check_lf.make_env sg []) elems;
+      ignore (Sign.add_schema sg ~name:s_name ~elems);
+      ignore s_loc
+  | Ext.Dschema { s_loc; s_name; s_refines = Some g_name; s_worlds } ->
+      let g =
+        match Sign.lookup_name sg g_name with
+        | Some (Sign.Sym_schema g) -> g
+        | _ -> Error.raise_at s_loc "%s does not name a schema" g_name
+      in
+      let g_elems = (Sign.schema_entry sg g).Sign.g_elems in
+      let selems =
+        List.map
+          (fun (w : Ext.world) ->
+            let refines =
+              let rec find i = function
+                | [] ->
+                    Error.raise_at w.Ext.w_loc
+                      "world %s does not appear in schema %s" w.Ext.w_name
+                      g_name
+                | (el : Ctxs.elem) :: rest ->
+                    if Name.to_string el.Ctxs.e_name = w.Ext.w_name then i
+                    else find (i + 1) rest
+              in
+              find 0 g_elems
+            in
+            let rec params l acc = function
+              | [] -> (l, List.rev acc)
+              | (x, t) :: rest ->
+                  let s = Elab.elab_srt e l t in
+                  params (Elab.lpush l x s) ((x, s) :: acc) rest
+            in
+            let l0 = { Elab.lctx = Ctxs.empty_sctx; Elab.lnames = [] } in
+            let l1, ps = params l0 [] w.Ext.w_params in
+            let rec fields l acc = function
+              | [] -> List.rev acc
+              | (x, t) :: rest ->
+                  let s = Elab.elab_srt e l t in
+                  fields (Elab.lpush l x s) ((x, s) :: acc) rest
+            in
+            let blk = fields l1 [] w.Ext.w_fields in
+            { Ctxs.f_name = w.Ext.w_name; Ctxs.f_refines = refines;
+              Ctxs.f_params = ps; Ctxs.f_block = blk })
+          s_worlds
+      in
+      Check_lfr.check_sschema_refines (Check_lfr.make_env sg []) selems g_elems;
+      ignore (Sign.add_sschema sg ~name:s_name ~refines:g ~elems:selems)
+  | Ext.Drec { r_loc; r_name; r_sort; r_body } ->
+      let styp = Elab.elab_csort e r_sort in
+      let typ = Erase.ctyp sg styp in
+      ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) styp);
+      let id = Sign.add_rec sg ~name:r_name ~styp ~typ in
+      let e_body =
+        { e with Elab.recs = (r_name, (id, styp)) :: e.Elab.recs }
+      in
+      let body = Elab.elab_cexp e_body r_body styp in
+      (try Check_comp.check_exp (Check_comp.make_env sg [] []) body styp
+       with Error.Belr_error (loc, msg) ->
+         let loc = if Loc.is_ghost loc then r_loc else loc in
+         Error.raise_at loc "in the body of %s: %s" r_name msg);
+      (* conservativity: the erasure checks through the type-level
+         (embedded) fragment *)
+      Embed_t.check_exp_t sg [] [] (Erase.exp sg body) typ;
+      Sign.set_rec_body sg id body
+
+(** Process a whole source program into a signature. *)
+let program ?name (src : string) : Sign.t =
+  let decls = Parse.parse_program ?name src in
+  let sg = Sign.create () in
+  List.iter (process_decl sg) decls;
+  sg
+
+(** Process additional declarations into an existing signature. *)
+let extend (sg : Sign.t) ?name (src : string) : unit =
+  let decls = Parse.parse_program ?name src in
+  List.iter (process_decl sg) decls

@@ -1,0 +1,83 @@
+(** Tokens of the surface language. *)
+
+type t =
+  | IDENT of string  (** identifiers, including [e-lam], [xaG], [M1] *)
+  | NUM of int
+  | KW_LF  (** [LF] *)
+  | KW_LFR  (** [LFR] *)
+  | KW_SCHEMA
+  | KW_REC
+  | KW_BLOCK
+  | KW_TYPE
+  | KW_SORT
+  | KW_FN
+  | KW_MLAM
+  | KW_CASE
+  | KW_OF
+  | KW_LET
+  | KW_IN
+  | KW_AND
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | LBRACE
+  | RBRACE
+  | LANGLE
+  | RANGLE
+  | SEMI
+  | COLON
+  | COMMA
+  | DOT
+  | DOTDOT  (** [..] *)
+  | BAR  (** [|] *)
+  | EQUAL
+  | BACKSLASH
+  | HASH
+  | CARET  (** [^], promotion *)
+  | ARROW  (** [->] *)
+  | DARROW  (** [=>] *)
+  | REFINES  (** [<|] *)
+  | TURNSTILE  (** [|-] *)
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | NUM n -> Printf.sprintf "number %d" n
+  | KW_LF -> "LF"
+  | KW_LFR -> "LFR"
+  | KW_SCHEMA -> "schema"
+  | KW_REC -> "rec"
+  | KW_BLOCK -> "block"
+  | KW_TYPE -> "type"
+  | KW_SORT -> "sort"
+  | KW_FN -> "fn"
+  | KW_MLAM -> "mlam"
+  | KW_CASE -> "case"
+  | KW_OF -> "of"
+  | KW_LET -> "let"
+  | KW_IN -> "in"
+  | KW_AND -> "and"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LANGLE -> "<"
+  | RANGLE -> ">"
+  | SEMI -> ";"
+  | COLON -> ":"
+  | COMMA -> ","
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | BAR -> "|"
+  | EQUAL -> "="
+  | BACKSLASH -> "\\"
+  | HASH -> "#"
+  | CARET -> "^"
+  | ARROW -> "->"
+  | DARROW -> "=>"
+  | REFINES -> "<|"
+  | TURNSTILE -> "|-"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/support/error.ml: Fmt Format Loc Printexc

@@ -1,0 +1,1 @@
+lib/support/name.ml: Fmt List String

@@ -1,0 +1,33 @@
+(** Error reporting.
+
+    All user-facing failures in the checker, elaborator, and evaluator are
+    raised as {!Belr_error} carrying an optional location and a rendered
+    message.  Internal invariant violations use {!violation} instead, which
+    marks a bug in belr rather than in user input. *)
+
+exception Belr_error of Loc.t * string
+
+exception Violation of string
+
+(** Raise a user-facing error at location [loc]. *)
+let raise_at : 'a. Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a =
+ fun loc fmt -> Format.kasprintf (fun s -> raise (Belr_error (loc, s))) fmt
+
+(** Raise a user-facing error with no location. *)
+let raise_msg fmt = raise_at Loc.ghost fmt
+
+(** Report a broken internal invariant (a belr bug, not a user error). *)
+let violation : 'a. ('a, Format.formatter, unit, 'b) format4 -> 'a =
+ fun fmt -> Format.kasprintf (fun s -> raise (Violation s)) fmt
+
+let pp ppf = function
+  | Belr_error (loc, msg) when Loc.is_ghost loc -> Fmt.pf ppf "error: %s" msg
+  | Belr_error (loc, msg) -> Fmt.pf ppf "%a: error: %s" Loc.pp loc msg
+  | Violation msg -> Fmt.pf ppf "internal violation (belr bug): %s" msg
+  | exn -> Fmt.pf ppf "exception: %s" (Printexc.to_string exn)
+
+(** Run [f ()], turning belr exceptions into [Error rendered_message]. *)
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception ((Belr_error _ | Violation _) as e) -> Error (Fmt.str "%a" pp e)

@@ -1,0 +1,1 @@
+lib/syntax/comp.ml: Belr_support Lf Meta Name

@@ -1,0 +1,1 @@
+lib/syntax/ctxs.ml: Belr_support Lf List Name

@@ -1,0 +1,1 @@
+lib/syntax/embed.ml: Ctxs Lf List

@@ -1,0 +1,1 @@
+lib/syntax/equal.ml: Comp Ctxs Lf List Meta

@@ -1,0 +1,1 @@
+lib/syntax/lf.ml: Belr_support Error Name

@@ -1,0 +1,1 @@
+lib/syntax/meta.ml: Belr_support Ctxs Lf List Name

@@ -1,0 +1,1 @@
+lib/syntax/pp.ml: Belr_support Comp Ctxs Fmt Lf List Meta Name String

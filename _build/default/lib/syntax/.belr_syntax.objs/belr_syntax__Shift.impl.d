@@ -1,0 +1,1 @@
+lib/syntax/shift.ml: Comp Ctxs Lf List Meta Option

@@ -1,0 +1,48 @@
+(** The explicit embedding of the type level into the refinement level.
+
+    The paper replaces LFR's ambiguous ⊤ sort by an embedding [⌊P⌋] of
+    atomic type families into sorts (§3.1.1); embeddings of the other
+    categories are then admissible.  These functions realize that
+    admissible embedding: every type-level object is reflected as the
+    sort-level object that refines it trivially.  [Belr_core.Erase] is the
+    left inverse. *)
+
+let rec typ : Lf.typ -> Lf.srt = function
+  | Lf.Atom (a, sp) -> Lf.SEmbed (a, sp)
+  | Lf.Pi (x, a, b) -> Lf.SPi (x, typ a, typ b)
+
+let rec kind : Lf.kind -> Lf.skind = function
+  | Lf.Ktype -> Lf.Ksort
+  | Lf.Kpi (x, a, k) -> Lf.Kspi (x, typ a, kind k)
+
+let block (b : Ctxs.block) : Ctxs.sblock =
+  List.map (fun (x, a) -> (x, typ a)) b
+
+(** Embed a schema element; [refines] is its index in the schema it came
+    from, so the trivial refinement schema lines up world-by-world. *)
+let elem ~refines (e : Ctxs.elem) : Ctxs.selem =
+  {
+    Ctxs.f_name = e.Ctxs.e_name;
+    Ctxs.f_refines = refines;
+    Ctxs.f_params = List.map (fun (x, a) -> (x, typ a)) e.Ctxs.e_params;
+    Ctxs.f_block = block e.Ctxs.e_block;
+  }
+
+(** The trivial refinement [⌈G⌉ ⊑ G] embedding every world. *)
+let schema ~cid (g : Ctxs.schema) : Ctxs.sschema =
+  { Ctxs.h_refines = cid; Ctxs.h_elems = List.mapi (fun i e -> elem ~refines:i e) g }
+
+let centry : Ctxs.centry -> Ctxs.scentry = function
+  | Ctxs.CDecl (x, a) -> Ctxs.SCDecl (x, typ a)
+  | Ctxs.CBlock (x, e, ms) ->
+      (* The embedded entry remembers which world it came from via
+         [f_refines]; for a bare context (not tied to a schema position)
+         the index is irrelevant and set to 0. *)
+      Ctxs.SCBlock (x, elem ~refines:0 e, ms)
+
+let ctx (g : Ctxs.ctx) : Ctxs.sctx =
+  {
+    Ctxs.s_var = g.Ctxs.c_var;
+    Ctxs.s_promoted = false;
+    Ctxs.s_decls = List.map centry g.Ctxs.c_decls;
+  }

@@ -1,0 +1,135 @@
+(** Internal syntax of the LF(R) data level.
+
+    The presentation follows the paper's canonical-forms discipline
+    (Watkins et al.): terms are separated into neutral and normal forms, no
+    β-redex is representable after hereditary substitution, and well-typed
+    terms are kept η-long.  Variables are de Bruijn indices (1-based,
+    innermost = 1); binders carry a {!Belr_support.Name.t} hint used only
+    for printing.
+
+    Sorts live alongside types: a sort [S] refines a type [A] ([S ⊑ A]).
+    Terms are shared between the type level and the refinement level, as in
+    the paper ("terms ... are the same at both levels since they do not
+    contain any type information to refine"). *)
+
+open Belr_support
+
+(** Identifiers into the global signature (see {!Belr_lf.Sign}). *)
+type cid_typ = int
+(** Atomic type family [a]. *)
+
+type cid_srt = int
+(** Atomic sort family [s ⊑ a]. *)
+
+type cid_const = int
+(** Term-level constant [c]. *)
+
+type cid_schema = int
+(** Type-level context schema [G]. *)
+
+type cid_sschema = int
+(** Refinement (sort-level) context schema [H ⊑ G]. *)
+
+type cid_rec = int
+(** Computation-level (recursive) function. *)
+
+(** Heads of neutral terms.
+
+    [Proj] bases are restricted to [BVar] and [PVar] by the checker.
+    [MVar (u, σ)] is a contextual meta-variable under a delayed
+    substitution; [PVar (p, σ)] is a parameter variable standing for a
+    block declared in a context variable (written [#b] in the paper's
+    examples).  Both indices point into the meta-context [Ω]. *)
+type head =
+  | Const of cid_const
+  | BVar of int
+  | PVar of int * sub
+  | Proj of head * int  (** [h.k], 1-based projection out of a block *)
+  | MVar of int * sub
+
+and normal =
+  | Lam of Name.t * normal
+  | Root of head * spine
+
+and spine = normal list
+
+(** Substitution entries.  [Tup] replaces a block variable with an n-ary
+    tuple of terms, resolving projections hereditarily ([⟦M⃗/b⟧(b.k) = M_k],
+    §3.1.3).  [Undef] only appears inside the unifier (pruning and
+    inversion); checked substitutions never contain it. *)
+and front = Obj of normal | Tup of tuple | Undef
+
+and tuple = normal list
+
+(** Simultaneous substitutions.
+
+    - [Empty] is the paper's [·]: it weakens a closed object into an
+      arbitrary context.
+    - [Shift n] maps index [i] to [i + n]; [Shift 0] is the identity, in
+      particular [id_ψ] on a context rooted at a context variable.
+    - [Dot (f, σ)] sends index 1 to [f] and the rest through [σ]. *)
+and sub = Empty | Shift of int | Dot of front * sub
+
+let id : sub = Shift 0
+
+(** Canonical type families [A ::= P | Πx:A₁.A₂] with atomic families
+    applied to spines. *)
+type typ = Atom of cid_typ * spine | Pi of Name.t * typ * typ
+
+(** Kinds [K ::= type | Πx:A.K]. *)
+type kind = Ktype | Kpi of Name.t * typ * kind
+
+(** Canonical sort families [S ::= Q | Πx:S₁.S₂].
+
+    [SEmbed (a, sp)] is the explicit embedding [⌊a · sp⌋] of an atomic type
+    into the sorts refining it; the paper uses this in place of an
+    ambiguous ⊤ sort so that every sort determines its refined type. *)
+type srt =
+  | SAtom of cid_srt * spine
+  | SEmbed of cid_typ * spine
+  | SPi of Name.t * srt * srt
+
+(** Refinement kinds [L ::= sort | Πx:S.L], refining kinds [K]. *)
+type skind = Ksort | Kspi of Name.t * srt * skind
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers used throughout.                                      *)
+
+(** η-short variable occurrence; use {!Belr_lf.Eta} for η-long forms. *)
+let bvar i : normal = Root (BVar i, [])
+
+let const c spine : normal = Root (Const c, spine)
+
+(** [dot1 σ] extends [σ] under one binder: [1.σ∘↑] for ordinary
+    variables.  Correct only when index 1 needs no η-expansion at its use
+    sites (e.g. the binder has atomic type) — the checkers use the η-aware
+    version in [Belr_lf.Hsub.dot1]. *)
+let dot_obj m sigma = Dot (Obj m, sigma)
+
+let app_spine (m : normal) (extra : spine) : normal =
+  match (m, extra) with
+  | _, [] -> m
+  | Root (h, sp), _ -> Root (h, sp @ extra)
+  | Lam _, _ ->
+      (* The caller must use hereditary substitution to reduce.  Reaching
+         this case means a redex was about to be built. *)
+      Error.violation "app_spine: attempt to apply a Lam without reduction"
+
+(** Target head of a canonical type: [target (Πx̄. a·S) = a]. *)
+let rec typ_target = function Atom (a, _) -> a | Pi (_, _, b) -> typ_target b
+
+(** Target of a canonical sort, [None] when the target is an embedding. *)
+let rec srt_target = function
+  | SAtom (s, _) -> Some s
+  | SEmbed _ -> None
+  | SPi (_, _, s) -> srt_target s
+
+let rec kind_arity = function Ktype -> 0 | Kpi (_, _, k) -> 1 + kind_arity k
+
+let rec skind_arity = function Ksort -> 0 | Kspi (_, _, l) -> 1 + skind_arity l
+
+let rec typ_arity = function Atom _ -> 0 | Pi (_, _, b) -> 1 + typ_arity b
+
+let rec srt_arity = function
+  | SAtom _ | SEmbed _ -> 0
+  | SPi (_, _, b) -> 1 + srt_arity b

@@ -1,0 +1,1 @@
+lib/unify/unify.ml: Array Belr_lf Belr_meta Belr_support Belr_syntax Ctxs Equal Error Format Hashtbl Lf List Meta Msub Shift Sign

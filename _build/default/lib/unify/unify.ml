@@ -1,0 +1,571 @@
+(** Higher-order pattern unification (§4.1; Pientka–Pfenning style,
+    restricted to the decidable Miller-pattern fragment with block
+    projections treated as distinct variables).
+
+    A {e problem} fixes a meta-context [Ω] (innermost first) and a
+    predicate selecting which of its variables are {e flexible}
+    (solvable).  Unification instantiates flexible meta-, parameter-, and
+    nothing-else variables; on success {!solve} extracts
+
+    - the residual meta-context [Ω′] of still-unsolved flexible variables
+      (plus all rigid ones), topologically ordered, and
+    - the refining meta-substitution [ρ : Ω → Ω′],
+
+    which is exactly the [(ρ, Ω′)] of the paper's branch rule
+    [Ω ⊢ 𝒮 ≐ 𝒮₀ / (ρ, Ω′)].
+
+    Sort unification is subsumption-aware in one direction: the [got]
+    side may be a proper refinement of an embedding expected on the
+    [want] side (see [Belr_core.Check_lfr.atomic_leq]).
+
+    Outside the pattern fragment we fail with a diagnostic rather than
+    search, as Beluga's core does. *)
+
+open Belr_support
+open Belr_syntax
+open Belr_lf
+open Belr_meta
+open Lf
+
+exception Unify of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unify s)) fmt
+
+type state = {
+  sg : Sign.t;
+  omega : Meta.mctx;  (** the full problem meta-context, innermost first *)
+  flex : int -> bool;  (** which Ω-indices may be instantiated *)
+  sol : Meta.mobj option array;  (** partial solution, index i ↦ sol.(i-1) *)
+}
+
+let make ~sg ~omega ~flex =
+  { sg; omega; flex; sol = Array.make (List.length omega) None }
+
+let lookup_sol st i = if i <= Array.length st.sol then st.sol.(i - 1) else None
+
+let set_sol st i o =
+  if not (st.flex i) then
+    Error.violation "unify: attempt to solve a rigid variable";
+  st.sol.(i - 1) <- Some o
+
+let decl st i =
+  match Shift.mctx_lookup_shifted st.omega i with
+  | Some d -> d
+  | None -> Error.violation "unify: unbound meta-variable %d" i
+
+(* --- resolution: apply the current partial solution --------------------- *)
+
+(** A meta-substitution view of the current solution (identity on
+    unsolved variables). *)
+let sol_msub st : Meta.msub =
+  let n = Array.length st.sol in
+  let rec build i =
+    if i > n then Meta.MShift 0
+    else
+      let tail = build (i + 1) in
+      match st.sol.(i - 1) with
+      | Some o -> Meta.MDot (o, tail)
+      | None ->
+          let front =
+            match decl st i with
+            | Meta.MDTerm (_, psi, _) ->
+                Meta.MOTerm
+                  (Meta.hat_of_sctx psi, Root (MVar (i, Shift 0), []))
+            | Meta.MDParam (_, psi, _, _) ->
+                Meta.MOParam (Meta.hat_of_sctx psi, PVar (i, Shift 0))
+            | Meta.MDCtx _ ->
+                Meta.MOCtx
+                  {
+                    Ctxs.s_var = Some i;
+                    Ctxs.s_promoted = false;
+                    Ctxs.s_decls = [];
+                  }
+            | Meta.MDSub (_, psi1, _) ->
+                Meta.MOSub (Meta.hat_of_sctx psi1, Shift 0)
+          in
+          Meta.MDot (front, tail)
+  in
+  build 1
+
+(** Fully resolve a term's solved meta-variables (to fixpoint: solutions
+    may mention other solved variables). *)
+let rec resolve_normal st (m : normal) : normal =
+  let m' = Msub.normal 0 (sol_msub st) m in
+  if Equal.normal m m' then m else resolve_normal st m'
+
+let rec resolve_srt st (s : srt) : srt =
+  let s' = Msub.srt 0 (sol_msub st) s in
+  if Equal.srt s s' then s else resolve_srt st s'
+
+let rec resolve_sctx st (psi : Ctxs.sctx) : Ctxs.sctx =
+  let psi' = Msub.sctx 0 (sol_msub st) psi in
+  if Equal.sctx psi psi' then psi else resolve_sctx st psi'
+
+let rec resolve_mobj st (o : Meta.mobj) : Meta.mobj =
+  let o' = Msub.mobj 0 (sol_msub st) o in
+  if Equal.mobj o o' then o else resolve_mobj st o'
+
+let rec resolve_msrt st (s : Meta.msrt) : Meta.msrt =
+  let s' = Msub.msrt 0 (sol_msub st) s in
+  if Equal.msrt s s' then s else resolve_msrt st s'
+
+(* --- occurs check ------------------------------------------------------- *)
+
+let rec occurs_head (u : int) (h : head) : bool =
+  match h with
+  | Const _ | BVar _ -> false
+  | MVar (v, s) | PVar (v, s) -> v = u || occurs_sub u s
+  | Proj (b, _) -> occurs_head u b
+
+and occurs_normal u = function
+  | Lam (_, m) -> occurs_normal u m
+  | Root (h, sp) -> occurs_head u h || List.exists (occurs_normal u) sp
+
+and occurs_front u = function
+  | Obj m -> occurs_normal u m
+  | Tup t -> List.exists (occurs_normal u) t
+  | Undef -> false
+
+and occurs_sub u = function
+  | Empty | Shift _ -> false
+  | Dot (f, s) -> occurs_front u f || occurs_sub u s
+
+(* --- pattern substitutions and inversion -------------------------------- *)
+
+(** View a pattern substitution as a finite map [range-var ↦ domain-index]
+    plus a tail shift.  Entries must be distinct bare variables or
+    projections. *)
+type pat_entry = Pvar of int | Pproj of int * int
+
+let rec pat_view (s : sub) (dom_i : int) (acc : (pat_entry * int) list) :
+    ((pat_entry * int) list * int option) option =
+  (* returns (entries, tail_shift); tail_shift None for Empty *)
+  match s with
+  | Empty -> Some (acc, None)
+  | Shift n -> Some (acc, Some n)
+  | Dot (Obj (Root (BVar j, [])), s') ->
+      if List.exists (fun (e, _) -> e = Pvar j) acc then None
+      else pat_view s' (dom_i + 1) ((Pvar j, dom_i) :: acc)
+  | Dot (Obj (Root (Proj (BVar j, k), [])), s') ->
+      if List.exists (fun (e, _) -> e = Pproj (j, k)) acc then None
+      else pat_view s' (dom_i + 1) ((Pproj (j, k), dom_i) :: acc)
+  | Dot (Obj (Lam _), _) ->
+      (* η-long functional entries would require recognizing η-expansions
+         of variables; outside the supported fragment *)
+      None
+  | Dot _ -> None
+
+let is_identity (s : sub) : bool =
+  match s with
+  | Shift 0 -> true
+  | _ -> false
+
+(** Invert a pattern substitution on a term: [invert σ m] computes
+    [σ⁻¹ m], failing when [m] mentions a variable outside the image of
+    [σ].  For the common identity case this is the identity. *)
+let invert_term (s : sub) (m : normal) : normal =
+  if is_identity s then m
+  else
+    match pat_view s 1 [] with
+    | None -> fail "substitution is not a pattern; cannot invert"
+    | Some (entries, tail) ->
+        let invert_var j =
+          match List.assoc_opt (Pvar j) entries with
+          | Some d -> BVar d
+          | None -> (
+              match tail with
+              | Some n when j > n ->
+                  (* tail shift: range var j came from domain var j - n +
+                     (number of explicit entries) *)
+                  BVar (j - n + List.length entries)
+              | _ -> fail "variable escapes the pattern substitution")
+        in
+        let invert_proj j k =
+          match List.assoc_opt (Pproj (j, k)) entries with
+          | Some d -> BVar d
+          | None -> (
+              match tail with
+              | Some n when j > n -> Proj (BVar (j - n + List.length entries), k)
+              | _ -> fail "projection escapes the pattern substitution")
+        in
+        let rec go_head c = function
+          | Const cid -> Const cid
+          | BVar j -> if j <= c then BVar j else shift_entry c (invert_var (j - c))
+          | Proj (BVar j, k) ->
+              if j <= c then Proj (BVar j, k)
+              else shift_entry c (invert_proj (j - c) k)
+          | Proj (b, k) -> Proj (go_head c b, k)
+          | MVar (u, s') -> MVar (u, go_sub c s')
+          | PVar (p, s') -> PVar (p, go_sub c s')
+        and shift_entry c h = Shift.shift_head c 0 h
+        and go_normal c = function
+          | Lam (x, m) -> Lam (x, go_normal (c + 1) m)
+          | Root (h, sp) -> Root (go_head c h, List.map (go_normal c) sp)
+        and go_sub c = function
+          | Empty -> Empty
+          | Shift _ ->
+              fail "shift under inverted substitution is not supported"
+          | Dot (Obj m, s') -> Dot (Obj (go_normal c m), go_sub c s')
+          | Dot (Tup t, s') -> Dot (Tup (List.map (go_normal c) t), go_sub c s')
+          | Dot (Undef, s') -> Dot (Undef, go_sub c s')
+        in
+        go_normal 0 m
+
+(* --- the unifier --------------------------------------------------------- *)
+
+let rec unify_normal st (m1 : normal) (m2 : normal) : unit =
+  let m1 = resolve_normal st m1 and m2 = resolve_normal st m2 in
+  if Equal.normal m1 m2 then ()
+  else
+  match (m1, m2) with
+  | Lam (_, n1), Lam (_, n2) -> unify_normal st n1 n2
+  | Root (MVar (u, s), []), m when st.flex u && lookup_sol st u = None ->
+      solve_mvar st u s m
+  | m, Root (MVar (u, s), []) when st.flex u && lookup_sol st u = None ->
+      solve_mvar st u s m
+  | Root (h1, sp1), Root (h2, sp2) ->
+      unify_head st h1 h2;
+      unify_spine st sp1 sp2
+  | _ ->
+      fail "cannot unify an abstraction with a neutral term"
+
+and solve_mvar st (u : int) (s : sub) (m : normal) : unit =
+  if occurs_normal u m then fail "occurs check failed";
+  let m' = invert_term s m in
+  let psi =
+    match decl st u with
+    | Meta.MDTerm (_, psi, _) -> resolve_sctx st psi
+    | _ -> fail "term meta-variable expected"
+  in
+  set_sol st u (Meta.MOTerm (Meta.hat_of_sctx psi, m'))
+
+and unify_head st (h1 : head) (h2 : head) : unit =
+  match (h1, h2) with
+  | Const c1, Const c2 when c1 = c2 -> ()
+  | BVar i, BVar j when i = j -> ()
+  | Proj (b1, k1), Proj (b2, k2) when k1 = k2 -> unify_proj_base st b1 b2
+  | MVar (u1, s1), MVar (u2, s2) when u1 = u2 ->
+      if not (Equal.sub s1 s2) then
+        fail "meta-variable under two different substitutions"
+  | PVar (p1, s1), PVar (p2, s2) when p1 = p2 ->
+      if not (Equal.sub s1 s2) then
+        fail "parameter variable under two different substitutions"
+  | _ -> fail "head mismatch"
+
+and unify_proj_base st (b1 : head) (b2 : head) : unit =
+  match (b1, b2) with
+  | PVar (p, s), b when st.flex p && lookup_sol st p = None ->
+      solve_pvar st p s b
+  | b, PVar (p, s) when st.flex p && lookup_sol st p = None ->
+      solve_pvar st p s b
+  | _ -> unify_head st b1 b2
+
+and solve_pvar st (p : int) (s : sub) (b : head) : unit =
+  (match b with
+  | BVar _ | PVar _ -> ()
+  | _ -> fail "parameter variable can only be a block or parameter variable");
+  if occurs_head p b then fail "occurs check failed (parameter)";
+  let b' =
+    if is_identity s then b
+    else
+      match invert_term s (Root (b, [])) with
+      | Root (b', []) -> b'
+      | _ -> fail "parameter inversion produced a non-variable"
+  in
+  let psi =
+    match decl st p with
+    | Meta.MDParam (_, psi, _, _) -> resolve_sctx st psi
+    | _ -> fail "parameter meta-variable expected"
+  in
+  set_sol st p (Meta.MOParam (Meta.hat_of_sctx psi, b'))
+
+and unify_spine st sp1 sp2 =
+  if List.length sp1 <> List.length sp2 then fail "spine length mismatch";
+  List.iter2 (unify_normal st) sp1 sp2
+
+let unify_sub st (s1 : sub) (s2 : sub) : unit =
+  let rec go s1 s2 =
+    match (s1, s2) with
+    | Empty, Empty -> ()
+    | Shift n, Shift m when n = m -> ()
+    | Dot (f1, s1'), Dot (f2, s2') ->
+        (match (f1, f2) with
+        | Obj m1, Obj m2 -> unify_normal st m1 m2
+        | Tup t1, Tup t2 -> unify_spine st t1 t2
+        | Undef, Undef -> ()
+        | _ -> fail "substitution front mismatch");
+        go s1' s2'
+    | _ -> fail "substitution mismatch"
+  in
+  go s1 s2
+
+(** Unify sorts; [~leq] allows the left (got) side to be a proper
+    refinement of an embedding on the right (want). *)
+let rec unify_srt ?(leq = false) st (s1 : srt) (s2 : srt) : unit =
+  let s1 = resolve_srt st s1 and s2 = resolve_srt st s2 in
+  match (s1, s2) with
+  | SAtom (c1, sp1), SAtom (c2, sp2) when c1 = c2 -> unify_spine st sp1 sp2
+  | SEmbed (a1, sp1), SEmbed (a2, sp2) when a1 = a2 -> unify_spine st sp1 sp2
+  | SAtom (c1, sp1), SEmbed (a2, sp2)
+    when leq && (Sign.srt_entry st.sg c1).Sign.s_refines = a2 ->
+      unify_spine st sp1 sp2
+  | SPi (_, s1a, s1b), SPi (_, s2a, s2b) ->
+      unify_srt ~leq st s1a s2a;
+      unify_srt ~leq st s1b s2b
+  | _ -> fail "sort mismatch"
+
+let unify_sctx st (p1 : Ctxs.sctx) (p2 : Ctxs.sctx) : unit =
+  let p1 = resolve_sctx st p1 and p2 = resolve_sctx st p2 in
+  if p1.Ctxs.s_var <> p2.Ctxs.s_var then fail "context variable mismatch";
+  if p1.Ctxs.s_promoted <> p2.Ctxs.s_promoted then fail "promotion mismatch";
+  if List.length p1.Ctxs.s_decls <> List.length p2.Ctxs.s_decls then
+    fail "context length mismatch";
+  List.iter2
+    (fun d1 d2 ->
+      match (d1, d2) with
+      | Ctxs.SCDecl (_, s1), Ctxs.SCDecl (_, s2) -> unify_srt st s1 s2
+      | Ctxs.SCBlock (_, f1, ms1), Ctxs.SCBlock (_, f2, ms2) ->
+          if not (Equal.selem f1 f2) then fail "world mismatch";
+          unify_spine st ms1 ms2
+      | _ -> fail "context entry mismatch")
+    p1.Ctxs.s_decls p2.Ctxs.s_decls
+
+let unify_msrt ?(leq = false) st (s1 : Meta.msrt) (s2 : Meta.msrt) : unit =
+  match (resolve_msrt st s1, resolve_msrt st s2) with
+  | Meta.MSTerm (p1, q1), Meta.MSTerm (p2, q2) ->
+      unify_sctx st p1 p2;
+      unify_srt ~leq st q1 q2
+  | Meta.MSSub (p1, q1), Meta.MSSub (p2, q2) ->
+      unify_sctx st p1 p2;
+      unify_sctx st q1 q2
+  | Meta.MSCtx h1, Meta.MSCtx h2 when h1 = h2 -> ()
+  | Meta.MSParam (p1, f1, ms1), Meta.MSParam (p2, f2, ms2) ->
+      unify_sctx st p1 p2;
+      if not (Equal.selem f1 f2) then fail "world mismatch";
+      unify_spine st ms1 ms2
+  | _ -> fail "contextual sort mismatch"
+
+let unify_mobj st (o1 : Meta.mobj) (o2 : Meta.mobj) : unit =
+  match (resolve_mobj st o1, resolve_mobj st o2) with
+  | Meta.MOTerm (_, m1), Meta.MOTerm (_, m2) -> unify_normal st m1 m2
+  | Meta.MOSub (_, s1), Meta.MOSub (_, s2) -> unify_sub st s1 s2
+  | Meta.MOCtx p1, Meta.MOCtx p2 -> unify_sctx st p1 p2
+  | Meta.MOParam (_, b1), Meta.MOParam (_, b2) -> unify_proj_base st b1 b2
+  | Meta.MOTerm (_, Root (MVar (u, s), [])), Meta.MOParam (h, b)
+  | Meta.MOParam (h, b), Meta.MOTerm (_, Root (MVar (u, s), [])) ->
+      ignore (u, s, h, b);
+      fail "cannot unify a term with a parameter object"
+  | _ -> fail "contextual object mismatch"
+
+(** After matching, propagate world instantiations: a parameter variable
+    solved to a concrete block variable determines the parameters of its
+    declared world from the context entry (needed to ground pattern
+    variables like the [A₀] of [#b : #\[Ψ ⊢ xeW A₀\]]). *)
+let refine_solved_params (st : state) : unit =
+  Array.iteri
+    (fun i0 sol ->
+      match sol with
+      | Some (Meta.MOParam (_, BVar j)) -> (
+          let i = i0 + 1 in
+          match decl st i with
+          | Meta.MDParam (_, psi, _, ms_p) -> (
+              let psi = resolve_sctx st psi in
+              match Ctxs.sctx_lookup psi j with
+              | Some (Ctxs.SCBlock (_, _, ms_c)) -> (
+                  let ms_c = List.map (Shift.shift_normal j 0) ms_c in
+                  try
+                    unify_spine st (List.map (resolve_normal st) ms_p) ms_c
+                  with Unify _ -> ())
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    st.sol
+
+(* --- extraction ----------------------------------------------------------- *)
+
+(** Dependencies of a declaration on other Ω-variables. *)
+let decl_deps (d : Meta.mdecl) : int list =
+  let acc = ref [] in
+  let add i = if not (List.mem i !acc) then acc := i :: !acc in
+  let rec h_head = function
+    | Const _ | BVar _ -> ()
+    | MVar (u, s) | PVar (u, s) ->
+        add u;
+        h_sub s
+    | Proj (b, _) -> h_head b
+  and h_normal = function
+    | Lam (_, m) -> h_normal m
+    | Root (hd, sp) ->
+        h_head hd;
+        List.iter h_normal sp
+  and h_sub = function
+    | Empty | Shift _ -> ()
+    | Dot (Obj m, s) ->
+        h_normal m;
+        h_sub s
+    | Dot (Tup t, s) ->
+        List.iter h_normal t;
+        h_sub s
+    | Dot (Undef, s) -> h_sub s
+  and h_srt = function
+    | SAtom (_, sp) | SEmbed (_, sp) -> List.iter h_normal sp
+    | SPi (_, s1, s2) ->
+        h_srt s1;
+        h_srt s2
+  and h_selem (f : Ctxs.selem) =
+    List.iter (fun (_, s) -> h_srt s) f.Ctxs.f_params;
+    List.iter (fun (_, s) -> h_srt s) f.Ctxs.f_block
+  and h_sctx (psi : Ctxs.sctx) =
+    (match psi.Ctxs.s_var with Some i -> add i | None -> ());
+    List.iter
+      (function
+        | Ctxs.SCDecl (_, s) -> h_srt s
+        | Ctxs.SCBlock (_, f, ms) ->
+            h_selem f;
+            List.iter h_normal ms)
+      psi.Ctxs.s_decls
+  in
+  (match d with
+  | Meta.MDTerm (_, psi, q) ->
+      h_sctx psi;
+      h_srt q
+  | Meta.MDSub (_, p1, p2) ->
+      h_sctx p1;
+      h_sctx p2
+  | Meta.MDCtx (_, _) -> ()
+  | Meta.MDParam (_, psi, f, ms) ->
+      h_sctx psi;
+      h_selem f;
+      List.iter h_normal ms);
+  !acc
+
+(** Extract [(ρ, Ω′)] after unification succeeded. *)
+let solve (st : state) : Meta.msub * Meta.mctx =
+  let n = Array.length st.sol in
+  (* 1. fully resolve solutions and declarations in Ω-space *)
+  let resolved_sol =
+    Array.init n (fun i ->
+        match st.sol.(i) with
+        | Some o -> Some (resolve_mobj st o)
+        | None -> None)
+  in
+  let resolved_decl i =
+    (* declaration of variable i, transported into full Ω space and
+       resolved *)
+    let d = decl st i in
+    match d with
+    | Meta.MDTerm (nm, psi, q) ->
+        Meta.MDTerm (nm, resolve_sctx st psi, resolve_srt st q)
+    | Meta.MDSub (nm, p1, p2) ->
+        Meta.MDSub (nm, resolve_sctx st p1, resolve_sctx st p2)
+    | Meta.MDCtx _ -> d
+    | Meta.MDParam (nm, psi, f, ms) ->
+        Meta.MDParam
+          ( nm,
+            resolve_sctx st psi,
+            Msub.selem 0 (sol_msub st) f,
+            List.map (resolve_normal st) ms )
+  in
+  let unsolved = ref [] in
+  for i = n downto 1 do
+    if resolved_sol.(i - 1) = None then unsolved := i :: !unsolved
+  done;
+  (* 2. topologically order unsolved variables: a variable must come
+     after (outside) everything its declaration depends on.  We seed with
+     the original order (outermost = last) and iterate. *)
+  let deps = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      let ds = decl_deps (resolved_decl i) in
+      Hashtbl.replace deps i (List.filter (fun j -> List.mem j !unsolved) ds))
+    !unsolved;
+  (* order_out: outermost first *)
+  let order_out = ref [] in
+  let placed = Hashtbl.create 16 in
+  let rec place i =
+    if not (Hashtbl.mem placed i) then (
+      Hashtbl.replace placed i ();
+      (* place dependencies first (they must be more outer) *)
+      List.iter place (try Hashtbl.find deps i with Not_found -> []);
+      order_out := i :: !order_out)
+  in
+  (* visit in original outermost-to-innermost order for stability *)
+  List.iter place (List.rev !unsolved);
+  let order_out = List.rev !order_out in
+  (* order_out: outermost first; Ω′ stores innermost first *)
+  let omega'_order = List.rev order_out in
+  let m = List.length omega'_order in
+  (* remap: Ω index ↦ Ω′ index (1-based innermost) *)
+  let remap i =
+    let rec go k = function
+      | [] -> Error.violation "unify: remap of a solved variable"
+      | j :: rest -> if i = j then k else go (k + 1) rest
+    in
+    go 1 omega'_order
+  in
+  (* 3. variable-renaming msub r : Ω → Ω′ (dummy fronts at solved
+     positions; resolved solutions never mention solved variables).  The
+     fronts live in Ω′ space: indices and hat roots are remapped.  Context
+     variables are never solved, so remapping hat roots is total. *)
+  let remap_hat (h : Meta.hat) : Meta.hat =
+    match h.Meta.hat_var with
+    | Some i -> { h with Meta.hat_var = Some (remap i) }
+    | None -> h
+  in
+  let var_front i =
+    match resolved_decl i with
+    | Meta.MDTerm (_, psi, _) ->
+        Meta.MOTerm
+          ( remap_hat (Meta.hat_of_sctx psi),
+            Root (MVar (remap i, Shift 0), []) )
+    | Meta.MDParam (_, psi, _, _) ->
+        Meta.MOParam (remap_hat (Meta.hat_of_sctx psi), PVar (remap i, Shift 0))
+    | Meta.MDCtx _ ->
+        Meta.MOCtx
+          {
+            Ctxs.s_var = Some (remap i);
+            Ctxs.s_promoted = false;
+            Ctxs.s_decls = [];
+          }
+    | Meta.MDSub (_, psi1, _) ->
+        Meta.MOSub (remap_hat (Meta.hat_of_sctx psi1), Shift 0)
+  in
+  let dummy =
+    Meta.MOCtx { Ctxs.s_var = None; Ctxs.s_promoted = false; Ctxs.s_decls = [] }
+  in
+  let r =
+    let rec build i =
+      if i > n then Meta.MShift m
+      else
+        Meta.MDot
+          ( (if resolved_sol.(i - 1) = None then var_front i else dummy),
+            build (i + 1) )
+    in
+    build 1
+  in
+  (* 4. final ρ : Ω → Ω′ *)
+  let rho =
+    let rec build i =
+      if i > n then Meta.MShift m
+      else
+        let front =
+          match resolved_sol.(i - 1) with
+          | None -> var_front i
+          | Some o -> Msub.mobj 0 r o
+        in
+        Meta.MDot (front, build (i + 1))
+    in
+    build 1
+  in
+  (* 5. Ω′ declarations: rename into Ω′ space, then relativize each to its
+     own position *)
+  let omega' =
+    List.mapi
+      (fun k i ->
+        (* k is 0-based from innermost; entry must be valid outside its
+           position: shift down by (k + 1) *)
+        let d = Msub.mdecl 0 r (resolved_decl i) in
+        Shift.mshift_mdecl (-(k + 1)) 0 d)
+      omega'_order
+  in
+  (rho, omega')

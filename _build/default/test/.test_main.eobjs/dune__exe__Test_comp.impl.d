@@ -1,0 +1,1 @@
+test/test_comp.ml: Alcotest Belr_comp Belr_core Belr_kits Belr_support Belr_syntax Check_comp Check_lfr Comp Ctxs Equal_dev Error Eval Lazy Lf List Meta Ulam

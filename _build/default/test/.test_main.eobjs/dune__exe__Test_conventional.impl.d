@@ -1,0 +1,1 @@
+test/test_conventional.ml: Alcotest Belr_comp Belr_core Belr_kits Belr_syntax Check_lfr Comp Conventional Ctxs Eval Lazy Lf List Meta

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Belr_comp Belr_kits Belr_lf Belr_parser Coverage List Sign Surface

@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Belr_kits Belr_parser Belr_support Error Process Surface

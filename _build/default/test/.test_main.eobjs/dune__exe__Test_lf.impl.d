@@ -1,0 +1,1 @@
+test/test_lf.ml: Alcotest Belr_lf Belr_support Belr_syntax Check_lf Ctxops Ctxs Equal Error Eta Fixtures Hsub Lf Meta Pp

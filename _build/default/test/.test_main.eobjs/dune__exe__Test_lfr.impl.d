@@ -1,0 +1,1 @@
+test/test_lfr.ml: Alcotest Belr_core Belr_lf Belr_support Belr_syntax Check_lf Check_lfr Ctxs Embed Equal Error Fixtures Lf Pp Sctxops Shift

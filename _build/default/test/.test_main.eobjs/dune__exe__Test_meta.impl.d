@@ -1,0 +1,1 @@
+test/test_meta.ml: Alcotest Belr_core Belr_lf Belr_meta Belr_support Belr_syntax Check_lf Check_lfr Check_meta Check_meta_t Ctxs Embed Equal Erase Error Fixtures Lf List Meta Msub Pp

@@ -1,0 +1,1 @@
+test/test_parity.ml: Alcotest Belr_comp Belr_core Belr_kits Belr_lf Belr_support Belr_syntax Check_lf Check_lfr Comp Coverage Ctxs Equal Error Eval Lazy Lf List Meta Parity Sign

@@ -1,0 +1,1 @@
+test/test_props.ml: Belr_core Belr_kits Belr_lf Belr_meta Belr_support Belr_syntax Belr_unify Check_lf Check_lfr Ctxs Embed Equal Erase Eta Hsub Lf List Meta QCheck QCheck_alcotest Shift Ulam Unify

@@ -1,0 +1,1 @@
+test/test_termination.ml: Alcotest Belr_comp Belr_kits Belr_lf Belr_parser List Parity Sign Surface Termination Values

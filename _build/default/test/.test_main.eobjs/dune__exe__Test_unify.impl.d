@@ -1,0 +1,1 @@
+test/test_unify.ml: Alcotest Belr_meta Belr_syntax Belr_unify Ctxs Equal Fixtures Lf List Meta Msub Pp Shift Unify

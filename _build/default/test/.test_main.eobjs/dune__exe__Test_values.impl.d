@@ -1,0 +1,1 @@
+test/test_values.ml: Alcotest Belr_comp Belr_core Belr_kits Belr_lf Belr_support Belr_syntax Check_lfr Comp Ctxs Error Eval Lazy Lf List Meta Sign Stats Values

@@ -1,0 +1,5 @@
+(** Test fixtures: re-export of the untyped λ-calculus kit (see
+    [Belr_kits.Ulam]).  The kit is built directly in internal syntax so
+    that substrate tests do not depend on the front end. *)
+
+include Belr_kits.Ulam

@@ -1,0 +1,89 @@
+(** The conventional (refinement-free) baseline development checks and
+    runs — and needs strictly more machinery (E1's shape). *)
+
+open Belr_syntax
+open Belr_core
+open Belr_comp
+open Belr_kits
+open Lf
+
+let conv = lazy (Conventional.make ())
+
+let ok name thunk = Alcotest.test_case name `Quick thunk
+
+let hat_empty = { Meta.hat_var = None; Meta.hat_names = [] }
+
+let mapps f args = List.fold_left (fun e a -> Comp.MApp (e, a)) f args
+
+let tests =
+  [
+    ok "the conventional development type-checks" (fun () ->
+        ignore (Lazy.force conv));
+    ok "conventional ceq runs on (de-trans (de-refl id) (de-sym (de-refl id)))"
+      (fun () ->
+        let c = Lazy.force conv in
+        let sg = c.Conventional.sg in
+        let idt = Root (Const c.Conventional.lam, [ Lam ("x", Root (BVar 1, [])) ]) in
+        let refl = Root (Const c.Conventional.de_refl, [ idt ]) in
+        let sym = Root (Const c.Conventional.de_sym, [ idt; idt; refl ]) in
+        let dtrans =
+          Root (Const c.Conventional.de_trans, [ idt; idt; idt; refl; sym ])
+        in
+        let call =
+          Comp.App
+            ( mapps
+                (Comp.RecConst c.Conventional.ceq)
+                [
+                  Meta.MOCtx Ctxs.empty_sctx;
+                  Meta.MOTerm (hat_empty, idt);
+                  Meta.MOTerm (hat_empty, idt);
+                ],
+              Comp.Box (Meta.MOTerm (hat_empty, dtrans)) )
+        in
+        let v = Eval.eval (Eval.make_env sg) call in
+        let res =
+          match Eval.as_box v with
+          | Meta.MOTerm (_, m) -> m
+          | _ -> Alcotest.fail "expected a boxed term"
+        in
+        let env = Check_lfr.make_env sg [] in
+        ignore
+          (Check_lfr.check_normal env Ctxs.empty_sctx res
+             (SEmbed (c.Conventional.aeq, [ idt; idt ]))));
+    ok "conventional soundness runs (not free, unlike the refinement)"
+      (fun () ->
+        let c = Lazy.force conv in
+        let sg = c.Conventional.sg in
+        let idt = Root (Const c.Conventional.lam, [ Lam ("x", Root (BVar 1, [])) ]) in
+        (* an aeq derivation: ae-lam with the variable case *)
+        let idf = Lam ("x", Root (BVar 1, [])) in
+        let d =
+          Root
+            ( Const c.Conventional.ae_lam,
+              [ idf; idf;
+                Lam ("x", Lam ("u", Lam ("v", Root (BVar 2, [])))) ] )
+        in
+        let call =
+          Comp.App
+            ( mapps
+                (Comp.RecConst c.Conventional.sound)
+                [
+                  Meta.MOCtx Ctxs.empty_sctx;
+                  Meta.MOTerm (hat_empty, idt);
+                  Meta.MOTerm (hat_empty, idt);
+                ],
+              Comp.Box (Meta.MOTerm (hat_empty, d)) )
+        in
+        let v = Eval.eval (Eval.make_env sg) call in
+        let res =
+          match Eval.as_box v with
+          | Meta.MOTerm (_, m) -> m
+          | _ -> Alcotest.fail "expected a boxed term"
+        in
+        let env = Check_lfr.make_env sg [] in
+        ignore
+          (Check_lfr.check_normal env Ctxs.empty_sctx res
+             (SEmbed (c.Conventional.deq, [ idt; idt ]))));
+  ]
+
+let suites = [ ("conventional", tests) ]

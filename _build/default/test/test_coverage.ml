@@ -1,0 +1,72 @@
+(** Tests for the conservative coverage checker (the paper's §6.1
+    extension): refinements shrink coverage obligations. *)
+
+open Belr_lf
+open Belr_comp
+open Belr_kits
+
+let ok name thunk = Alcotest.test_case name `Quick thunk
+
+let pred_program =
+  {bel|
+LF nat : type =
+| z : nat
+| s : nat -> nat;
+
+LFR pos <| nat : sort =
+| s : nat -> pos;
+
+rec pred-pos : [ |- pos] -> [ |- nat] =
+fn d => case d of
+| {N : [ |- nat]}
+  [ |- s N] => [ |- N];
+
+rec pred-nat : [ |- nat] -> [ |- nat] =
+fn d => case d of
+| {N : [ |- nat]}
+  [ |- s N] => [ |- N];
+|bel}
+
+let find_rec sg n =
+  match Sign.lookup_name sg n with
+  | Some (Sign.Sym_rec r) -> r
+  | _ -> Alcotest.failf "%s not found" n
+
+let tests =
+  [
+    ok "pred is covered at sort pos (z has no sort there)" (fun () ->
+        let sg = Belr_parser.Process.program pred_program in
+        match Coverage.check_rec sg (find_rec sg "pred-pos") with
+        | [] -> ()
+        | _ -> Alcotest.fail "expected full coverage");
+    ok "the same match is uncovered at type nat (missing z)" (fun () ->
+        let sg = Belr_parser.Process.program pred_program in
+        match Coverage.check_rec sg (find_rec sg "pred-nat") with
+        | [ (missing, _) ] ->
+            Alcotest.(check bool) "z missing" true (List.mem "z" missing)
+        | _ -> Alcotest.fail "expected exactly one uncovered match");
+    ok "the §2 ceq covers all six candidates" (fun () ->
+        let sg = Surface.load () in
+        Alcotest.(check int)
+          "no issues" 0
+          (List.length (Coverage.check_rec sg (find_rec sg "ceq"))));
+    ok "aeq-refl and aeq-sym are covered" (fun () ->
+        let sg = Surface.load () in
+        Alcotest.(check int)
+          "refl" 0
+          (List.length (Coverage.check_rec sg (find_rec sg "aeq-refl")));
+        Alcotest.(check int)
+          "sym" 0
+          (List.length (Coverage.check_rec sg (find_rec sg "aeq-sym"))));
+    ok
+      "aeq-trans's inner matches are conservatively flagged (their variable \
+       cases are impossible but need unification to dismiss)"
+      (fun () ->
+        let sg = Surface.load () in
+        let issues = Coverage.check_rec sg (find_rec sg "aeq-trans") in
+        (* two inner case expressions, each with an impossible variable
+           candidate the conservative analysis cannot dismiss *)
+        Alcotest.(check int) "two flags" 2 (List.length issues));
+  ]
+
+let suites = [ ("coverage", tests) ]

@@ -1,0 +1,85 @@
+(** Negative-path battery: every stage of the pipeline rejects what it
+    should, with a user-facing error (never an internal violation). *)
+
+open Belr_support
+open Belr_kits
+open Belr_parser
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Process.program src with
+      | exception Error.Belr_error _ -> ()
+      | exception Error.Violation msg ->
+          Alcotest.failf "internal violation instead of a user error: %s" msg
+      | _ -> Alcotest.failf "%s: expected rejection" name)
+
+let base = Surface.signature_src
+
+let tests =
+  [
+    rejects "unbound identifier" (base ^ "LF bad : type = | c : missing;");
+    rejects "duplicate declaration" (base ^ "LF tm : type;");
+    rejects "refining a non-existent family"
+      "LFR s <| nope : sort = ;";
+    rejects "refinement kind must refine the family's kind"
+      (base ^ "LFR aeq2 <| deq : tm -> sort = ;")
+      (* deq has two arguments *);
+    rejects "sort assignment must target the declared family"
+      (base ^ "LFR aeq2 <| deq : tm -> tm -> sort = | e-refl : {M : tm} aeq M M;");
+    rejects "constructor of the wrong family"
+      (base ^ "LF t2 : type = | c2 : tm;");
+    rejects "over-applied family"
+      (base ^ "LF bad : type = | c : tm tm;");
+    rejects "under-applied family in a box"
+      (base ^ "rec f : {M : [ |- tm]} [ |- deq M] = mlam M => f [ |- M];");
+    rejects "unknown world in a context"
+      (base
+     ^ "rec f : (Psi : xaG) [Psi, b : nope |- tm] -> [Psi |- tm] = \
+        mlam Psi => fn d => d;")
+      ;
+    rejects "context variable with the wrong schema"
+      (base
+     ^ "schema other = | oW : block (x : tm, y : tm);\n\
+        rec f : (Psi : other) [Psi |- aeq (lam (\\x. x)) (lam (\\x. x))] -> \
+        [Psi |- tm] = mlam Psi => fn d => d;")
+      (* aeq's congruence case needs xaG blocks; here the body is also
+         ill-sorted *);
+    rejects "promotion cannot be undone (Ψ⊤ into Ψ)"
+      (base
+     ^ "rec f : (Psi : xaG) (M : [Psi |- tm]) [Psi^ |- deq M M] -> [Psi |- \
+        deq M M] = mlam Psi => mlam M => fn d => d;");
+    rejects "fn against a box sort"
+      (base ^ "rec f : [ |- tm] = fn x => x;");
+    rejects "mlam against an arrow sort"
+      (base ^ "rec f : [ |- tm] -> [ |- tm] = mlam X => [ |- X];");
+    rejects "let [X] of a non-box"
+      (base
+     ^ "rec f : ([ |- tm] -> [ |- tm]) -> [ |- tm] = fn g => let [X] = g in \
+        [ |- X];");
+    rejects "branch pattern context mismatch"
+      (base
+     ^ "rec f : (Psi : xaG) (M : [Psi |- tm]) [Psi |- aeq M M] -> [Psi |- \
+        aeq M M] = mlam Psi => mlam M => fn d => case d of | {#b : #[Psi |- \
+        xeW]} [ |- #b.2] => d;");
+    rejects "tuple with wrong arity for a block"
+      (base
+     ^ {bel|
+rec f : (Psi : xaG) (M : [Psi, x : tm |- tm])
+        [Psi, b : xeW |- aeq M[.., b.1] M[.., b.1]] -> [Psi |- tm] =
+mlam Psi => mlam M => fn d =>
+  let [E] = f [Psi, b : xeW] [Psi, b : xeW, x : tm |- M[.., x]]
+              [Psi, b : xeW, b2 : xeW |- E0]
+  in [Psi |- M[.., <lam (\x. x)>]];
+|bel});
+    rejects "ill-sorted substitution front"
+      (base
+     ^ "rec f : (Psi : xaG) (M : [Psi, x : tm |- tm]) [Psi |- aeq \
+        M[.., lam (\\y. y)] M[.., b]] -> [Psi |- tm] = mlam Psi => mlam M => \
+        fn d => d;");
+    rejects "parameter variable used without a projection"
+      (base
+     ^ "rec f : (Psi : xaG) {#b : #[Psi |- xeW]} [Psi |- aeq #b #b] -> [Psi \
+        |- tm] = mlam Psi => mlam b => fn d => d;");
+  ]
+
+let suites = [ ("errors", tests) ]

@@ -1,0 +1,300 @@
+(** Tests for the LF substrate: hereditary substitution, η-expansion,
+    type-level checking, contexts, blocks, and schemas. *)
+
+open Belr_support
+open Belr_syntax
+open Belr_lf
+open Lf
+
+let f = Fixtures.make ()
+
+let env = Check_lf.make_env f.Fixtures.sg []
+
+let check_tm = Alcotest.testable (Pp.pp_normal (Pp.env ())) Equal.normal
+
+let check_ty = Alcotest.testable (Pp.pp_typ (Pp.env ())) Equal.typ
+
+let v i : normal = Root (BVar i, [])
+
+let fails name thunk =
+  Alcotest.test_case name `Quick (fun () ->
+      match thunk () with
+      | exception Error.Belr_error _ -> ()
+      | exception Error.Violation _ -> ()
+      | _ -> Alcotest.failf "%s: expected failure, but succeeded" name)
+
+let ok name thunk = Alcotest.test_case name `Quick thunk
+
+(* ------------------------------------------------------------------ *)
+(* Hereditary substitution                                              *)
+
+let hsub_tests =
+  [
+    ok "paper example: [(λy.y)/x](x z) = z" (fun () ->
+        (* context [x : nat -> nat]; substitute the identity *)
+        let m = Root (BVar 1, [ Fixtures.zero f ]) in
+        let s = Dot (Obj (Lam ("y", v 1)), Shift 0) in
+        Alcotest.check check_tm "reduced" (Fixtures.zero f)
+          (Hsub.sub_normal s m));
+    ok "identity substitution is a no-op" (fun () ->
+        let m = Fixtures.succ f (Fixtures.succ f (Fixtures.zero f)) in
+        Alcotest.check check_tm "id" m (Hsub.sub_normal (Shift 0) m));
+    ok "shift moves free variables" (fun () ->
+        let m = Root (Const f.Fixtures.s, [ v 1 ]) in
+        Alcotest.check check_tm "shifted"
+          (Root (Const f.Fixtures.s, [ v 3 ]))
+          (Hsub.sub_normal (Shift 2) m));
+    ok "nested β-reduction under binder" (fun () ->
+        (* [λy. s y / g] (λw. g w)  =  λw. s w *)
+        let m = Lam ("w", Root (BVar 2, [ v 1 ])) in
+        let s =
+          Dot (Obj (Lam ("y", Root (Const f.Fixtures.s, [ v 1 ]))), Shift 0)
+        in
+        Alcotest.check check_tm "reduced"
+          (Lam ("w", Root (Const f.Fixtures.s, [ v 1 ])))
+          (Hsub.sub_normal s m));
+    ok "tuple front resolves projection" (fun () ->
+        (* [⟨z, s z⟩ / b] (b.2) = s z *)
+        let m = Root (Proj (BVar 1, 2), []) in
+        let s =
+          Dot
+            ( Tup [ Fixtures.zero f; Fixtures.succ f (Fixtures.zero f) ],
+              Shift 0 )
+        in
+        Alcotest.check check_tm "projected"
+          (Fixtures.succ f (Fixtures.zero f))
+          (Hsub.sub_normal s m));
+    ok "composition law on sample terms" (fun () ->
+        let m = Root (Const f.Fixtures.s, [ Root (BVar 1, [ v 2 ]) ]) in
+        let s1 = Dot (Obj (Lam ("y", Root (Const f.Fixtures.s, [ v 1 ]))), Shift 0) in
+        let s2 = Dot (Obj (Fixtures.zero f), Empty) in
+        let lhs = Hsub.sub_normal (Hsub.comp s1 s2) m in
+        let rhs = Hsub.sub_normal s2 (Hsub.sub_normal s1 m) in
+        Alcotest.check check_tm "comp" rhs lhs);
+    ok "MVar under substitution delays composition" (fun () ->
+        let m = Root (MVar (1, Shift 0), []) in
+        match Hsub.sub_normal (Shift 3) m with
+        | Root (MVar (1, Shift 3), []) -> ()
+        | m' ->
+            Alcotest.failf "unexpected %a" (Pp.pp_normal (Pp.env ())) m');
+    fails "projection of non-tuple substitution entry fails" (fun () ->
+        let m = Root (Proj (BVar 1, 1), []) in
+        let s = Dot (Obj (Fixtures.succ f (Fixtures.zero f)), Shift 0) in
+        Hsub.sub_normal s m);
+    fails "variable under Empty substitution fails" (fun () ->
+        Hsub.sub_normal Empty (v 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* η-expansion                                                          *)
+
+let eta_tests =
+  [
+    ok "atomic η-expansion is a bare variable" (fun () ->
+        Alcotest.check check_tm "atom" (v 3)
+          (Eta.expand_var_typ (Fixtures.nat_t f) 3));
+    ok "functional η-expansion" (fun () ->
+        let t = Pi ("x", Fixtures.nat_t f, Fixtures.nat_t f) in
+        Alcotest.check check_tm "fn"
+          (Lam ("x", Root (BVar 3, [ v 1 ])))
+          (Eta.expand_var_typ t 2));
+    ok "second-order η-expansion" (fun () ->
+        (* y : (nat -> nat) -> nat *)
+        let t =
+          Pi
+            ( "g",
+              Pi ("x", Fixtures.nat_t f, Fixtures.nat_t f),
+              Fixtures.nat_t f )
+        in
+        Alcotest.check check_tm "fn2"
+          (Lam ("g", Root (BVar 2, [ Lam ("x", Root (BVar 2, [ v 1 ])) ])))
+          (Eta.expand_var_typ t 1));
+    ok "is_eta_of recognizes expansion" (fun () ->
+        let t = Eta.Aarr (Eta.Aatom, Eta.Aatom) in
+        Alcotest.(check bool)
+          "yes" true
+          (Eta.is_eta_of t (BVar 5) (Lam ("x", Root (BVar 6, [ v 1 ])))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Type checking                                                        *)
+
+let nat_ctx n =
+  (* x1 : nat, ..., xn : nat *)
+  let rec go acc k =
+    if k = 0 then acc
+    else go (Ctxs.ctx_push acc (Ctxs.CDecl ("x", Fixtures.nat_t f))) (k - 1)
+  in
+  go Ctxs.empty_ctx n
+
+let typing_tests =
+  [
+    ok "z : nat" (fun () ->
+        Check_lf.check_normal env Ctxs.empty_ctx (Fixtures.zero f)
+          (Fixtures.nat_t f));
+    ok "s (s z) : nat" (fun () ->
+        Check_lf.check_normal env Ctxs.empty_ctx
+          (Fixtures.church_nat f 2) (Fixtures.nat_t f));
+    ok "variable lookup" (fun () ->
+        Check_lf.check_normal env (nat_ctx 3) (v 2) (Fixtures.nat_t f));
+    ok "lam \\x. x : tm" (fun () ->
+        Check_lf.check_normal env Ctxs.empty_ctx (Fixtures.id_tm f)
+          (Fixtures.tm_t f));
+    ok "app (lam \\x.x) (lam \\x.x) : tm" (fun () ->
+        Check_lf.check_normal env Ctxs.empty_ctx
+          (Fixtures.app_tm f (Fixtures.id_tm f) (Fixtures.id_tm f))
+          (Fixtures.tm_t f));
+    ok "e-refl applied: deq (lam \\x.x) (lam \\x.x)" (fun () ->
+        let idt = Fixtures.id_tm f in
+        Check_lf.check_normal env Ctxs.empty_ctx
+          (Root (Const f.Fixtures.e_refl, [ idt ]))
+          (Atom (f.Fixtures.deq, [ idt; idt ])));
+    ok "infer e-refl spine" (fun () ->
+        let idt = Fixtures.id_tm f in
+        let a =
+          Check_lf.infer_neutral env Ctxs.empty_ctx
+            (Root (Const f.Fixtures.e_refl, [ idt ]))
+        in
+        Alcotest.check check_ty "deq id id"
+          (Atom (f.Fixtures.deq, [ idt; idt ]))
+          a);
+    fails "z : tm fails" (fun () ->
+        Check_lf.check_normal env Ctxs.empty_ctx (Fixtures.zero f)
+          (Fixtures.tm_t f));
+    fails "under-applied constant is not η-long" (fun () ->
+        Check_lf.check_normal env Ctxs.empty_ctx
+          (Root (Const f.Fixtures.s, []))
+          (Pi ("x", Fixtures.nat_t f, Fixtures.nat_t f)));
+    fails "over-applied constant fails" (fun () ->
+        Check_lf.check_normal env Ctxs.empty_ctx
+          (Root (Const f.Fixtures.z, [ Fixtures.zero f ]))
+          (Fixtures.nat_t f));
+    fails "unbound variable fails" (fun () ->
+        Check_lf.check_normal env (nat_ctx 1) (v 2) (Fixtures.nat_t f));
+    ok "deq is a well-formed type family applied" (fun () ->
+        Check_lf.check_typ env Ctxs.empty_ctx
+          (Atom (f.Fixtures.deq, [ Fixtures.id_tm f; Fixtures.id_tm f ])));
+    fails "deq applied to nat arguments fails" (fun () ->
+        Check_lf.check_typ env Ctxs.empty_ctx
+          (Atom (f.Fixtures.deq, [ Fixtures.zero f; Fixtures.zero f ])));
+    fails "deq under-applied fails" (fun () ->
+        Check_lf.check_typ env Ctxs.empty_ctx
+          (Atom (f.Fixtures.deq, [ Fixtures.id_tm f ])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Blocks, contexts, schemas                                            *)
+
+let block_tests =
+  let g2 = Fixtures.xd_ctx f 2 in
+  [
+    ok "projection .1 of a block has type tm" (fun () ->
+        Alcotest.check check_ty "tm" (Fixtures.tm_t f)
+          (Ctxops.typ_of_proj g2 1 1));
+    ok "projection .2 of a block has type deq b.1 b.1" (fun () ->
+        let b1 = Root (Proj (BVar 1, 1), []) in
+        Alcotest.check check_ty "deq"
+          (Atom (f.Fixtures.deq, [ b1; b1 ]))
+          (Ctxops.typ_of_proj g2 1 2));
+    ok "outer block projections are shifted" (fun () ->
+        let b1 = Root (Proj (BVar 2, 1), []) in
+        Alcotest.check check_ty "deq"
+          (Atom (f.Fixtures.deq, [ b1; b1 ]))
+          (Ctxops.typ_of_proj g2 2 2));
+    ok "neutral projection checks" (fun () ->
+        let b1 = Root (Proj (BVar 1, 1), []) in
+        Check_lf.check_normal env g2
+          (Root (Proj (BVar 1, 2), []))
+          (Atom (f.Fixtures.deq, [ b1; b1 ])));
+    ok "context with blocks is well-formed" (fun () ->
+        Check_lf.check_ctx env g2);
+    ok "context checks against schema xdG" (fun () ->
+        Check_lf.check_ctx_schema env g2 f.Fixtures.xdg);
+    fails "context with a single declaration fails schema checking"
+      (fun () ->
+        let g =
+          Ctxs.ctx_push Ctxs.empty_ctx (Ctxs.CDecl ("x", Fixtures.tm_t f))
+        in
+        Check_lf.check_ctx_schema env g f.Fixtures.xdg);
+    fails "context with a foreign block fails schema checking" (fun () ->
+        let bad_elem =
+          {
+            Ctxs.e_name = "natW";
+            Ctxs.e_params = [];
+            Ctxs.e_block = [ ("x", Fixtures.nat_t f) ];
+          }
+        in
+        let g =
+          Ctxs.ctx_push Ctxs.empty_ctx (Ctxs.CBlock ("b", bad_elem, []))
+        in
+        Check_lf.check_ctx_schema env g f.Fixtures.xdg);
+    ok "schema xdG itself is well-formed" (fun () ->
+        Check_lf.check_schema env [ f.Fixtures.xd_elem ]);
+    fails "duplicate schema elements are rejected" (fun () ->
+        Check_lf.check_schema env [ f.Fixtures.xd_elem; f.Fixtures.xd_elem ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Substitutions                                                        *)
+
+let sub_tests =
+  let g2 = Fixtures.xd_ctx f 2 in
+  [
+    ok "identity substitution checks" (fun () ->
+        Check_lf.check_sub env g2 (Shift 0) g2);
+    ok "weakening by one block checks" (fun () ->
+        Check_lf.check_sub env g2 (Shift 1) (Fixtures.xd_ctx f 1));
+    ok "empty substitution into any context" (fun () ->
+        Check_lf.check_sub env g2 Empty Ctxs.empty_ctx);
+    ok "tuple substitution for a block variable" (fun () ->
+        (* σ = (shift 1, ⟨b.1, b.2⟩) : (b:xeW) → Γ₂, mapping the inner
+           block of the domain to the outer block of Γ₂ *)
+        let t = Tup [ Root (Proj (BVar 1, 1), []); Root (Proj (BVar 1, 2), []) ] in
+        Check_lf.check_sub env g2
+          (Dot (t, Shift 2))
+          (Fixtures.xd_ctx f 1));
+    fails "swapped tuple components fail" (fun () ->
+        let t = Tup [ Root (Proj (BVar 1, 2), []); Root (Proj (BVar 1, 1), []) ] in
+        Check_lf.check_sub env g2 (Dot (t, Shift 2)) (Fixtures.xd_ctx f 1));
+    ok "whole-block renaming checks" (fun () ->
+        Check_lf.check_sub env g2
+          (Dot (Obj (Root (BVar 2, [])), Shift 2))
+          (Fixtures.xd_ctx f 1));
+    fails "substitution longer than domain fails" (fun () ->
+        Check_lf.check_sub env g2
+          (Dot (Obj (Fixtures.zero f), Shift 0))
+          Ctxs.empty_ctx);
+    ok "term substitution for an ordinary variable" (fun () ->
+        let dom =
+          Ctxs.ctx_push Ctxs.empty_ctx (Ctxs.CDecl ("n", Fixtures.nat_t f))
+        in
+        Check_lf.check_sub env Ctxs.empty_ctx
+          (Dot (Obj (Fixtures.church_nat f 3), Empty))
+          dom);
+    ok "mvar with checked substitution infers" (fun () ->
+        (* Δ = u : (x:nat . nat); infer u[z/x] in the empty context *)
+        let delta =
+          [
+            Meta.TDTerm
+              ( "u",
+                Ctxs.ctx_push Ctxs.empty_ctx
+                  (Ctxs.CDecl ("x", Fixtures.nat_t f)),
+                Fixtures.nat_t f );
+          ]
+        in
+        let env' = Check_lf.make_env f.Fixtures.sg delta in
+        let a =
+          Check_lf.infer_neutral env' Ctxs.empty_ctx
+            (Root (MVar (1, Dot (Obj (Fixtures.zero f), Empty)), []))
+        in
+        Alcotest.check check_ty "nat" (Fixtures.nat_t f) a);
+  ]
+
+let suites =
+  [
+    ("lf.hsub", hsub_tests);
+    ("lf.eta", eta_tests);
+    ("lf.typing", typing_tests);
+    ("lf.blocks", block_tests);
+    ("lf.subs", sub_tests);
+  ]

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "belr"
+    (Test_lf.suites @ Test_lfr.suites @ Test_meta.suites @ Test_unify.suites
+   @ Test_comp.suites @ Test_conventional.suites @ Test_parser.suites
+   @ Test_props.suites @ Test_coverage.suites @ Test_values.suites
+   @ Test_parity.suites @ Test_termination.suites @ Test_errors.suites
+   @ Test_typed_equal.suites)

@@ -1,0 +1,155 @@
+(** Tests for the contextual layer: meta-substitution application,
+    contextual sorting/typing, and meta-level conservativity. *)
+
+open Belr_support
+open Belr_syntax
+open Belr_lf
+open Belr_meta
+open Belr_core
+open Lf
+
+let f = Fixtures.make ()
+
+let sg = f.Fixtures.sg
+
+let check_tm = Alcotest.testable (Pp.pp_normal (Pp.env ())) Equal.normal
+
+let v i : normal = Root (BVar i, [])
+
+let fails name thunk =
+  Alcotest.test_case name `Quick (fun () ->
+      match thunk () with
+      | exception Error.Belr_error _ -> ()
+      | exception Error.Violation _ -> ()
+      | _ -> Alcotest.failf "%s: expected failure, but succeeded" name)
+
+let ok name thunk = Alcotest.test_case name `Quick thunk
+
+let nat_s = SEmbed (f.Fixtures.nat, [])
+
+(* Ω = u : (x:nat . ⌊nat⌋) *)
+let psi_x_nat =
+  Ctxs.sctx_push Ctxs.empty_sctx (Ctxs.SCDecl ("x", nat_s))
+
+let omega_u = [ Meta.MDTerm ("u", psi_x_nat, nat_s) ]
+
+let msub_tests =
+  [
+    ok "instantiating u triggers hereditary substitution" (fun () ->
+        (* u := (x. s x); then ⟦θ⟧(u[z]) = s z *)
+        let theta =
+          Meta.MDot
+            ( Meta.MOTerm
+                ( Meta.hat_of_sctx psi_x_nat,
+                  Root (Const f.Fixtures.s, [ v 1 ]) ),
+              Meta.MShift 0 )
+        in
+        let t = Root (MVar (1, Dot (Obj (Fixtures.zero f), Empty)), []) in
+        Alcotest.check check_tm "s z"
+          (Fixtures.succ f (Fixtures.zero f))
+          (Msub.normal 0 theta t));
+    ok "meta-shift renumbers meta-variables" (fun () ->
+        let t = Root (MVar (1, Shift 0), []) in
+        match Msub.normal 0 (Meta.MShift 2) t with
+        | Root (MVar (3, Shift 0), []) -> ()
+        | t' -> Alcotest.failf "got %a" (Pp.pp_normal (Pp.env ())) t');
+    ok "cutoff protects locally bound meta-variables" (fun () ->
+        let t = Root (MVar (1, Shift 0), []) in
+        Alcotest.check check_tm "unchanged" t (Msub.normal 1 (Meta.MShift 2) t));
+    ok "context variable instantiation splices entries" (fun () ->
+        (* Ψ = ψ, x : ⌊nat⌋ with ψ := (b : xeW-block) *)
+        let psi =
+          {
+            Ctxs.s_var = Some 1;
+            Ctxs.s_promoted = false;
+            Ctxs.s_decls = [ Ctxs.SCDecl ("x", nat_s) ];
+          }
+        in
+        let inst = Meta.MOCtx (Fixtures.xa_sctx f 1) in
+        let psi' = Msub.sctx 0 (Meta.MDot (inst, Meta.MShift 0)) psi in
+        Alcotest.(check int) "two entries" 2 (List.length psi'.Ctxs.s_decls);
+        Alcotest.(check bool) "no var" true (psi'.Ctxs.s_var = None));
+    ok "hat splicing follows context instantiation" (fun () ->
+        let h = { Meta.hat_var = Some 1; Meta.hat_names = [ "x" ] } in
+        let inst = Meta.MOCtx (Fixtures.xa_sctx f 2) in
+        let h' = Msub.hat 0 (Meta.MDot (inst, Meta.MShift 0)) h in
+        Alcotest.(check int) "names" 3 (List.length h'.Meta.hat_names));
+    ok "mcomp agrees with sequential application" (fun () ->
+        let theta1 = Meta.MShift 1 in
+        let theta2 =
+          Meta.MDot
+            ( Meta.MOTerm
+                ( Meta.hat_of_sctx psi_x_nat,
+                  Root (Const f.Fixtures.s, [ v 1 ]) ),
+              Meta.MShift 0 )
+        in
+        let t = Root (MVar (1, Shift 0), []) in
+        (* θ1 sends u₁ to u₂; θ2 has a dot for u₁ only, so composite sends
+           u₁ ↦ u₂ shifted through θ2's tail *)
+        Alcotest.check check_tm "compose"
+          (Msub.normal 0 theta2 (Msub.normal 0 theta1 t))
+          (Msub.normal 0 (Msub.mcomp theta1 theta2) t));
+  ]
+
+(* --- contextual sorting ------------------------------------------------ *)
+
+let sorting_tests =
+  let env = Check_lfr.make_env sg omega_u in
+  [
+    ok "Ω = u : (x:nat . nat) is well-formed and erases" (fun () ->
+        let delta = Check_meta.wf_mctx sg omega_u in
+        Check_meta_t.wf_mctx sg delta);
+    ok "boxed term checks: (x . s x) : (x:nat . nat)" (fun () ->
+        Check_meta.check_mobj env
+          (Meta.MOTerm
+             (Meta.hat_of_sctx psi_x_nat, Root (Const f.Fixtures.s, [ v 1 ])))
+          (Meta.MSTerm (psi_x_nat, nat_s)));
+    fails "boxed term with mismatched hat fails" (fun () ->
+        Check_meta.check_mobj env
+          (Meta.MOTerm
+             ( { Meta.hat_var = None; Meta.hat_names = [] },
+               Root (Const f.Fixtures.s, [ v 1 ]) ))
+          (Meta.MSTerm (psi_x_nat, nat_s)));
+    ok "context object checks against its refinement schema" (fun () ->
+        Check_meta.check_mobj env
+          (Meta.MOCtx (Fixtures.xa_sctx f 2))
+          (Meta.MSCtx f.Fixtures.xag));
+    fails "context object with foreign blocks fails schema sorting"
+      (fun () ->
+        let bad =
+          Ctxs.sctx_push Ctxs.empty_sctx
+            (Ctxs.SCBlock ("b", Embed.elem ~refines:0 f.Fixtures.xd_elem, []))
+        in
+        Check_meta.check_mobj env (Meta.MOCtx bad) (Meta.MSCtx f.Fixtures.xag));
+    ok "parameter object: a concrete block instantiates #b" (fun () ->
+        let psi1 = Fixtures.xa_sctx f 1 in
+        let env1 = Check_lfr.make_env sg [] in
+        Check_meta.check_mobj env1
+          (Meta.MOParam (Meta.hat_of_sctx psi1, BVar 1))
+          (Meta.MSParam (psi1, f.Fixtures.xa_selem, [])));
+    ok "meta-level conservativity: erased objects check at erased types"
+      (fun () ->
+        let mo =
+          Meta.MOTerm
+            (Meta.hat_of_sctx psi_x_nat, Root (Const f.Fixtures.s, [ v 1 ]))
+        in
+        let ms = Meta.MSTerm (psi_x_nat, nat_s) in
+        Check_meta.check_mobj env mo ms;
+        let delta = Erase.mctx sg omega_u in
+        let env_t = Check_lf.make_env sg delta in
+        Check_meta_t.check_mobj env_t (Erase.mobj sg mo) (Erase.msrt sg ms));
+    ok "meta-substitution checking" (fun () ->
+        let theta =
+          Meta.MDot
+            ( Meta.MOTerm
+                ( Meta.hat_of_sctx psi_x_nat,
+                  Root (Const f.Fixtures.s, [ v 1 ]) ),
+              Meta.MShift 0 )
+        in
+        (* θ : (Ω, u) valid in Ω itself *)
+        let env' = Check_lfr.make_env sg omega_u in
+        Check_meta.check_msub env' theta (omega_u @ omega_u) |> ignore;
+        ());
+  ]
+
+let suites = [ ("meta.msub", msub_tests); ("meta.sorting", sorting_tests) ]

@@ -1,0 +1,223 @@
+(** Tests for the front end: lexing, parsing, elaboration, and the full
+    §2 development in surface syntax — cross-validated against the
+    internal-syntax construction and run end-to-end. *)
+
+open Belr_support
+open Belr_syntax
+open Belr_lf
+open Belr_core
+open Belr_comp
+open Belr_kits
+open Belr_parser
+open Lf
+
+let ok name thunk = Alcotest.test_case name `Quick thunk
+
+let fails name thunk =
+  Alcotest.test_case name `Quick (fun () ->
+      match thunk () with
+      | exception Error.Belr_error _ -> ()
+      | exception Error.Violation _ -> ()
+      | _ -> Alcotest.failf "%s: expected failure" name)
+
+let lexer_tests =
+  [
+    ok "lexes identifiers with dashes" (fun () ->
+        match List.map (fun l -> l.Lexer.tok) (Lexer.tokens "e-lam -> x") with
+        | [ Token.IDENT "e-lam"; Token.ARROW; Token.IDENT "x"; Token.EOF ] ->
+            ()
+        | _ -> Alcotest.fail "bad tokens");
+    ok "lexes symbols" (fun () ->
+        match
+          List.map (fun l -> l.Lexer.tok) (Lexer.tokens "<| |- .. => ^ #")
+        with
+        | [ Token.REFINES; Token.TURNSTILE; Token.DOTDOT; Token.DARROW;
+            Token.CARET; Token.HASH; Token.EOF ] ->
+            ()
+        | _ -> Alcotest.fail "bad tokens");
+    ok "skips comments" (fun () ->
+        match
+          List.map (fun l -> l.Lexer.tok)
+            (Lexer.tokens "x % this is a comment\n y")
+        with
+        | [ Token.IDENT "x"; Token.IDENT "y"; Token.EOF ] -> ()
+        | _ -> Alcotest.fail "bad tokens");
+  ]
+
+let parse_tests =
+  [
+    ok "parses the signature" (fun () ->
+        let p = Parse.parse_program Surface.signature_src in
+        Alcotest.(check int) "decls" 5 (List.length p));
+    ok "parses a rec with branches" (fun () ->
+        match Parse.parse_program Surface.ceq_src with
+        | [ Ext.Drec { r_body = Ext.EMlam _; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    fails "rejects unbalanced brackets" (fun () ->
+        Parse.parse_program "LF t : type = | c : (t -> t;");
+    fails "rejects stray tokens" (fun () ->
+        Parse.parse_program "schema G = ;");
+  ]
+
+(* The full pipeline *)
+
+let surface_sg = lazy (Surface.load ())
+
+let sig_tests =
+  [
+    ok "the full §2 surface development parses, elaborates, and checks"
+      (fun () -> ignore (Lazy.force surface_sg));
+    ok "reconstruction found the right number of implicit arguments"
+      (fun () ->
+        let sg = Lazy.force surface_sg in
+        let check name n =
+          match Sign.lookup_name sg name with
+          | Some (Sign.Sym_const c) ->
+              Alcotest.(check int)
+                (name ^ " implicits") n
+                (Sign.const_entry sg c).Sign.c_implicit
+          | _ -> Alcotest.failf "%s not found" name
+        in
+        check "e-lam" 2;
+        check "e-app" 4;
+        check "e-refl" 0;
+        check "e-sym" 2;
+        check "e-trans" 3);
+    ok "the surface and internal developments give α-equal constructor types"
+      (fun () ->
+        let sg = Lazy.force surface_sg in
+        let f = Fixtures.make () in
+        let get s name =
+          match Sign.lookup_name s name with
+          | Some (Sign.Sym_const c) ->
+              Fmt.str "%a"
+                (Pp.pp_typ (Sign.pp_env s))
+                (Sign.const_entry s c).Sign.c_typ
+          | _ -> Alcotest.failf "%s not found" name
+        in
+        List.iter
+          (fun n ->
+            Alcotest.(check string) (n ^ " types agree") (get f.Fixtures.sg n)
+              (get sg n))
+          [ "lam"; "app"; "e-lam"; "e-app"; "e-refl"; "e-sym"; "e-trans" ]);
+    fails "an LFR declaration cannot select foreign constructors" (fun () ->
+        Process.program
+          (Surface.signature_src
+         ^ "LFR bad <| tm : tm -> tm -> sort = | e-refl : {M : tm} bad M M;"));
+    fails "ill-sorted surface programs are rejected" (fun () ->
+        Process.program
+          (Surface.signature_src
+         ^ {bel|
+rec broken : (Psi : xaG) (M : [Psi |- tm]) [Psi |- aeq M M] =
+mlam Psi => mlam M => [Psi |- e-refl M];
+|bel}));
+  ]
+
+(* Run the surface development and compare with the internal kit *)
+
+let hat_empty = { Meta.hat_var = None; Meta.hat_names = [] }
+
+let mapps f args = List.fold_left (fun e a -> Comp.MApp (e, a)) f args
+
+let run_tests =
+  [
+    ok "surface ceq computes the same result as the internal-kit ceq"
+      (fun () ->
+        let sg = Lazy.force surface_sg in
+        let dev = Equal_dev.make () in
+        let lookup_rec s name =
+          match Sign.lookup_name s name with
+          | Some (Sign.Sym_rec r) -> r
+          | _ -> Alcotest.failf "%s not found" name
+        in
+        let build s lam_c e_refl_c e_sym_c e_trans_c =
+          let idt = Root (Const lam_c, [ Lam ("x", Root (BVar 1, [])) ]) in
+          let refl = Root (Const e_refl_c, [ idt ]) in
+          let sym = Root (Const e_sym_c, [ idt; idt; refl ]) in
+          (idt, Root (Const e_trans_c, [ idt; idt; idt; refl; sym ]), s)
+        in
+        let find_c s n =
+          match Sign.lookup_name s n with
+          | Some (Sign.Sym_const c) -> c
+          | _ -> Alcotest.failf "%s not found" n
+        in
+        let run s ceq_id =
+          let idt, d, _ =
+            build s (find_c s "lam") (find_c s "e-refl") (find_c s "e-sym")
+              (find_c s "e-trans")
+          in
+          let call =
+            Comp.App
+              ( mapps (Comp.RecConst ceq_id)
+                  [
+                    Meta.MOCtx Ctxs.empty_sctx;
+                    Meta.MOTerm (hat_empty, idt);
+                    Meta.MOTerm (hat_empty, idt);
+                  ],
+                Comp.Box (Meta.MOTerm (hat_empty, d)) )
+          in
+          match Eval.as_box (Eval.eval (Eval.make_env s) call) with
+          | Meta.MOTerm (_, m) -> m
+          | _ -> Alcotest.fail "expected a boxed term"
+        in
+        let r_surface = run sg (lookup_rec sg "ceq") in
+        let r_internal =
+          run dev.Equal_dev.ulam.Ulam.sg dev.Equal_dev.ceq
+        in
+        (* constant ids differ between signatures; compare printed forms *)
+        let p s m =
+          Fmt.str "%a" (Pp.pp_normal (Sign.pp_env s)) m
+        in
+        Alcotest.(check string)
+          "same result" (p dev.Equal_dev.ulam.Ulam.sg r_internal)
+          (p sg r_surface));
+    ok "surface aeq-refl runs in a non-empty context" (fun () ->
+        let sg = Lazy.force surface_sg in
+        let refl =
+          match Sign.lookup_name sg "aeq-refl" with
+          | Some (Sign.Sym_rec r) -> r
+          | _ -> Alcotest.fail "aeq-refl not found"
+        in
+        (* Ψ = b : xeW, M = app b.1 b.1 *)
+        let xeW =
+          match Elab.find_world sg "xeW" with
+          | Some (Elab.Wsort f) -> f
+          | _ -> Alcotest.fail "xeW not found"
+        in
+        let psi1 =
+          Ctxs.sctx_push Ctxs.empty_sctx (Ctxs.SCBlock ("b", xeW, []))
+        in
+        let app_c =
+          match Sign.lookup_name sg "app" with
+          | Some (Sign.Sym_const c) -> c
+          | _ -> Alcotest.fail "app not found"
+        in
+        let b1 = Root (Proj (BVar 1, 1), []) in
+        let m = Root (Const app_c, [ b1; b1 ]) in
+        let h = Meta.hat_of_sctx psi1 in
+        let call =
+          mapps (Comp.RecConst refl)
+            [ Meta.MOCtx psi1; Meta.MOTerm (h, m) ]
+        in
+        let res =
+          match Eval.as_box (Eval.eval (Eval.make_env sg) call) with
+          | Meta.MOTerm (_, m) -> m
+          | _ -> Alcotest.fail "expected a boxed term"
+        in
+        let aeq_s =
+          match Sign.lookup_name sg "aeq" with
+          | Some (Sign.Sym_srt s) -> s
+          | _ -> Alcotest.fail "aeq not found"
+        in
+        ignore
+          (Check_lfr.check_normal (Check_lfr.make_env sg []) psi1 res
+             (SAtom (aeq_s, [ m; m ]))));
+  ]
+
+let suites =
+  [
+    ("parser.lexer", lexer_tests);
+    ("parser.parse", parse_tests);
+    ("parser.pipeline", sig_tests);
+    ("parser.run", run_tests);
+  ]

@@ -1,0 +1,72 @@
+(** Tests for the conservative structural termination checker. *)
+
+open Belr_lf
+open Belr_comp
+open Belr_kits
+
+let ok name thunk = Alcotest.test_case name `Quick thunk
+
+let find_rec sg n =
+  match Sign.lookup_name sg n with
+  | Some (Sign.Sym_rec r) -> r
+  | _ -> Alcotest.failf "%s not found" n
+
+let guarded sg n =
+  match Termination.check_rec sg (find_rec sg n) with
+  | Termination.Guarded -> true
+  | Termination.Issues _ -> false
+
+let tests =
+  [
+    ok "the §2 development is structurally guarded" (fun () ->
+        let sg = Surface.load () in
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) (n ^ " guarded") true (guarded sg n))
+          [ "aeq-refl"; "aeq-sym"; "aeq-trans"; "ceq" ]);
+    ok "half, strengthen, and result-val are guarded" (fun () ->
+        let sg = Parity.load () in
+        Alcotest.(check bool) "half" true (guarded sg "half");
+        let sg2 = Values.load () in
+        Alcotest.(check bool) "strengthen" true (guarded sg2 "strengthen");
+        Alcotest.(check bool) "result-val" true (guarded sg2 "result-val"));
+    ok "a trivial loop is rejected" (fun () ->
+        let sg =
+          Belr_parser.Process.program
+            {bel|
+LF nat : type = | z : nat | s : nat -> nat;
+rec loop : [ |- nat] -> [ |- nat] = fn d => loop d;
+|bel}
+        in
+        Alcotest.(check bool) "loop" false (guarded sg "loop"));
+    ok "a call on the whole scrutinee (not a subterm) is rejected" (fun () ->
+        let sg =
+          Belr_parser.Process.program
+            {bel|
+LF nat : type = | z : nat | s : nat -> nat;
+rec spin : {N : [ |- nat]} [ |- nat] =
+mlam N => case [ |- N] of
+| [ |- z] => [ |- z]
+| {M : [ |- nat]}
+  [ |- s M] => spin [ |- s M];
+|bel}
+        in
+        (* the argument s M is headed by a constant, not by the pattern
+           variable M: the conservative check flags it *)
+        Alcotest.(check bool) "spin" false (guarded sg "spin"));
+    ok "a call on the pattern subterm is accepted" (fun () ->
+        let sg =
+          Belr_parser.Process.program
+            {bel|
+LF nat : type = | z : nat | s : nat -> nat;
+rec down : {N : [ |- nat]} [ |- nat] =
+mlam N => case [ |- N] of
+| [ |- z] => [ |- z]
+| {M : [ |- nat]}
+  [ |- s M] => down [ |- M];
+|bel}
+        in
+        Alcotest.(check bool) "down" true (guarded sg "down"));
+  ]
+
+let suites = [ ("termination", tests) ]

@@ -1,0 +1,127 @@
+(** The typed benchmark: parameterized refinement-schema worlds.  The
+    refinement schema's elements have Π-parameters ([{A : tp} block …]),
+    context extensions instantiate them explicitly, and the projections'
+    sorts depend on the instantiation. *)
+
+open Belr_syntax
+open Belr_lf
+open Belr_core
+open Belr_comp
+open Belr_kits
+open Lf
+
+let tsg = lazy (Typed_equal.load ())
+
+let ok name thunk = Alcotest.test_case name `Quick thunk
+
+let find_c sg n =
+  match Sign.lookup_name sg n with
+  | Some (Sign.Sym_const c) -> c
+  | _ -> Alcotest.failf "%s not found" n
+
+let tests =
+  [
+    ok "the typed development checks" (fun () -> ignore (Lazy.force tsg));
+    ok "the refinement schema's world is parameterized" (fun () ->
+        let sg = Lazy.force tsg in
+        match Belr_parser.Elab.find_world sg "xeW" with
+        | Some (Belr_parser.Elab.Wsort f) ->
+            Alcotest.(check int) "one parameter" 1
+              (List.length f.Ctxs.f_params)
+        | _ -> Alcotest.fail "xeW not found");
+    ok "projections depend on the world instantiation" (fun () ->
+        let sg = Lazy.force tsg in
+        let xeW =
+          match Belr_parser.Elab.find_world sg "xeW" with
+          | Some (Belr_parser.Elab.Wsort f) -> f
+          | _ -> Alcotest.fail "xeW not found"
+        in
+        let i = Root (Const (find_c sg "i"), []) in
+        let arr =
+          Root (Const (find_c sg "arr"), [ i; i ])
+        in
+        let psi =
+          Ctxs.sctx_push
+            (Ctxs.sctx_push Ctxs.empty_sctx (Ctxs.SCBlock ("f", xeW, [ arr ])))
+            (Ctxs.SCBlock ("y", xeW, [ i ]))
+        in
+        (* y = 1 at type i, f = 2 at type i → i *)
+        let s_y = Sctxops.srt_of_proj sg psi 1 2 in
+        let s_f = Sctxops.srt_of_proj sg psi 2 2 in
+        let aeq =
+          match Sign.lookup_name sg "aeq" with
+          | Some (Sign.Sym_srt s) -> s
+          | _ -> Alcotest.fail "aeq not found"
+        in
+        (match s_y with
+        | SAtom (s, [ _; _; ty ]) when s = aeq ->
+            Alcotest.(check bool) "y at i" true (Equal.normal ty i)
+        | _ -> Alcotest.fail "unexpected sort for y.2");
+        match s_f with
+        | SAtom (s, [ _; _; ty ]) when s = aeq ->
+            Alcotest.(check bool) "f at arr i i" true
+              (Equal.normal ty (Shift.shift_normal 2 0 arr))
+        | _ -> Alcotest.fail "unexpected sort for f.2");
+    ok "typed aeq-sym runs in a parameterized context" (fun () ->
+        let sg = Lazy.force tsg in
+        let xeW =
+          match Belr_parser.Elab.find_world sg "xeW" with
+          | Some (Belr_parser.Elab.Wsort f) -> f
+          | _ -> Alcotest.fail "xeW not found"
+        in
+        let i = Root (Const (find_c sg "i"), []) in
+        let psi =
+          Ctxs.sctx_push Ctxs.empty_sctx (Ctxs.SCBlock ("b", xeW, [ i ]))
+        in
+        let sym =
+          match Sign.lookup_name sg "aeq-sym" with
+          | Some (Sign.Sym_rec r) -> r
+          | _ -> Alcotest.fail "aeq-sym not found"
+        in
+        let h = Meta.hat_of_sctx psi in
+        let b1 = Root (Proj (BVar 1, 1), []) in
+        let b2 = Root (Proj (BVar 1, 2), []) in
+        let mapps f args =
+          List.fold_left (fun e a -> Comp.MApp (e, a)) f args
+        in
+        let call =
+          Comp.App
+            ( mapps (Comp.RecConst sym)
+                [
+                  Meta.MOCtx psi;
+                  Meta.MOTerm (h, b1);
+                  Meta.MOTerm (h, b1);
+                  Meta.MOTerm (h, Shift.shift_normal 1 0 i);
+                ],
+              Comp.Box (Meta.MOTerm (h, b2)) )
+        in
+        let res =
+          match Eval.as_box (Eval.eval (Eval.make_env sg) call) with
+          | Meta.MOTerm (_, m) -> m
+          | _ -> Alcotest.fail "expected a boxed term"
+        in
+        let aeq =
+          match Sign.lookup_name sg "aeq" with
+          | Some (Sign.Sym_srt s) -> s
+          | _ -> Alcotest.fail "aeq not found"
+        in
+        ignore
+          (Check_lfr.check_normal (Check_lfr.make_env sg []) psi res
+             (SAtom (aeq, [ b1; b1; Shift.shift_normal 1 0 i ]))));
+    ok "typed aeq-sym is guarded and covered" (fun () ->
+        let sg = Lazy.force tsg in
+        let sym =
+          match Sign.lookup_name sg "aeq-sym" with
+          | Some (Sign.Sym_rec r) -> r
+          | _ -> Alcotest.fail "aeq-sym not found"
+        in
+        Alcotest.(check int)
+          "covered" 0
+          (List.length (Coverage.check_rec sg sym));
+        match Termination.check_rec sg sym with
+        | Termination.Guarded -> ()
+        | Termination.Issues is ->
+            Alcotest.failf "not guarded: %s" (String.concat "; " is));
+  ]
+
+let suites = [ ("typed_equal", tests) ]

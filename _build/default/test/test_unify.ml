@@ -1,0 +1,182 @@
+(** Tests for higher-order pattern unification: solving, inversion,
+    occurs check, subsumption-aware sort unification, and the (ρ, Ω′)
+    extraction used by branch checking. *)
+
+open Belr_syntax
+open Belr_meta
+open Belr_unify
+open Lf
+
+let f = Fixtures.make ()
+
+let sg = f.Fixtures.sg
+
+let check_tm = Alcotest.testable (Pp.pp_normal (Pp.env ())) Equal.normal
+
+let v i : normal = Root (BVar i, [])
+
+let fails name thunk =
+  Alcotest.test_case name `Quick (fun () ->
+      match thunk () with
+      | exception Unify.Unify _ -> ()
+      | _ -> Alcotest.failf "%s: expected unification failure" name)
+
+let ok name thunk = Alcotest.test_case name `Quick thunk
+
+let tm_s = SEmbed (f.Fixtures.tm, [])
+
+(* In a declaration stored at meta-index [i], the context variable ψ is
+   referenced by its distance from that declaration (indices are relative
+   to the declaration's own prefix of Ω). *)
+let psi_at k : Ctxs.sctx =
+  { Ctxs.s_var = Some k; Ctxs.s_promoted = false; Ctxs.s_decls = [] }
+
+let psi_x_at k : Ctxs.sctx =
+  { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
+    Ctxs.s_decls = [ Ctxs.SCDecl ("x", tm_s) ] }
+
+(* The ceq-style meta-context, innermost first:
+   N'(1), M'(2) : (ψ, x:tm).⌊tm⌋ ; N(3), M(4) : (ψ).⌊tm⌋ ; ψ(5) : xaG *)
+let omega_ceq : Meta.mctx =
+  [
+    Meta.MDTerm ("N'", psi_x_at 4, tm_s);
+    Meta.MDTerm ("M'", psi_x_at 3, tm_s);
+    Meta.MDTerm ("N", psi_at 2, tm_s);
+    Meta.MDTerm ("M", psi_at 1, tm_s);
+    Meta.MDCtx ("psi", f.Fixtures.xag);
+  ]
+
+let mvar i : normal = Root (MVar (i, Shift 0), [])
+
+let lam_of i : normal = Root (Const f.Fixtures.lam, [ Lam ("x", mvar i) ])
+
+let all_flex _ = true
+
+let pattern_flex n i = i <= n
+
+let unify_tests =
+  [
+    ok "flex-rigid: M ≐ lam (\\x. M') solves M" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
+        Unify.unify_normal st (mvar 4) (lam_of 2);
+        let rho, omega' = Unify.solve st in
+        Alcotest.(check int) "4 unsolved" 4 (List.length omega');
+        (* applying ρ to M yields lam \x. M' with M' renumbered to its
+           position in Ω′ *)
+        let m_inst = Msub.normal 0 rho (mvar 4) in
+        match m_inst with
+        | Root (Const c, [ Lam (_, Root (MVar (_, Shift 0), [])) ])
+          when c = f.Fixtures.lam ->
+            ()
+        | t -> Alcotest.failf "unexpected %a" (Pp.pp_normal (Pp.env ())) t);
+    ok "the ceq e-lam case: both M and N solved consistently" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
+        (* deq M N ≐ deq (lam M') (lam N') as sorts with subsumption *)
+        let s_scrut = SEmbed (f.Fixtures.deq, [ mvar 4; mvar 3 ]) in
+        let s_pat = SEmbed (f.Fixtures.deq, [ lam_of 2; lam_of 1 ]) in
+        Unify.unify_srt st s_pat s_scrut;
+        let rho, omega' = Unify.solve st in
+        Alcotest.(check int) "3 unsolved" 3 (List.length omega');
+        let s' = Msub.srt 0 rho s_scrut in
+        let s'' = Msub.srt 0 rho s_pat in
+        Alcotest.(check bool) "instances agree" true (Equal.srt s' s''));
+    ok "subsumption-aware sort unification (aeq ≤ ⌊deq⌋)" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
+        let got = SAtom (f.Fixtures.aeq, [ mvar 4; mvar 4 ]) in
+        let want = SEmbed (f.Fixtures.deq, [ mvar 4; mvar 4 ]) in
+        Unify.unify_srt ~leq:true st got want);
+    fails "subsumption is rejected without ~leq" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
+        Unify.unify_srt st
+          (SAtom (f.Fixtures.aeq, [ mvar 4; mvar 4 ]))
+          (SEmbed (f.Fixtures.deq, [ mvar 4; mvar 4 ])));
+    ok "rigid-rigid success" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
+        Unify.unify_normal st (lam_of 2) (lam_of 2));
+    fails "rigid-rigid constant clash" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
+        Unify.unify_normal st
+          (Root (Const f.Fixtures.lam, [ Lam ("x", v 1) ]))
+          (Root (Const f.Fixtures.app, [ mvar 4; mvar 3 ])));
+    fails "occurs check" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
+        (* M ≐ app M M *)
+        Unify.unify_normal st (mvar 4)
+          (Root (Const f.Fixtures.app, [ mvar 4; mvar 4 ])));
+    ok "matching mode: only pattern variables solvable" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:(pattern_flex 2) in
+        (* pattern M'(2) against rigid ground term: M' := lam \x.x,
+           weakened to (ψ, x) *)
+        let ground =
+          Shift.shift_normal 1 0 (Fixtures.id_tm f)
+        in
+        Unify.unify_normal st (mvar 2) ground;
+        let rho, _ = Unify.solve st in
+        Alcotest.check check_tm "solved" ground (Msub.normal 0 rho (mvar 2)));
+    fails "matching mode refuses to solve scrutinee variables" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:(pattern_flex 2) in
+        (* would need to solve M (index 4), which is not flex *)
+        Unify.unify_normal st (mvar 4) (Fixtures.id_tm f));
+    ok "inversion through a proper pattern substitution" (fun () ->
+        (* u : (x:tm).tm used at σ = (x ↦ y₂) in a 3-variable context;
+           u[σ] ≐ app y₂ y₂ solves u := app x x *)
+        let psi_u =
+          Ctxs.sctx_push Ctxs.empty_sctx (Ctxs.SCDecl ("x", tm_s))
+        in
+        let omega = [ Meta.MDTerm ("u", psi_u, tm_s) ] in
+        let st = Unify.make ~sg ~omega ~flex:all_flex in
+        let sigma = Dot (Obj (v 2), Shift 3) in
+        let t1 = Root (MVar (1, sigma), []) in
+        let t2 = Root (Const f.Fixtures.app, [ v 2; v 2 ]) in
+        Unify.unify_normal st t1 t2;
+        let rho, _ = Unify.solve st in
+        (* read back the solution by applying ρ to u[id] *)
+        let sol = Msub.normal 0 rho (mvar 1) in
+        Alcotest.check check_tm "app x x"
+          (Root (Const f.Fixtures.app, [ v 1; v 1 ]))
+          sol);
+    fails "inversion fails when a variable escapes" (fun () ->
+        let psi_u =
+          Ctxs.sctx_push Ctxs.empty_sctx (Ctxs.SCDecl ("x", tm_s))
+        in
+        let omega = [ Meta.MDTerm ("u", psi_u, tm_s) ] in
+        let st = Unify.make ~sg ~omega ~flex:all_flex in
+        let sigma = Dot (Obj (v 2), Shift 3) in
+        let t1 = Root (MVar (1, sigma), []) in
+        (* y₁ is not in the image of σ *)
+        let t2 = Root (Const f.Fixtures.app, [ v 1; v 2 ]) in
+        Unify.unify_normal st t1 t2);
+    ok "parameter variable solving (#b ≐ concrete block)" (fun () ->
+        let psi1 = Fixtures.xa_sctx f 1 in
+        let omega =
+          [ Meta.MDParam ("b", psi1, f.Fixtures.xa_selem, []) ]
+        in
+        let st = Unify.make ~sg ~omega ~flex:all_flex in
+        Unify.unify_normal st
+          (Root (Proj (PVar (1, Shift 0), 2), []))
+          (Root (Proj (BVar 1, 2), []));
+        let rho, omega' = Unify.solve st in
+        Alcotest.(check int) "all solved" 0 (List.length omega');
+        match Msub.normal 0 rho (Root (Proj (PVar (1, Shift 0), 2), [])) with
+        | Root (Proj (BVar 1, 2), []) -> ()
+        | t -> Alcotest.failf "unexpected %a" (Pp.pp_normal (Pp.env ())) t);
+    fails "parameter projections with different indices clash" (fun () ->
+        let psi1 = Fixtures.xa_sctx f 1 in
+        let omega = [ Meta.MDParam ("b", psi1, f.Fixtures.xa_selem, []) ] in
+        let st = Unify.make ~sg ~omega ~flex:all_flex in
+        Unify.unify_normal st
+          (Root (Proj (PVar (1, Shift 0), 2), []))
+          (Root (Proj (BVar 1, 1), [])));
+    ok "residual context is topologically ordered" (fun () ->
+        let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
+        Unify.unify_normal st (mvar 4) (lam_of 2);
+        Unify.unify_normal st (mvar 3) (lam_of 1);
+        let _, omega' = Unify.solve st in
+        (* Ω′ = N', M', ψ (innermost first ending with ψ) *)
+        Alcotest.(check int) "3 left" 3 (List.length omega');
+        match List.rev omega' with
+        | Meta.MDCtx _ :: _ -> ()
+        | _ -> Alcotest.fail "context variable should be outermost");
+  ]
+
+let suites = [ ("unify", unify_tests) ]
