@@ -3,25 +3,20 @@
     - [belr check FILE…]   parse, elaborate, sort-check, and run the
       conservativity translation on each file (later files see the
       declarations of earlier ones).
-    - [belr sig FILE…]     same, then print the resulting signature summary.
 
-    Exit code 0 on success, 1 on any error. *)
+    Checking is fault-tolerant: every independent error in a pass is
+    reported (one declaration failing does not hide the rest), rendered
+    diagnostics carry stable codes (see the Diagnostics section of
+    README.md), and runaway recursion is cut off by a configurable depth
+    budget instead of crashing the process.
+
+    Diagnostics (errors, warnings, notes) go to stderr; stdout carries
+    only the machine-readable summary.  Exit codes: 0 = clean (warnings
+    allowed unless [--werror]), 1 = user errors, 2 = an internal belr bug
+    was detected. *)
 
 open Cmdliner
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let load_files files =
-  let sg = Belr_lf.Sign.create () in
-  List.iter
-    (fun f -> Belr_parser.Process.extend sg ~name:f (read_file f))
-    files;
-  sg
+open Belr_support
 
 let summarize sg =
   let n l = List.length l in
@@ -57,43 +52,26 @@ let print_recs sg =
         r.Belr_lf.Sign.r_styp)
     (List.sort compare (Belr_lf.Sign.all_recs sg))
 
-(** Optional analyses (the paper's §6.1 future work): coverage and
-    structural termination, reported as warnings. *)
-let analyze sg =
-  List.iter
-    (fun (id, (r : Belr_lf.Sign.rec_entry)) ->
-      (match Belr_comp.Coverage.check_rec sg id with
-      | [] -> ()
-      | issues ->
-          List.iter
-            (fun (missing, _) ->
-              Fmt.pr "warning: %s has a non-exhaustive match (missing %s)@."
-                r.Belr_lf.Sign.r_name
-                (String.concat ", " missing))
-            issues);
-      match Belr_comp.Termination.check_rec sg id with
-      | Belr_comp.Termination.Guarded -> ()
-      | Belr_comp.Termination.Issues is ->
-          List.iter (fun m -> Fmt.pr "warning: %s@." m) is)
-    (List.sort compare (Belr_lf.Sign.all_recs sg))
-
-let run_load files verbose total =
-  match
-    Belr_support.Error.protect (fun () ->
-        let sg = load_files files in
-        Fmt.pr "%d file(s) checked successfully.@." (List.length files);
-        summarize sg;
-        if verbose then print_recs sg;
-        if total then analyze sg;
-        ())
-  with
-  | Ok () -> 0
-  | Error msg ->
-      Fmt.epr "%s@." msg;
-      1
+let run_check files verbose total max_errors max_depth werror =
+  Limits.set_max_depth max_depth;
+  let sink = Diagnostics.sink ~max_errors ~werror () in
+  let sg = Belr_parser.Driver.check_files sink files in
+  if total then Belr_parser.Driver.analyze sink sg;
+  Diagnostics.dump Fmt.stderr sink;
+  match Diagnostics.exit_code sink with
+  | 0 ->
+      Fmt.pr "%d file(s) checked successfully.@." (List.length files);
+      summarize sg;
+      if verbose then print_recs sg;
+      0
+  | code ->
+      Fmt.epr "check failed: %a.@." Diagnostics.pp_summary sink;
+      code
 
 let files_arg =
-  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"source files")
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"FILE" ~doc:"source files (checked in order)")
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print checked functions")
@@ -104,15 +82,39 @@ let total_arg =
     & info [ "total" ]
         ~doc:
           "also run the optional coverage and structural-termination \
-           analyses (the paper's §6.1 extensions) and report warnings")
+           analyses (the paper's §6.1 extensions) and report warnings \
+           (codes W0601/W0602) on stderr")
+
+let max_errors_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:
+          "stop after reporting $(docv) errors (0 = no limit); warnings \
+           and notes do not count")
+
+let max_depth_arg =
+  Arg.(
+    value & opt int Limits.default_max_depth
+    & info [ "max-depth" ] ~docv:"N"
+        ~doc:
+          "depth budget for hereditary substitution, eta-expansion, and \
+           unification; exceeding it yields the E0901 resource \
+           diagnostic instead of a crash")
+
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "werror" ] ~doc:"treat warnings as errors (exit code 1)")
 
 let check_cmd =
   let doc = "parse, elaborate, and sort-check source files" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun files v t -> run_load files v t)
-      $ files_arg $ verbose_arg $ total_arg)
+      const (fun files v t me md we -> run_check files v t me md we)
+      $ files_arg $ verbose_arg $ total_arg $ max_errors_arg $ max_depth_arg
+      $ werror_arg)
 
 let main =
   let doc =

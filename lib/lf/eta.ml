@@ -5,8 +5,11 @@
     η-expanded at its type.  Only the simple-type skeleton matters for
     the expansion, so we erase dependencies first. *)
 
+open Belr_support
 open Belr_syntax
 open Lf
+
+let depth = Limits.counter "eta-expansion"
 
 (** Simple-type skeletons. *)
 type aty = Aatom | Aarr of aty * aty
@@ -22,6 +25,12 @@ let rec approx_srt : srt -> aty = function
 (** [expand_head t h] is the η-long form of head [h] at skeleton [t]:
     [λx₁…xₙ. h (η x₁) … (η xₙ)]. *)
 let rec expand_head (t : aty) (h : head) : normal =
+  match t with
+  | Aatom -> Root (h, [])
+  | Aarr _ ->
+      Limits.guard depth (fun () -> expand_head_arr t h)
+
+and expand_head_arr (t : aty) (h : head) : normal =
   match t with
   | Aatom -> Root (h, [])
   | Aarr _ ->

@@ -7,26 +7,18 @@
 
     Substitutions are simultaneous ({!Belr_syntax.Lf.sub}).  The functions
     here terminate on all well-typed inputs (the standard induction on
-    erased simple types); a depth guard turns accidental divergence on
-    ill-typed inputs into an error instead of a hang. *)
+    erased simple types); a depth guard ({!Belr_support.Limits}, the CLI's
+    [--max-depth]) turns accidental divergence on ill-typed inputs into
+    the recoverable [E0901] resource diagnostic instead of a hang or a
+    [Stack_overflow]. *)
 
 open Belr_support
 open Belr_syntax
 open Lf
 
-let max_depth = 10_000
+let depth = Limits.counter "hereditary substitution"
 
-let depth = ref 0
-
-let guard f =
-  incr depth;
-  if !depth > max_depth then (
-    depth := 0;
-    Error.raise_msg
-      "hereditary substitution exceeded depth %d (ill-typed input?)" max_depth);
-  let r = f () in
-  decr depth;
-  r
+let guard f = Limits.guard depth f
 
 (** Smart constructor normalizing [Dot (xₙ, ↑ⁿ)] to [↑ⁿ⁻¹] so that
     identity substitutions stay syntactically canonical under composition

@@ -78,6 +78,11 @@ type t = {
   csorts : (int * int, Lf.srt * int) Hashtbl.t;
       (** (constant, sort family) → (assigned sort, implicit count) *)
   by_name : (string, sym) Hashtbl.t;
+  poisoned : (string, unit) Hashtbl.t;
+      (** names declared by a declaration that failed to check; looking one
+          up raises {!Belr_support.Error.Depends_on_failed} so downstream
+          declarations report a single dependency note instead of a
+          cascade of spurious errors *)
   mutable fresh : int;
 }
 
@@ -91,6 +96,7 @@ let create () =
     recs = Hashtbl.create 16;
     csorts = Hashtbl.create 64;
     by_name = Hashtbl.create 128;
+    poisoned = Hashtbl.create 16;
     fresh = 0;
   }
 
@@ -104,7 +110,15 @@ let bind_name sg name sym =
     Error.raise_msg "name %s is already declared" name;
   Hashtbl.replace sg.by_name name sym
 
-let lookup_name sg name = Hashtbl.find_opt sg.by_name name
+(** Mark [name] as declared by a failed declaration (fault-tolerant
+    checking); subsequent lookups raise {!Error.Depends_on_failed}. *)
+let poison sg name = Hashtbl.replace sg.poisoned name ()
+
+let is_poisoned sg name = Hashtbl.mem sg.poisoned name
+
+let lookup_name sg name =
+  if Hashtbl.mem sg.poisoned name then raise (Error.Depends_on_failed name);
+  Hashtbl.find_opt sg.by_name name
 
 (* --- declaration ---------------------------------------------------- *)
 

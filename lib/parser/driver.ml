@@ -1,0 +1,81 @@
+(** The fault-tolerant checking driver behind [belr check].
+
+    Lives in the library (rather than [bin/]) so the diagnostics story —
+    multi-error reporting, per-declaration recovery, resource guards, exit
+    codes — is testable without spawning the executable.  All diagnostics
+    flow through one {!Belr_support.Diagnostics.sink}; the caller renders
+    them (the CLI dumps to stderr, keeping stdout machine-readable) and
+    maps the sink to an exit code. *)
+
+open Belr_support
+
+(** Read a file, closing the channel even on exception.  A missing or
+    unreadable file becomes an [E0701] diagnostic naming the file, not an
+    uncaught [Sys_error]. *)
+let read_file (sink : Diagnostics.sink) (path : string) : string option =
+  Diagnostics.recover sink ~code:"E0701" (fun () ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try really_input_string ic (in_channel_length ic)
+          with End_of_file ->
+            Error.raise_msg "file %s changed while being read" path))
+
+(** Check named sources in order (later sources see the declarations of
+    earlier ones), recovering per declaration; always returns the
+    signature accumulated so far, even after the [--max-errors] cap. *)
+let check_sources (sink : Diagnostics.sink)
+    (sources : (string * string) list) : Belr_lf.Sign.t =
+  let sg = Belr_lf.Sign.create () in
+  Diagnostics.with_stop sink (fun () ->
+      List.iter
+        (fun (name, src) -> Process.extend ~diags:sink sg ~name src)
+        sources);
+  sg
+
+(** Check files from disk; unreadable files are reported and skipped. *)
+let check_files (sink : Diagnostics.sink) (files : string list) :
+    Belr_lf.Sign.t =
+  let sg = Belr_lf.Sign.create () in
+  Diagnostics.with_stop sink (fun () ->
+      List.iter
+        (fun f ->
+          match read_file sink f with
+          | Some src -> Process.extend ~diags:sink sg ~name:f src
+          | None -> ())
+        files);
+  sg
+
+(** The optional [--total] analyses (the paper's §6.1 future work):
+    coverage and structural termination, reported as [W0601]/[W0602]
+    warnings through the sink — never on stdout, so they cannot corrupt
+    the machine-readable summary.  Each function is analyzed under
+    recovery: an analysis crash is a reported bug, not a lost run. *)
+let analyze (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) : unit =
+  Diagnostics.with_stop sink (fun () ->
+      List.iter
+        (fun (id, (r : Belr_lf.Sign.rec_entry)) ->
+          ignore
+            (Diagnostics.recover sink ~code:"E0201" (fun () ->
+                 (match Belr_comp.Coverage.check_rec sg id with
+                 | [] -> ()
+                 | issues ->
+                     List.iter
+                       (fun (missing, _) ->
+                         Diagnostics.emit sink
+                           (Diagnostics.make ~code:"W0601" Diagnostics.Warning
+                              "%s has a non-exhaustive match (missing %s)"
+                              r.Belr_lf.Sign.r_name
+                              (String.concat ", " missing)))
+                       issues);
+                 match Belr_comp.Termination.check_rec sg id with
+                 | Belr_comp.Termination.Guarded -> ()
+                 | Belr_comp.Termination.Issues is ->
+                     List.iter
+                       (fun m ->
+                         Diagnostics.emit sink
+                           (Diagnostics.make ~code:"W0602" Diagnostics.Warning
+                              "%s" m))
+                       is)))
+        (List.sort compare (Belr_lf.Sign.all_recs sg)))

@@ -107,3 +107,29 @@ type decl =
   | Drec of { r_loc : Loc.t; r_name : string; r_sort : csort; r_body : cexp }
 
 type program = decl list
+
+(** The location anchoring a whole declaration (for diagnostics whose
+    exception carries no span of its own). *)
+let decl_loc : decl -> Loc.t = function
+  | Dtyp d -> d.d_loc
+  | Dmutual (d :: _) -> d.d_loc
+  | Dmutual [] -> Loc.ghost
+  | Dschema { s_loc; _ } -> s_loc
+  | Drec { r_loc; _ } -> r_loc
+
+let typ_decl_names (d : typ_decl) : string list =
+  (* a refinement's "constructors" name existing constants of the refined
+     family — those belong to an earlier declaration and must not be
+     poisoned when this one fails *)
+  d.d_name
+  ::
+  (if d.d_refines = None then List.map (fun c -> c.k_name) d.d_ctors else [])
+
+(** Every name a declaration would bind in the signature — the set to
+    poison when the declaration fails to check.  A schema also auto-binds
+    its trivial refinement under [name ^ "^"]. *)
+let declared_names : decl -> string list = function
+  | Dtyp d -> typ_decl_names d
+  | Dmutual ds -> List.concat_map typ_decl_names ds
+  | Dschema { s_name; _ } -> [ s_name; s_name ^ "^" ]
+  | Drec { r_name; _ } -> [ r_name ]

@@ -556,3 +556,43 @@ let parse_program ?name (src : string) : Ext.program =
     | None -> List.rev acc
   in
   go []
+
+(** Skip past the next declaration terminator [;] (or to end of input) —
+    the resynchronization point after a syntax error. *)
+let resync st =
+  let rec go () =
+    match cur_tok st with
+    | EOF -> ()
+    | SEMI -> advance st
+    | _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+(** Fault-tolerant variant of {!parse_program}: a syntax error inside one
+    declaration is reported to [sink] (code [E0101]) and parsing resumes
+    at the next [;], so one bad declaration does not hide errors in — or
+    the contents of — the rest of the file. *)
+let parse_program_tolerant (sink : Diagnostics.sink) ?name (src : string) :
+    Ext.program =
+  match
+    Diagnostics.recover sink ~code:"E0101" (fun () -> Lexer.tokens ?name src)
+  with
+  | None -> []
+  | Some lexemes ->
+      let st = make lexemes in
+      let rec go acc =
+        match
+          Diagnostics.recover sink ~code:"E0101" (fun () -> parse_decl st)
+        with
+        | Some (Some d) -> go (d :: acc)
+        | Some None -> List.rev acc
+        | None ->
+            if cur_tok st = EOF then List.rev acc
+            else begin
+              resync st;
+              go acc
+            end
+      in
+      go []

@@ -170,14 +170,40 @@ let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
       Embed_t.check_exp_t sg [] [] (Erase.exp sg body) typ;
       Sign.set_rec_body sg id body
 
-(** Process a whole source program into a signature. *)
+(** Process a whole source program into a signature (fail-fast: the first
+    error is raised as an exception, as the unit tests and examples
+    expect). *)
 let program ?name (src : string) : Sign.t =
   let decls = Parse.parse_program ?name src in
   let sg = Sign.create () in
   List.iter (process_decl sg) decls;
   sg
 
-(** Process additional declarations into an existing signature. *)
-let extend (sg : Sign.t) ?name (src : string) : unit =
-  let decls = Parse.parse_program ?name src in
-  List.iter (process_decl sg) decls
+(** Process one declaration under error recovery: a failure is rendered
+    into [sink] (located at the declaration, code [E0201] unless the
+    exception carries its own classification) and the declaration's names
+    are poisoned so downstream references yield a single [E0801]
+    dependency note instead of an error cascade. *)
+let process_decl_tolerant (sink : Diagnostics.sink) (sg : Sign.t)
+    (d : Ext.decl) : unit =
+  match
+    Diagnostics.recover sink ~loc:(Ext.decl_loc d) ~code:"E0201" (fun () ->
+        process_decl sg d)
+  with
+  | Some () -> ()
+  | None -> List.iter (Sign.poison sg) (Ext.declared_names d)
+
+(** Process additional declarations into an existing signature.
+
+    Without [?diags] this is fail-fast, as before.  With [?diags] the
+    pipeline is fault-tolerant: syntax errors resynchronize at declaration
+    boundaries, and each declaration that fails to elaborate or check is
+    reported, skipped, and poisoned while checking continues with the rest
+    of the input — so one pass reports every independent error in a
+    file. *)
+let extend ?diags (sg : Sign.t) ?name (src : string) : unit =
+  match diags with
+  | None -> List.iter (process_decl sg) (Parse.parse_program ?name src)
+  | Some sink ->
+      let decls = Parse.parse_program_tolerant sink ?name src in
+      List.iter (process_decl_tolerant sink sg) decls

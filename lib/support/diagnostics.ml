@@ -1,0 +1,218 @@
+(** The diagnostics engine: severities, stable error codes, a per-run
+    accumulator, and the error-recovery combinator used by the
+    fault-tolerant checking pipeline.
+
+    A diagnostic is a rendered message with a {!severity}, a stable
+    {e code}, and a source span.  Codes are grouped by pipeline phase:
+
+    - [E0001]       unclassified user error
+    - [E0002]       the [--max-errors] cap was reached (reported as a note)
+    - [E01xx]       lexical and syntax errors ([E0101])
+    - [E02xx]       declaration errors: elaboration and sort checking
+                    ([E0201])
+    - [E07xx]       input/output: unreadable or missing source file
+                    ([E0701])
+    - [E08xx]       recovery notes: [E0801] "depends on a failed
+                    declaration"
+    - [E09xx]       resource limits: [E0901] depth/stack exhausted,
+                    [E0902] out of memory
+    - [W06xx]       the [--total] analyses: [W0601] non-exhaustive
+                    coverage, [W0602] unproven termination
+    - [B00xx]       internal bugs: [B0001] invariant violation, [B0002]
+                    unexpected exception
+
+    Severities map to exit codes (see {!exit_code}): any [Bug] ⇒ 2, else
+    any [Error] ⇒ 1, else 0.  [--werror] promotes warnings to errors at
+    {!emit} time; notes never affect the exit code. *)
+
+type severity = Note | Warning | Error | Bug
+
+type t = {
+  d_code : string;
+  d_severity : severity;
+  d_loc : Loc.t;
+  d_message : string;
+}
+
+(** Build a diagnostic from a format string. *)
+let make :
+    'a. ?loc:Loc.t -> code:string -> severity ->
+    ('a, Format.formatter, unit, t) format4 -> 'a =
+ fun ?(loc = Loc.ghost) ~code severity fmt ->
+  Format.kasprintf
+    (fun msg ->
+      { d_code = code; d_severity = severity; d_loc = loc; d_message = msg })
+    fmt
+
+let severity_label = function
+  | Note -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+  | Bug -> "bug"
+
+let pp ppf d =
+  if Loc.is_ghost d.d_loc then
+    Fmt.pf ppf "%s[%s]: %s" (severity_label d.d_severity) d.d_code d.d_message
+  else
+    Fmt.pf ppf "%a: %s[%s]: %s" Loc.pp d.d_loc (severity_label d.d_severity)
+      d.d_code d.d_message
+
+(* --- the per-run accumulator ------------------------------------------ *)
+
+type sink = {
+  mutable diags : t list;  (** newest first *)
+  seen_notes : (string * string, unit) Hashtbl.t;
+      (** (code, message) of emitted notes — a poisoned name referenced
+          ten times still yields a single "depends on failed declaration"
+          note, not a cascade *)
+  sk_max_errors : int;  (** 0 = unlimited *)
+  sk_werror : bool;
+  mutable n_errors : int;
+  mutable n_warnings : int;
+  mutable n_notes : int;
+  mutable n_bugs : int;
+  mutable stopped : bool;
+}
+
+exception Stop
+(** Raised by {!emit} when the error cap is reached; {!with_stop} turns it
+    into a final "too many errors" note. *)
+
+let sink ?(max_errors = 0) ?(werror = false) () =
+  {
+    diags = [];
+    seen_notes = Hashtbl.create 16;
+    sk_max_errors = max_errors;
+    sk_werror = werror;
+    n_errors = 0;
+    n_warnings = 0;
+    n_notes = 0;
+    n_bugs = 0;
+    stopped = false;
+  }
+
+(** Record a diagnostic (promoting warnings under [--werror], deduplicating
+    notes).  Raises {!Stop} once the [max_errors]-th error is recorded. *)
+let emit sink d =
+  let d =
+    if sink.sk_werror && d.d_severity = Warning then { d with d_severity = Error }
+    else d
+  in
+  let duplicate_note =
+    d.d_severity = Note && Hashtbl.mem sink.seen_notes (d.d_code, d.d_message)
+  in
+  if not duplicate_note then begin
+    if d.d_severity = Note then
+      Hashtbl.replace sink.seen_notes (d.d_code, d.d_message) ();
+    sink.diags <- d :: sink.diags;
+    (match d.d_severity with
+    | Note -> sink.n_notes <- sink.n_notes + 1
+    | Warning -> sink.n_warnings <- sink.n_warnings + 1
+    | Error -> sink.n_errors <- sink.n_errors + 1
+    | Bug -> sink.n_bugs <- sink.n_bugs + 1);
+    if
+      d.d_severity = Error
+      && sink.sk_max_errors > 0
+      && sink.n_errors >= sink.sk_max_errors
+      && not sink.stopped
+    then begin
+      sink.stopped <- true;
+      raise Stop
+    end
+  end
+
+(** Run [f ()], absorbing a {!Stop} from the error cap into a final note
+    explaining how to raise the limit. *)
+let with_stop sink (f : unit -> unit) : unit =
+  try f ()
+  with Stop ->
+    emit sink
+      (make ~code:"E0002" Note
+         "too many errors (limit %d); giving up on the rest of the input \
+          (raise the limit with --max-errors)"
+         sink.sk_max_errors)
+
+let all sink = List.rev sink.diags
+
+let error_count sink = sink.n_errors
+
+let warning_count sink = sink.n_warnings
+
+let note_count sink = sink.n_notes
+
+let bug_count sink = sink.n_bugs
+
+(** 0 = clean (warnings allowed unless [--werror] promoted them), 1 = user
+    errors, 2 = an internal bug was detected. *)
+let exit_code sink =
+  if sink.n_bugs > 0 then 2 else if sink.n_errors > 0 then 1 else 0
+
+let dump ppf sink = List.iter (fun d -> Fmt.pf ppf "%a@." pp d) (all sink)
+
+let pp_summary ppf sink =
+  let part n what = if n = 0 then None else Some (Fmt.str "%d %s" n what) in
+  let parts =
+    List.filter_map Fun.id
+      [
+        part sink.n_bugs "internal bug(s)";
+        part sink.n_errors "error(s)";
+        part sink.n_warnings "warning(s)";
+        part sink.n_notes "note(s)";
+      ]
+  in
+  match parts with
+  | [] -> Fmt.string ppf "no diagnostics"
+  | ps -> Fmt.string ppf (String.concat ", " ps)
+
+(* --- error recovery ---------------------------------------------------- *)
+
+(** [recover sink ~loc ~code f] runs [f ()]; on failure the exception is
+    classified, rendered into the sink, and [None] is returned so the
+    caller can skip the failed unit of work and continue.  [loc] locates
+    diagnostics whose exception carries no span of its own; [code] is the
+    stable code for plain user errors raised by this phase (dedicated
+    exceptions keep their own codes: [E0801], [E0901], [E0902], [B0001],
+    [B0002]).  Depth counters are reset after any failure so a
+    partially-unwound recursion cannot starve the next declaration.
+    {!Stop} (the error cap) is never absorbed here. *)
+let recover :
+    'a. sink -> ?loc:Loc.t -> ?code:string -> (unit -> 'a) -> 'a option =
+ fun sink ?(loc = Loc.ghost) ?(code = "E0001") f ->
+  let fail d =
+    Limits.reset ();
+    emit sink d;
+    None
+  in
+  match f () with
+  | v -> Some v
+  | exception Stop -> raise Stop
+  | exception Error.Belr_error (l, msg) ->
+      let l = if Loc.is_ghost l then loc else l in
+      fail (make ~loc:l ~code Error "%s" msg)
+  | exception Error.Depends_on_failed name ->
+      fail
+        (make ~loc ~code:"E0801" Note
+           "this declaration references %s, whose declaration failed to \
+            check; it is skipped"
+           name)
+  | exception Limits.Limit_exceeded (what, limit) ->
+      fail
+        (make ~loc ~code:"E0901" Error
+           "resource limit exceeded: %s passed the depth limit %d; re-run \
+            with a larger --max-depth"
+           what limit)
+  | exception Stack_overflow ->
+      fail
+        (make ~loc ~code:"E0901" Error
+           "resource limit exceeded: the OCaml stack overflowed; re-run \
+            with a smaller --max-depth or a larger system stack")
+  | exception Out_of_memory ->
+      fail (make ~loc ~code:"E0902" Error "out of memory while checking")
+  | exception Sys_error msg ->
+      fail (make ~loc ~code:"E0701" Error "system error: %s" msg)
+  | exception Error.Violation msg ->
+      fail (make ~loc ~code:"B0001" Bug "internal violation (belr bug): %s" msg)
+  | exception exn ->
+      fail
+        (make ~loc ~code:"B0002" Bug "unexpected exception (belr bug): %s"
+           (Printexc.to_string exn))

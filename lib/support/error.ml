@@ -3,11 +3,18 @@
     All user-facing failures in the checker, elaborator, and evaluator are
     raised as {!Belr_error} carrying an optional location and a rendered
     message.  Internal invariant violations use {!violation} instead, which
-    marks a bug in belr rather than in user input. *)
+    marks a bug in belr rather than in user input.  {!Depends_on_failed} is
+    raised by name lookup when a declaration references a name whose own
+    declaration failed to check (see {!Diagnostics.recover}): it lets the
+    fault-tolerant pipeline report a single "depends on a failed
+    declaration" note instead of a cascade of spurious errors. *)
 
 exception Belr_error of Loc.t * string
 
 exception Violation of string
+
+exception Depends_on_failed of string
+(** The argument is the referenced name whose declaration failed. *)
 
 (** Raise a user-facing error at location [loc]. *)
 let raise_at : 'a. Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a =
@@ -24,10 +31,28 @@ let pp ppf = function
   | Belr_error (loc, msg) when Loc.is_ghost loc -> Fmt.pf ppf "error: %s" msg
   | Belr_error (loc, msg) -> Fmt.pf ppf "%a: error: %s" Loc.pp loc msg
   | Violation msg -> Fmt.pf ppf "internal violation (belr bug): %s" msg
+  | Depends_on_failed name ->
+      Fmt.pf ppf "error: %s depends on a declaration that failed to check"
+        name
+  | Limits.Limit_exceeded (what, limit) ->
+      Fmt.pf ppf
+        "error: resource limit exceeded: %s passed the depth limit %d" what
+        limit
+  | Stack_overflow -> Fmt.pf ppf "error: resource limit exceeded: OCaml stack"
+  | Out_of_memory -> Fmt.pf ppf "error: out of memory"
+  | Sys_error msg -> Fmt.pf ppf "error: system error: %s" msg
   | exn -> Fmt.pf ppf "exception: %s" (Printexc.to_string exn)
 
-(** Run [f ()], turning belr exceptions into [Error rendered_message]. *)
+(** Run [f ()], turning belr exceptions — and the recoverable runtime
+    failures [Stack_overflow], [Out_of_memory], and [Sys_error] — into
+    [Error rendered_message].  Depth counters are reset on the way out so
+    a partially-unwound recursion cannot starve the next [protect]. *)
 let protect f =
   match f () with
   | v -> Ok v
-  | exception ((Belr_error _ | Violation _) as e) -> Error (Fmt.str "%a" pp e)
+  | exception
+      (( Belr_error _ | Violation _ | Depends_on_failed _
+       | Limits.Limit_exceeded _ | Stack_overflow | Out_of_memory
+       | Sys_error _ ) as e) ->
+      Limits.reset ();
+      Error (Fmt.str "%a" pp e)

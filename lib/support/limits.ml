@@ -1,0 +1,57 @@
+(** Resource guards for the unbounded recursions of the checker.
+
+    Hereditary substitution, η-expansion, and unification all terminate on
+    well-formed inputs, but adversarial or ill-typed inputs can drive them
+    arbitrarily deep.  Rather than crash with [Stack_overflow] (or hang),
+    each such recursion threads a {!counter} through {!guard}, which
+    raises {!Limit_exceeded} once the configurable {!max_depth} is passed.
+    The diagnostics engine renders that exception as the stable [E0901]
+    "resource limit exceeded" error and recovers at the declaration
+    boundary.
+
+    The limit is a single process-wide knob (the CLI's [--max-depth]); the
+    per-subsystem counters exist so the rendered diagnostic can name the
+    recursion that blew up. *)
+
+let default_max_depth = 10_000
+
+let max_depth = ref default_max_depth
+
+(** Set the depth budget shared by every guarded recursion (clamped to be
+    at least 1). *)
+let set_max_depth n = max_depth := max 1 n
+
+exception Limit_exceeded of string * int
+(** [Limit_exceeded (subsystem, limit)]: the named recursion passed
+    [limit] nested guarded calls. *)
+
+type counter = { c_name : string; mutable c_depth : int }
+
+let registry : counter list ref = ref []
+
+(** Register a named depth counter (one per guarded subsystem). *)
+let counter name =
+  let c = { c_name = name; c_depth = 0 } in
+  registry := c :: !registry;
+  c
+
+(** Reset every counter to zero.  Error recovery calls this after catching
+    an exception so that a partially-unwound recursion cannot poison the
+    depth budget of the next declaration. *)
+let reset () = List.iter (fun c -> c.c_depth <- 0) !registry
+
+(** [guard c f] runs [f ()] with [c] one level deeper, raising
+    {!Limit_exceeded} when the budget is exhausted.  The counter is
+    restored even when [f] raises, so fail-fast callers that catch the
+    error keep an accurate depth. *)
+let guard c f =
+  if c.c_depth >= !max_depth then
+    raise (Limit_exceeded (c.c_name, !max_depth));
+  c.c_depth <- c.c_depth + 1;
+  match f () with
+  | r ->
+      c.c_depth <- c.c_depth - 1;
+      r
+  | exception e ->
+      c.c_depth <- c.c_depth - 1;
+      raise e

@@ -31,6 +31,11 @@ exception Unify of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Unify s)) fmt
 
+(** Depth fuel for the term-level recursion and for the solution-resolution
+    fixpoints: outside the pattern fragment a cyclic partial solution could
+    otherwise loop or overflow the stack (see {!Belr_support.Limits}). *)
+let depth = Limits.counter "unification"
+
 type state = {
   sg : Sign.t;
   omega : Meta.mctx;  (** the full problem meta-context, innermost first *)
@@ -91,23 +96,27 @@ let sol_msub st : Meta.msub =
     may mention other solved variables). *)
 let rec resolve_normal st (m : normal) : normal =
   let m' = Msub.normal 0 (sol_msub st) m in
-  if Equal.normal m m' then m else resolve_normal st m'
+  if Equal.normal m m' then m
+  else Limits.guard depth (fun () -> resolve_normal st m')
 
 let rec resolve_srt st (s : srt) : srt =
   let s' = Msub.srt 0 (sol_msub st) s in
-  if Equal.srt s s' then s else resolve_srt st s'
+  if Equal.srt s s' then s else Limits.guard depth (fun () -> resolve_srt st s')
 
 let rec resolve_sctx st (psi : Ctxs.sctx) : Ctxs.sctx =
   let psi' = Msub.sctx 0 (sol_msub st) psi in
-  if Equal.sctx psi psi' then psi else resolve_sctx st psi'
+  if Equal.sctx psi psi' then psi
+  else Limits.guard depth (fun () -> resolve_sctx st psi')
 
 let rec resolve_mobj st (o : Meta.mobj) : Meta.mobj =
   let o' = Msub.mobj 0 (sol_msub st) o in
-  if Equal.mobj o o' then o else resolve_mobj st o'
+  if Equal.mobj o o' then o
+  else Limits.guard depth (fun () -> resolve_mobj st o')
 
 let rec resolve_msrt st (s : Meta.msrt) : Meta.msrt =
   let s' = Msub.msrt 0 (sol_msub st) s in
-  if Equal.msrt s s' then s else resolve_msrt st s'
+  if Equal.msrt s s' then s
+  else Limits.guard depth (fun () -> resolve_msrt st s')
 
 (* --- occurs check ------------------------------------------------------- *)
 
@@ -214,6 +223,9 @@ let invert_term (s : sub) (m : normal) : normal =
 (* --- the unifier --------------------------------------------------------- *)
 
 let rec unify_normal st (m1 : normal) (m2 : normal) : unit =
+  Limits.guard depth (fun () -> unify_normal_inner st m1 m2)
+
+and unify_normal_inner st (m1 : normal) (m2 : normal) : unit =
   let m1 = resolve_normal st m1 and m2 = resolve_normal st m2 in
   if Equal.normal m1 m2 then ()
   else
