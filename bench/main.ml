@@ -12,7 +12,12 @@
     - E5  hereditary substitution with tuple fronts / block projections
     - E6  ablation: unified single-pass judgment vs naive two-pass
 
-    Run with: [dune exec bench/main.exe]  (add [--fast] for a quick pass) *)
+    Run with: [dune exec bench/main.exe]  (add [--fast] for a quick pass).
+
+    [--json FILE] additionally writes every measured number as a
+    machine-readable report (schema [belr-bench/1]) — the format of the
+    committed [BENCH_*.json] performance trajectory; see EXPERIMENTS.md
+    for how each number is regenerated. *)
 
 open Bechamel
 open Belr_syntax
@@ -21,7 +26,26 @@ open Belr_core
 open Belr_kits
 open Lf
 
+module J = Belr_support.Json
+
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
+
+let json_file =
+  let out = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then
+        out := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !out
+
+(** The per-experiment JSON report, accumulated in experiment order. *)
+let report : (string * J.t) list ref = ref []
+
+let record key j = report := (key, j) :: !report
+
+let json_rows (rows : (string * float) list) : J.t =
+  J.Obj (List.map (fun (n, v) -> (n, J.Float v)) rows)
 
 let quota = Time.second (if fast then 0.25 else 1.0)
 
@@ -121,6 +145,20 @@ let e1 () =
       [ "aeq-refl"; "aeq-sym"; "aeq-trans"; "ceq"; "sound" ]
   in
   Stats.pp_comparison Fmt.stdout refin cv;
+  let dev (d : Stats.dev_stats) =
+    J.Obj
+      [
+        ("const_decls", J.Int d.Stats.ds_const_decls);
+        ("sort_assignments", J.Int d.Stats.ds_sort_assignments);
+        ("block_width", J.Int d.Stats.ds_block_width);
+        ("theorems", J.Int (List.length d.Stats.ds_theorems));
+        ("total_args", J.Int d.Stats.ds_total_args);
+        ("total_implicit", J.Int d.Stats.ds_total_implicit);
+        ("total_nodes", J.Int d.Stats.ds_total_nodes);
+      ]
+  in
+  record "e1"
+    (J.Obj [ ("refinement", dev refin); ("conventional", dev cv) ]);
   let extra_nodes = cv.Stats.ds_total_nodes - refin.Stats.ds_total_nodes in
   let extra_args = cv.Stats.ds_total_args - refin.Stats.ds_total_args in
   Fmt.pr
@@ -159,15 +197,21 @@ let e2 () =
       (run_tests (Test.make_grouped ~name:"e2" tests))
   in
   (* overhead factor per depth *)
-  List.iter
-    (fun d ->
-      let get pre =
-        try List.assoc (Fmt.str "e2/%s/depth-%02d" pre d) rows
-        with Not_found -> nan
-      in
-      let s = get "sort-check" and t = get "type-check" in
-      Fmt.pr "  depth %2d: sort/type overhead = %.2fx@." d (s /. t))
-    depths
+  let overhead =
+    List.map
+      (fun d ->
+        let get pre =
+          try List.assoc (Fmt.str "e2/%s/depth-%02d" pre d) rows
+          with Not_found -> nan
+        in
+        let s = get "sort-check" and t = get "type-check" in
+        Fmt.pr "  depth %2d: sort/type overhead = %.2fx@." d (s /. t);
+        (Fmt.str "depth-%02d" d, J.Float (s /. t)))
+      depths
+  in
+  record "e2"
+    (J.Obj
+       [ ("times_ns", json_rows rows); ("sort_over_type", J.Obj overhead) ])
 
 (* ------------------------------------------------------------------ *)
 (* E3 — conservativity: erase and re-check                              *)
@@ -202,9 +246,13 @@ let e3 () =
         ])
       depths
   in
-  ignore
-    (print_results "running the conservativity translation:"
-       (run_tests (Test.make_grouped ~name:"e3" tests)))
+  let rows =
+    print_results "running the conservativity translation:"
+      (run_tests (Test.make_grouped ~name:"e3" tests))
+  in
+  record "e3"
+    (J.Obj
+       [ ("recheck_success", J.Bool true); ("times_ns", json_rows rows) ])
 
 (* ------------------------------------------------------------------ *)
 (* E4 — scaling (no blow-up without intersections)                      *)
@@ -232,19 +280,28 @@ let e4 () =
     | a :: (b :: _ as rest) -> (a, b) :: pairs rest
     | _ -> []
   in
-  List.iter
-    (fun (d1, d2) ->
-      let get d =
-        try List.assoc (Fmt.str "e4/sort-check/depth-%02d" d) rows
-        with Not_found -> nan
-      in
-      let nodes d = float_of_int (Stats.size_normal (gen_drv d)) in
-      let tf = get d2 /. get d1 and nf = nodes d2 /. nodes d1 in
-      Fmt.pr
-        "  depth %d→%d: time ×%.1f for AST size ×%.1f — empirical exponent %.2f@."
-        d1 d2 tf nf
-        (log tf /. log nf))
-    (pairs depths);
+  let exponents =
+    List.map
+      (fun (d1, d2) ->
+        let get d =
+          try List.assoc (Fmt.str "e4/sort-check/depth-%02d" d) rows
+          with Not_found -> nan
+        in
+        let nodes d = float_of_int (Stats.size_normal (gen_drv d)) in
+        let tf = get d2 /. get d1 and nf = nodes d2 /. nodes d1 in
+        Fmt.pr
+          "  depth %d→%d: time ×%.1f for AST size ×%.1f — empirical exponent %.2f@."
+          d1 d2 tf nf
+          (log tf /. log nf);
+        (Fmt.str "depth-%02d-%02d" d1 d2, J.Float (log tf /. log nf)))
+      (pairs depths)
+  in
+  record "e4"
+    (J.Obj
+       [
+         ("times_ns", json_rows rows);
+         ("empirical_exponent", J.Obj exponents);
+       ]);
   Fmt.pr
     "  (low-degree polynomial — the quadratic component is dependent-spine@.";
   Fmt.pr
@@ -283,9 +340,11 @@ let e5 () =
         ])
       depths
   in
-  ignore
-    (print_results "substitution into terms of size ~2^d:"
-       (run_tests (Test.make_grouped ~name:"e5" tests)))
+  let rows =
+    print_results "substitution into terms of size ~2^d:"
+      (run_tests (Test.make_grouped ~name:"e5" tests))
+  in
+  record "e5" (J.Obj [ ("times_ns", json_rows rows) ])
 
 (* ------------------------------------------------------------------ *)
 (* E6 — ablation: unified judgment vs naive two-pass                    *)
@@ -325,15 +384,21 @@ let e6 () =
     print_results "checking cost:"
       (run_tests (Test.make_grouped ~name:"e6" tests))
   in
-  List.iter
-    (fun d ->
-      let get pre =
-        try List.assoc (Fmt.str "e6/%s/depth-%02d" pre d) rows
-        with Not_found -> nan
-      in
-      Fmt.pr "  depth %2d: two-pass / unified = %.2fx@." d
-        (get "two-pass" /. get "unified"))
-    depths
+  let ratios =
+    List.map
+      (fun d ->
+        let get pre =
+          try List.assoc (Fmt.str "e6/%s/depth-%02d" pre d) rows
+          with Not_found -> nan
+        in
+        Fmt.pr "  depth %2d: two-pass / unified = %.2fx@." d
+          (get "two-pass" /. get "unified");
+        (Fmt.str "depth-%02d" d, J.Float (get "two-pass" /. get "unified")))
+      depths
+  in
+  record "e6"
+    (J.Obj
+       [ ("times_ns", json_rows rows); ("two_pass_over_unified", J.Obj ratios) ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -346,4 +411,16 @@ let () =
   e4 ();
   e5 ();
   e6 ();
+  (match json_file with
+  | None -> ()
+  | Some path ->
+      J.write_file path
+        (J.Obj
+           [
+             ("schema", J.String "belr-bench/1");
+             ("fast", J.Bool fast);
+             ("depths", J.List (List.map (fun d -> J.Int d) depths));
+             ("experiments", J.Obj (List.rev !report));
+           ]);
+      Fmt.pr "@.wrote %s@." path);
   Fmt.pr "@.all experiments completed.@."

@@ -19,30 +19,12 @@ open Cmdliner
 open Belr_support
 
 let summarize sg =
-  let n l = List.length l in
-  let typs = ref 0 and srts = ref 0 and consts = ref 0 in
-  let schemas = Belr_lf.Sign.all_schemas sg in
-  let sschemas =
-    List.filter
-      (fun (_, (e : Belr_lf.Sign.sschema_entry)) ->
-        let s = e.Belr_lf.Sign.h_name in
-        String.length s = 0 || s.[String.length s - 1] <> '^')
-      (Belr_lf.Sign.all_sschemas sg)
-  in
-  let recs = Belr_lf.Sign.all_recs sg in
-  (* count via the public name table *)
-  Hashtbl.iter
-    (fun _ sym ->
-      match sym with
-      | Belr_lf.Sign.Sym_typ _ -> incr typs
-      | Belr_lf.Sign.Sym_srt _ -> incr srts
-      | Belr_lf.Sign.Sym_const _ -> incr consts
-      | _ -> ())
-    (Belr_lf.Sign.name_table sg);
+  let s = Belr_lf.Sign.summary sg in
   Fmt.pr "signature: %d type families, %d sort families, %d constants,@."
-    !typs !srts !consts;
+    s.Belr_lf.Sign.n_typs s.Belr_lf.Sign.n_srts s.Belr_lf.Sign.n_consts;
   Fmt.pr "           %d schemas, %d refinement schemas, %d functions@."
-    (n schemas) (n sschemas) (n recs)
+    s.Belr_lf.Sign.n_schemas s.Belr_lf.Sign.n_sschemas
+    s.Belr_lf.Sign.n_recs
 
 let print_recs sg =
   List.iter
@@ -52,12 +34,37 @@ let print_recs sg =
         r.Belr_lf.Sign.r_styp)
     (List.sort compare (Belr_lf.Sign.all_recs sg))
 
-let run_check files verbose total max_errors max_depth werror =
+(** Write a telemetry artifact, reporting an I/O failure as an [E0701]
+    diagnostic rather than an uncaught exception. *)
+let write_report sink path json =
+  try Json.write_file path json
+  with Sys_error msg ->
+    Diagnostics.emit sink
+      (Diagnostics.make ~code:"E0701" Diagnostics.Error
+         "cannot write report %s: %s" path msg)
+
+let run_check files verbose total max_errors max_depth werror stats trace
+    profile =
   Limits.set_max_depth max_depth;
+  let telemetry = stats || trace <> None || profile <> None in
+  if telemetry then begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  end;
   let sink = Diagnostics.sink ~max_errors ~werror () in
   let sg = Belr_parser.Driver.check_files sink files in
   if total then Belr_parser.Driver.analyze sink sg;
+  if telemetry then begin
+    (* stop recording before rendering, so the renderers observe a
+       stable state *)
+    Telemetry.set_enabled false;
+    Option.iter (fun f -> write_report sink f (Telemetry.trace_json ())) trace;
+    Option.iter
+      (fun f -> write_report sink f (Telemetry.profile_json ()))
+      profile
+  end;
   Diagnostics.dump Fmt.stderr sink;
+  if stats then Fmt.epr "%a@?" Telemetry.pp_stats ();
   match Diagnostics.exit_code sink with
   | 0 ->
       Fmt.pr "%d file(s) checked successfully.@." (List.length files);
@@ -107,14 +114,41 @@ let werror_arg =
     value & flag
     & info [ "werror" ] ~doc:"treat warnings as errors (exit code 1)")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "print a telemetry summary (per-phase wall time, kernel \
+           operation counters, peak recursion depths) on stderr after \
+           checking")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "write a Chrome trace-event JSON timeline of the pipeline to \
+           $(docv) (load it in chrome://tracing or ui.perfetto.dev)")
+
+let profile_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "write a machine-readable JSON performance report (per-phase \
+           wall time, counter totals, depth watermarks) to $(docv); the \
+           schema is documented in README.md (Observability)")
+
 let check_cmd =
   let doc = "parse, elaborate, and sort-check source files" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun files v t me md we -> run_check files v t me md we)
+      const (fun files v t me md we st tr pr ->
+          run_check files v t me md we st tr pr)
       $ files_arg $ verbose_arg $ total_arg $ max_errors_arg $ max_depth_arg
-      $ werror_arg)
+      $ werror_arg $ stats_arg $ trace_arg $ profile_arg)
 
 let main =
   let doc =

@@ -172,19 +172,12 @@ type dev_stats = {
 
 let dev_stats ~name (sg : Sign.t) ~(block_width : int)
     (theorem_names : string list) : dev_stats =
-  let consts = ref 0 and csorts = ref 0 in
-  Hashtbl.iter
-    (fun _ sym -> match sym with Sign.Sym_const _ -> incr consts | _ -> ())
-    (Sign.name_table sg);
-  List.iter
-    (fun (_, (s : Sign.srt_entry)) ->
-      csorts := !csorts + List.length s.Sign.s_consts)
-    (Hashtbl.fold
-       (fun _ sym acc ->
-         match sym with
-         | Sign.Sym_srt id -> (id, Sign.srt_entry sg id) :: acc
-         | _ -> acc)
-       (Sign.name_table sg) []);
+  let consts = List.length (Sign.all_consts sg) in
+  let csorts =
+    List.fold_left
+      (fun n (_, (s : Sign.srt_entry)) -> n + List.length s.Sign.s_consts)
+      0 (Sign.all_srts sg)
+  in
   let theorems =
     List.filter_map
       (fun n ->
@@ -195,8 +188,8 @@ let dev_stats ~name (sg : Sign.t) ~(block_width : int)
   in
   {
     ds_name = name;
-    ds_const_decls = !consts;
-    ds_sort_assignments = !csorts;
+    ds_const_decls = consts;
+    ds_sort_assignments = csorts;
     ds_block_width = block_width;
     ds_theorems = theorems;
     ds_total_args = List.fold_left (fun a r -> a + r.rs_args) 0 theorems;

@@ -11,6 +11,8 @@ open Lf
 
 let depth = Limits.counter "eta-expansion"
 
+let c_expand = Telemetry.counter "eta.expansions"
+
 (** Simple-type skeletons. *)
 type aty = Aatom | Aarr of aty * aty
 
@@ -28,6 +30,7 @@ let rec expand_head (t : aty) (h : head) : normal =
   match t with
   | Aatom -> Root (h, [])
   | Aarr _ ->
+      Telemetry.bump c_expand;
       Limits.guard depth (fun () -> expand_head_arr t h)
 
 and expand_head_arr (t : aty) (h : head) : normal =

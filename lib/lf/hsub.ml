@@ -20,6 +20,18 @@ let depth = Limits.counter "hereditary substitution"
 
 let guard f = Limits.guard depth f
 
+(* Telemetry: operation counters for the --stats/--profile reports.  Hot
+   path — only {!Telemetry.bump} (a flag check and an integer store) is
+   allowed here, never spans. *)
+
+let c_subst = Telemetry.counter "hsub.substitutions"
+
+let c_beta = Telemetry.counter "hsub.beta_redexes"
+
+let c_proj = Telemetry.counter "hsub.tuple_projections"
+
+let c_inst = Telemetry.counter "hsub.instantiations"
+
 (** Smart constructor normalizing [Dot (xₙ, ↑ⁿ)] to [↑ⁿ⁻¹] so that
     identity substitutions stay syntactically canonical under composition
     (needed for the structural definitional equality of canonical forms). *)
@@ -64,6 +76,7 @@ let rec sub_head (s : sub) (h : head) : head_result =
       match sub_head s b with
       | Rhead b' -> Rhead (Proj (b', k))
       | Rtup t -> (
+          Telemetry.bump c_proj;
           match List.nth_opt t (k - 1) with
           | Some m -> Rnorm m
           | None -> Error.violation "projection %d out of tuple range" k)
@@ -78,6 +91,7 @@ and sub_normal (s : sub) (m : normal) : normal =
   match s with
   | Shift 0 -> m  (* identity: frequent fast path *)
   | _ -> (
+      Telemetry.bump c_subst;
       match m with
       | Lam (x, n) -> Lam (x, sub_normal (dot1 s) n)
       | Root (h, sp) -> (
@@ -119,6 +133,7 @@ and reduce (m : normal) (sp : spine) : normal =
   match (m, sp) with
   | _, [] -> m
   | Lam (_, body), n :: rest ->
+      Telemetry.bump c_beta;
       guard (fun () -> reduce (sub_normal (Dot (Obj n, Shift 0)) body) rest)
   | Root (h, sp0), _ -> Root (h, sp0 @ sp)
 
@@ -142,20 +157,27 @@ let rec sub_skind (s : sub) : skind -> skind = function
   | Kspi (x, q, l) -> Kspi (x, sub_srt s q, sub_skind (dot1 s) l)
 
 (** Instantiate the body of a binder with one argument:
-    [inst body n = [n/1] body]. *)
+    [inst body n = [n/1] body].  These are the checkers' entry points into
+    hereditary substitution (one per dependent application checked), so
+    they carry their own telemetry counter. *)
 let inst_normal (body : normal) (n : normal) : normal =
+  Telemetry.bump c_inst;
   sub_normal (Dot (Obj n, Shift 0)) body
 
 let inst_typ (body : typ) (n : normal) : typ =
+  Telemetry.bump c_inst;
   sub_typ (Dot (Obj n, Shift 0)) body
 
 let inst_srt (body : srt) (n : normal) : srt =
+  Telemetry.bump c_inst;
   sub_srt (Dot (Obj n, Shift 0)) body
 
 let inst_kind (body : kind) (n : normal) : kind =
+  Telemetry.bump c_inst;
   sub_kind (Dot (Obj n, Shift 0)) body
 
 let inst_skind (body : skind) (n : normal) : skind =
+  Telemetry.bump c_inst;
   sub_skind (Dot (Obj n, Shift 0)) body
 
 (* --- blocks and schema elements --------------------------------------- *)

@@ -50,6 +50,10 @@ type sschema_entry = {
   h_name : string;
   h_refines : Lf.cid_schema;
   h_elems : Ctxs.selem list;
+  h_hidden : bool;
+      (** auto-registered trivial refinement [⌈G⌉ ⊑ G] (named [G^]): not a
+          user declaration, so tooling (summaries, name resolution
+          priority) treats it as hidden *)
 }
 
 type rec_entry = {
@@ -177,7 +181,7 @@ let add_schema sg ~name ~elems : Lf.cid_schema =
   let tid = next sg in
   let selems = (Embed.schema ~cid:id elems).Ctxs.h_elems in
   Hashtbl.replace sg.sschemas tid
-    { h_name = name ^ "^"; h_refines = id; h_elems = selems };
+    { h_name = name ^ "^"; h_refines = id; h_elems = selems; h_hidden = true };
   bind_name sg (name ^ "^") (Sym_sschema tid);
   (Hashtbl.find sg.schemas id).g_trivial <- tid;
   id
@@ -185,7 +189,7 @@ let add_schema sg ~name ~elems : Lf.cid_schema =
 let add_sschema sg ~name ~refines ~elems : Lf.cid_sschema =
   let id = next sg in
   Hashtbl.replace sg.sschemas id
-    { h_name = name; h_refines = refines; h_elems = elems };
+    { h_name = name; h_refines = refines; h_elems = elems; h_hidden = false };
   bind_name sg name (Sym_sschema id);
   id
 
@@ -238,14 +242,51 @@ let csort sg ~const ~family : (Lf.srt * int) option =
 let all_recs sg : (Lf.cid_rec * rec_entry) list =
   Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.recs []
 
-(** The name table (for tooling; read-only use). *)
-let name_table sg = sg.by_name
+let all_typs sg : (Lf.cid_typ * typ_entry) list =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.typs []
+
+let all_srts sg : (Lf.cid_srt * srt_entry) list =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.srts []
+
+let all_consts sg : (Lf.cid_const * const_entry) list =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.consts []
 
 let all_schemas sg : (Lf.cid_schema * schema_entry) list =
   Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.schemas []
 
 let all_sschemas sg : (Lf.cid_sschema * sschema_entry) list =
   Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.sschemas []
+
+(** Is this refinement-schema entry the auto-registered trivial refinement
+    (hidden from user-facing summaries)? *)
+let is_hidden_sschema (e : sschema_entry) = e.h_hidden
+
+(* --- summary ---------------------------------------------------------- *)
+
+(** Declaration counts by kind, as user-facing tooling reports them:
+    [n_sschemas] counts only user-declared refinement schemas, not the
+    trivial [⌈G⌉] auto-registered per schema. *)
+type summary = {
+  n_typs : int;
+  n_srts : int;
+  n_consts : int;
+  n_schemas : int;
+  n_sschemas : int;
+  n_recs : int;
+}
+
+let summary sg : summary =
+  {
+    n_typs = Hashtbl.length sg.typs;
+    n_srts = Hashtbl.length sg.srts;
+    n_consts = Hashtbl.length sg.consts;
+    n_schemas = Hashtbl.length sg.schemas;
+    n_sschemas =
+      Hashtbl.fold
+        (fun _ e n -> if e.h_hidden then n else n + 1)
+        sg.sschemas 0;
+    n_recs = Hashtbl.length sg.recs;
+  }
 
 (** Constructors of a type family, in declaration order. *)
 let constants_of_typ sg a = (typ_entry sg a).t_consts

@@ -30,7 +30,9 @@ let check_sources (sink : Diagnostics.sink)
   let sg = Belr_lf.Sign.create () in
   Diagnostics.with_stop sink (fun () ->
       List.iter
-        (fun (name, src) -> Process.extend ~diags:sink sg ~name src)
+        (fun (name, src) ->
+          Telemetry.with_span ~arg:name "file" (fun () ->
+              Process.extend ~diags:sink sg ~name src))
         sources);
   sg
 
@@ -41,9 +43,10 @@ let check_files (sink : Diagnostics.sink) (files : string list) :
   Diagnostics.with_stop sink (fun () ->
       List.iter
         (fun f ->
-          match read_file sink f with
-          | Some src -> Process.extend ~diags:sink sg ~name:f src
-          | None -> ())
+          Telemetry.with_span ~arg:f "file" (fun () ->
+              match read_file sink f with
+              | Some src -> Process.extend ~diags:sink sg ~name:f src
+              | None -> ()))
         files);
   sg
 
@@ -53,6 +56,7 @@ let check_files (sink : Diagnostics.sink) (files : string list) :
     the machine-readable summary.  Each function is analyzed under
     recovery: an analysis crash is a reported bug, not a lost run. *)
 let analyze (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) : unit =
+  Telemetry.with_span "analyze" @@ fun () ->
   Diagnostics.with_stop sink (fun () ->
       List.iter
         (fun (id, (r : Belr_lf.Sign.rec_entry)) ->

@@ -90,9 +90,7 @@ let find_world (sg : Sign.t) (name : string) : world_ref option =
      ones, which in turn shadow raw schemas *)
   let user, auto =
     List.partition
-      (fun (_, (e : Sign.sschema_entry)) ->
-        let n = e.Sign.h_name in
-        String.length n = 0 || n.[String.length n - 1] <> '^')
+      (fun (_, (e : Sign.sschema_entry)) -> not (Sign.is_hidden_sschema e))
       (List.sort compare (Sign.all_sschemas sg))
   in
   List.iter (fun (_, e) -> if !found = None then scan_s e) user;

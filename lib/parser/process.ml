@@ -11,6 +11,14 @@ open Belr_syntax
 open Belr_lf
 open Belr_core
 
+(* Telemetry spans: phase names are shared across declarations so the
+   --stats/--profile renderers aggregate by pipeline phase.  "elaborate"
+   covers surface→internal reconstruction, "check-lf" the LF kind/type
+   checker, "check-lfr" the unified sort checker, "check-comp" the
+   computation level, and "conservativity" the erase + re-check pass. *)
+
+let span = Telemetry.with_span
+
 (** Phase 1: declare the family (type or sort); phase 2 processes the
     constructors — split so that mutually recursive declaration groups
     ([LFR … and …]) can declare every family first. *)
@@ -20,8 +28,9 @@ let declare_family (sg : Sign.t) (d : Ext.typ_decl) :
   let l0 = { Elab.lctx = Ctxs.empty_sctx; Elab.lnames = [] } in
   match d.Ext.d_refines with
   | None ->
-      let kind = Elab.elab_kind e l0 d.Ext.d_kind in
-      Check_lf.check_kind (Check_lf.make_env sg []) Ctxs.empty_ctx kind;
+      let kind = span "elaborate" (fun () -> Elab.elab_kind e l0 d.Ext.d_kind) in
+      span "check-lf" (fun () ->
+          Check_lf.check_kind (Check_lf.make_env sg []) Ctxs.empty_ctx kind);
       `T (Sign.add_typ sg ~name:d.Ext.d_name ~kind ~implicit:0)
   | Some a_name ->
       let a =
@@ -30,10 +39,13 @@ let declare_family (sg : Sign.t) (d : Ext.typ_decl) :
         | _ ->
             Error.raise_at d.Ext.d_loc "%s does not name a type family" a_name
       in
-      let skind = Elab.elab_skind e l0 d.Ext.d_kind in
-      Check_lfr.check_skind_refines (Check_lfr.make_env sg []) Ctxs.empty_sctx
-        skind
-        (Sign.typ_entry sg a).Sign.t_kind;
+      let skind =
+        span "elaborate" (fun () -> Elab.elab_skind e l0 d.Ext.d_kind)
+      in
+      span "check-lfr" (fun () ->
+          Check_lfr.check_skind_refines (Check_lfr.make_env sg [])
+            Ctxs.empty_sctx skind
+            (Sign.typ_entry sg a).Sign.t_kind);
       `S (Sign.add_srt sg ~name:d.Ext.d_name ~refines:a ~skind ~implicit:0)
 
 let process_family_ctors (sg : Sign.t) (d : Ext.typ_decl)
@@ -43,8 +55,11 @@ let process_family_ctors (sg : Sign.t) (d : Ext.typ_decl)
   | `T a ->
       List.iter
         (fun (c : Ext.ctor) ->
-          let typ, implicit = Elab.elab_decl_typ e c.Ext.k_typ in
-          Check_lf.check_typ (Check_lf.make_env sg []) Ctxs.empty_ctx typ;
+          let typ, implicit =
+            span "elaborate" (fun () -> Elab.elab_decl_typ e c.Ext.k_typ)
+          in
+          span "check-lf" (fun () ->
+              Check_lf.check_typ (Check_lf.make_env sg []) Ctxs.empty_ctx typ);
           if Lf.typ_target typ <> a then
             Error.raise_at c.Ext.k_loc
               "constructor %s does not target the family %s" c.Ext.k_name
@@ -63,19 +78,22 @@ let process_family_ctors (sg : Sign.t) (d : Ext.typ_decl)
                    select constructors of the refined family)"
                   c.Ext.k_name
           in
-          let srt, implicit = Elab.elab_decl_srt e c.Ext.k_typ in
+          let srt, implicit =
+            span "elaborate" (fun () -> Elab.elab_decl_srt e c.Ext.k_typ)
+          in
           (match Lf.srt_target srt with
           | Some s' when s' = s -> ()
           | _ ->
               Error.raise_at c.Ext.k_loc
                 "assigned sort does not target the declared family");
-          Check_lfr.check_srt_refines (Check_lfr.make_env sg [])
-            Ctxs.empty_sctx srt
-            (Sign.const_entry sg const).Sign.c_typ;
+          span "check-lfr" (fun () ->
+              Check_lfr.check_srt_refines (Check_lfr.make_env sg [])
+                Ctxs.empty_sctx srt
+                (Sign.const_entry sg const).Sign.c_typ);
           Sign.add_csort sg ~const ~srt ~implicit)
         d.Ext.d_ctors
 
-let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
+let process_decl_inner (sg : Sign.t) (d : Ext.decl) : unit =
   let e = Elab.make_env sg in
   match d with
   | Ext.Dtyp td -> process_family_ctors sg td (declare_family sg td)
@@ -106,7 +124,8 @@ let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
               Ctxs.e_block = blk })
           s_worlds
       in
-      Check_lf.check_schema (Check_lf.make_env sg []) elems;
+      span "check-lf" (fun () ->
+          Check_lf.check_schema (Check_lf.make_env sg []) elems);
       ignore (Sign.add_schema sg ~name:s_name ~elems);
       ignore s_loc
   | Ext.Dschema { s_loc; s_name; s_refines = Some g_name; s_worlds } ->
@@ -150,31 +169,47 @@ let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
               Ctxs.f_params = ps; Ctxs.f_block = blk })
           s_worlds
       in
-      Check_lfr.check_sschema_refines (Check_lfr.make_env sg []) selems g_elems;
+      span "check-lfr" (fun () ->
+          Check_lfr.check_sschema_refines (Check_lfr.make_env sg []) selems
+            g_elems);
       ignore (Sign.add_sschema sg ~name:s_name ~refines:g ~elems:selems)
   | Ext.Drec { r_loc; r_name; r_sort; r_body } ->
-      let styp = Elab.elab_csort e r_sort in
+      let styp = span "elaborate" (fun () -> Elab.elab_csort e r_sort) in
       let typ = Erase.ctyp sg styp in
-      ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) styp);
+      span "check-comp" (fun () ->
+          ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) styp));
       let id = Sign.add_rec sg ~name:r_name ~styp ~typ in
       let e_body =
         { e with Elab.recs = (r_name, (id, styp)) :: e.Elab.recs }
       in
-      let body = Elab.elab_cexp e_body r_body styp in
-      (try Check_comp.check_exp (Check_comp.make_env sg [] []) body styp
-       with Error.Belr_error (loc, msg) ->
-         let loc = if Loc.is_ghost loc then r_loc else loc in
-         Error.raise_at loc "in the body of %s: %s" r_name msg);
+      let body = span "elaborate" (fun () -> Elab.elab_cexp e_body r_body styp) in
+      span "check-comp" (fun () ->
+          try Check_comp.check_exp (Check_comp.make_env sg [] []) body styp
+          with Error.Belr_error (loc, msg) ->
+            let loc = if Loc.is_ghost loc then r_loc else loc in
+            Error.raise_at loc "in the body of %s: %s" r_name msg);
       (* conservativity: the erasure checks through the type-level
          (embedded) fragment *)
-      Embed_t.check_exp_t sg [] [] (Erase.exp sg body) typ;
+      span "conservativity" (fun () ->
+          Embed_t.check_exp_t sg [] [] (Erase.exp sg body) typ);
       Sign.set_rec_body sg id body
+
+(** Process one declaration, under a "decl" telemetry span carrying the
+    first declared name (so traces show which declaration each phase
+    belongs to). *)
+let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
+  if Telemetry.enabled () then
+    let arg =
+      match Ext.declared_names d with name :: _ -> name | [] -> ""
+    in
+    span ~arg "decl" (fun () -> process_decl_inner sg d)
+  else process_decl_inner sg d
 
 (** Process a whole source program into a signature (fail-fast: the first
     error is raised as an exception, as the unit tests and examples
     expect). *)
 let program ?name (src : string) : Sign.t =
-  let decls = Parse.parse_program ?name src in
+  let decls = span "parse" (fun () -> Parse.parse_program ?name src) in
   let sg = Sign.create () in
   List.iter (process_decl sg) decls;
   sg
@@ -203,7 +238,11 @@ let process_decl_tolerant (sink : Diagnostics.sink) (sg : Sign.t)
     file. *)
 let extend ?diags (sg : Sign.t) ?name (src : string) : unit =
   match diags with
-  | None -> List.iter (process_decl sg) (Parse.parse_program ?name src)
+  | None ->
+      let decls = span "parse" (fun () -> Parse.parse_program ?name src) in
+      List.iter (process_decl sg) decls
   | Some sink ->
-      let decls = Parse.parse_program_tolerant sink ?name src in
+      let decls =
+        span "parse" (fun () -> Parse.parse_program_tolerant sink ?name src)
+      in
       List.iter (process_decl_tolerant sink sg) decls

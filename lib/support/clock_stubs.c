@@ -1,0 +1,22 @@
+/* Monotonic clock for the telemetry layer.
+ *
+ * Sys.time is CPU time and Unix.gettimeofday can jump under NTP; span
+ * timing needs CLOCK_MONOTONIC, which the OCaml stdlib does not expose.
+ * One stub, nanosecond units, no dependencies.
+ */
+
+#define _POSIX_C_SOURCE 199309L
+
+#include <time.h>
+#include <stdint.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value belr_monotonic_clock_ns(value unit)
+{
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return caml_copy_int64(0);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -147,7 +147,14 @@ let bug_count sink = sink.n_bugs
 let exit_code sink =
   if sink.n_bugs > 0 then 2 else if sink.n_errors > 0 then 1 else 0
 
-let dump ppf sink = List.iter (fun d -> Fmt.pf ppf "%a@." pp d) (all sink)
+(** Render every diagnostic, one per line, and flush the formatter.  The
+    explicit final flush matters when the same file descriptor also
+    receives non-[Format] output (the telemetry [--stats] table, a
+    redirected trace): without it, material queued inside [ppf] could
+    interleave after output written directly to the fd. *)
+let dump ppf sink =
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) (all sink);
+  Format.pp_print_flush ppf ()
 
 let pp_summary ppf sink =
   let part n what = if n = 0 then None else Some (Fmt.str "%d %s" n what) in

@@ -25,20 +25,33 @@ exception Limit_exceeded of string * int
 (** [Limit_exceeded (subsystem, limit)]: the named recursion passed
     [limit] nested guarded calls. *)
 
-type counter = { c_name : string; mutable c_depth : int }
+type counter = {
+  c_name : string;
+  mutable c_depth : int;
+  mutable c_peak : int;
+      (** high-water mark of [c_depth] since the last {!reset_peaks};
+          reported by the telemetry layer as a fraction of the budget *)
+}
 
 let registry : counter list ref = ref []
 
 (** Register a named depth counter (one per guarded subsystem). *)
 let counter name =
-  let c = { c_name = name; c_depth = 0 } in
+  let c = { c_name = name; c_depth = 0; c_peak = 0 } in
   registry := c :: !registry;
   c
 
-(** Reset every counter to zero.  Error recovery calls this after catching
-    an exception so that a partially-unwound recursion cannot poison the
-    depth budget of the next declaration. *)
+(** Reset every counter's depth to zero (peaks are kept — they are run
+    statistics, not budget state).  Error recovery calls this after
+    catching an exception so that a partially-unwound recursion cannot
+    poison the depth budget of the next declaration. *)
 let reset () = List.iter (fun c -> c.c_depth <- 0) !registry
+
+(** Clear the peak-depth watermarks (start of a telemetry run). *)
+let reset_peaks () = List.iter (fun c -> c.c_peak <- 0) !registry
+
+(** Peak observed depth per guarded subsystem, as [(name, peak)]. *)
+let peaks () = List.map (fun c -> (c.c_name, c.c_peak)) !registry
 
 (** [guard c f] runs [f ()] with [c] one level deeper, raising
     {!Limit_exceeded} when the budget is exhausted.  The counter is
@@ -47,11 +60,13 @@ let reset () = List.iter (fun c -> c.c_depth <- 0) !registry
 let guard c f =
   if c.c_depth >= !max_depth then
     raise (Limit_exceeded (c.c_name, !max_depth));
-  c.c_depth <- c.c_depth + 1;
+  let d = c.c_depth + 1 in
+  c.c_depth <- d;
+  if d > c.c_peak then c.c_peak <- d;
   match f () with
   | r ->
-      c.c_depth <- c.c_depth - 1;
+      c.c_depth <- d - 1;
       r
   | exception e ->
-      c.c_depth <- c.c_depth - 1;
+      c.c_depth <- d - 1;
       raise e

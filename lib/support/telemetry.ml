@@ -1,0 +1,307 @@
+(** The telemetry layer: hierarchical spans, named counters, and three
+    renderers over the same recorded state.
+
+    The checking pipeline is instrumented at two granularities:
+
+    - {e spans} ({!with_span}) around pipeline phases — per file, per
+      declaration, and per phase (parse → elaborate → LF check → sort
+      check → conservativity re-check) — timed with a monotonic clock and
+      recorded into a bounded ring buffer;
+    - {e counters} ({!counter}/{!bump}) in the hot kernels (hereditary
+      substitution, η-expansion, unification), plus the peak-depth
+      watermarks already tracked by {!Limits}.
+
+    Renderers (all pure over the recorded state):
+
+    - {!pp_stats} — the human [--stats] summary table (stderr);
+    - {!trace_json} — Chrome trace-event JSON ([--trace FILE]), loadable
+      in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto};
+    - {!profile_json} — the machine-readable [--profile FILE] report
+      (per-phase wall time, counter totals, watermarks), the format the
+      committed [BENCH_*.json] trajectory uses.
+
+    {b Zero-cost when disabled.}  All state is pre-registered; the
+    recording paths check a single [enabled] flag and allocate nothing
+    when it is off.  Span call sites do build a closure for the scoped
+    body, so spans belong on phase boundaries (per file / declaration),
+    never in per-node recursions — those use {!bump}, which is a flag
+    check and an integer store.  The layer is deliberately not
+    thread-safe; it observes the single-threaded checking pipeline. *)
+
+external now_ns : unit -> int64 = "belr_monotonic_clock_ns"
+
+let on = ref false
+
+let enabled () = !on
+
+(** Turn recording on or off.  Enabling does not clear previous state;
+    call {!reset} first for a fresh run. *)
+let set_enabled b = on := b
+
+(* --- counters ----------------------------------------------------------- *)
+
+type counter = { ct_name : string; mutable ct_total : int }
+
+let counters : counter list ref = ref []
+
+(** Register a named counter (module-initialization time, one per
+    operation of interest). *)
+let counter name =
+  let c = { ct_name = name; ct_total = 0 } in
+  counters := c :: !counters;
+  c
+
+let bump c = if !on then c.ct_total <- c.ct_total + 1
+
+let add c n = if !on then c.ct_total <- c.ct_total + n
+
+let counter_total c = c.ct_total
+
+(** All registered counters as [(name, total)], sorted by name. *)
+let counter_totals () =
+  List.sort compare (List.map (fun c -> (c.ct_name, c.ct_total)) !counters)
+
+(* --- spans -------------------------------------------------------------- *)
+
+type event = {
+  mutable ev_name : string;
+  mutable ev_arg : string;  (** detail ("" = none): file path, declaration *)
+  mutable ev_start_ns : int64;
+  mutable ev_dur_ns : int64;
+  mutable ev_depth : int;  (** nesting depth at which the span ran *)
+}
+
+(** Completed spans, oldest-first once the buffer wraps. *)
+let default_capacity = 1 lsl 16
+
+let ring : event array ref = ref [||]
+
+let ring_next = ref 0 (* total events ever recorded *)
+
+let depth = ref 0
+
+let epoch = ref 0L (* monotonic stamp of the last [reset] *)
+
+(** Per-phase aggregation, independent of the ring capacity. *)
+type agg = { mutable ag_count : int; mutable ag_total_ns : int64 }
+
+let aggregates : (string, agg) Hashtbl.t = Hashtbl.create 32
+
+let root_total_ns = ref 0L (* total time covered by depth-0 spans *)
+
+let ensure_ring () =
+  if Array.length !ring = 0 then
+    ring :=
+      Array.init default_capacity (fun _ ->
+          { ev_name = ""; ev_arg = ""; ev_start_ns = 0L; ev_dur_ns = 0L;
+            ev_depth = 0 })
+
+(** Clear all recorded state: events, aggregates, counter totals, and the
+    {!Limits} peak-depth watermarks; re-stamps the trace epoch. *)
+let reset () =
+  ensure_ring ();
+  ring_next := 0;
+  depth := 0;
+  Hashtbl.reset aggregates;
+  root_total_ns := 0L;
+  List.iter (fun c -> c.ct_total <- 0) !counters;
+  Limits.reset_peaks ();
+  epoch := now_ns ()
+
+let record name arg start_ns dur_ns d =
+  ensure_ring ();
+  let r = !ring in
+  let ev = r.(!ring_next mod Array.length r) in
+  ev.ev_name <- name;
+  ev.ev_arg <- arg;
+  ev.ev_start_ns <- start_ns;
+  ev.ev_dur_ns <- dur_ns;
+  ev.ev_depth <- d;
+  incr ring_next;
+  (let a =
+     match Hashtbl.find_opt aggregates name with
+     | Some a -> a
+     | None ->
+         let a = { ag_count = 0; ag_total_ns = 0L } in
+         Hashtbl.replace aggregates name a;
+         a
+   in
+   a.ag_count <- a.ag_count + 1;
+   a.ag_total_ns <- Int64.add a.ag_total_ns dur_ns);
+  if d = 0 then root_total_ns := Int64.add !root_total_ns dur_ns
+
+(** [with_span ?arg name f] times [f ()] as a span named [name] (with
+    optional detail [arg], e.g. the file or declaration being processed).
+    The span is closed — and recorded — even when [f] raises, so a failed
+    declaration under {!Diagnostics.recover} still contributes its time.
+    When telemetry is disabled this is [f ()] after one flag check. *)
+let with_span : 'a. ?arg:string -> string -> (unit -> 'a) -> 'a =
+ fun ?(arg = "") name f ->
+  if not !on then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = now_ns () in
+    let finish () =
+      let dur = Int64.sub (now_ns ()) t0 in
+      depth := d;
+      record name arg t0 dur d
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(** Completed spans in completion order (oldest first), oldest events
+    dropped once the ring wraps. *)
+let events () : event list =
+  let r = !ring in
+  let cap = Array.length r in
+  if cap = 0 then []
+  else begin
+    let n = !ring_next in
+    let first = if n > cap then n - cap else 0 in
+    let out = ref [] in
+    for i = n - 1 downto first do
+      out := r.(i mod cap) :: !out
+    done;
+    !out
+  end
+
+let events_recorded () = !ring_next
+
+let events_dropped () = max 0 (!ring_next - Array.length !ring)
+
+(* --- renderers ---------------------------------------------------------- *)
+
+let phase_rows () =
+  Hashtbl.fold (fun name a acc -> (name, a.ag_count, a.ag_total_ns) :: acc)
+    aggregates []
+  |> List.sort (fun (_, _, a) (_, _, b) -> Int64.compare b a)
+
+let pp_ns ppf (ns : int64) =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Fmt.pf ppf "%8.3f s " (f /. 1e9)
+  else if f >= 1e6 then Fmt.pf ppf "%8.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Fmt.pf ppf "%8.2f µs" (f /. 1e3)
+  else Fmt.pf ppf "%8Ld ns" ns
+
+(** The human [--stats] table: per-phase wall time (exclusive of nothing —
+    parent spans include their children), counter totals, and the
+    {!Limits} peak-depth watermarks. *)
+let pp_stats ppf () =
+  Fmt.pf ppf "== telemetry ==@.";
+  Fmt.pf ppf "-- spans (wall time; parents include children) --@.";
+  Fmt.pf ppf "   %-28s %10s %12s %12s@." "phase" "count" "total" "mean";
+  List.iter
+    (fun (name, count, total) ->
+      let mean =
+        if count = 0 then 0L else Int64.div total (Int64.of_int count)
+      in
+      Fmt.pf ppf "   %-28s %10d %a %a@." name count pp_ns total pp_ns mean)
+    (phase_rows ());
+  (match events_dropped () with
+  | 0 -> ()
+  | n ->
+      Fmt.pf ppf
+        "   (%d span event(s) beyond the trace buffer were dropped from \
+         --trace output; aggregates above still include them)@."
+        n);
+  Fmt.pf ppf "-- counters --@.";
+  List.iter
+    (fun (name, total) ->
+      if total > 0 then Fmt.pf ppf "   %-42s %12d@." name total)
+    (counter_totals ());
+  Fmt.pf ppf "-- peak recursion depths (of --max-depth %d) --@."
+    !Limits.max_depth;
+  List.iter
+    (fun (name, peak) ->
+      if peak > 0 then Fmt.pf ppf "   %-42s %12d@." name peak)
+    (List.sort compare (Limits.peaks ()))
+
+let us_of_ns (ns : int64) : float = Int64.to_float ns /. 1e3
+
+(** The Chrome trace-event form of the recorded spans: complete ("X")
+    events with microsecond timestamps relative to the {!reset} epoch,
+    wrapped in the [{"traceEvents": [...]}] envelope Perfetto and
+    [chrome://tracing] load directly. *)
+let trace_json () : Json.t =
+  let span_events =
+    List.map
+      (fun ev ->
+        let args =
+          if ev.ev_arg = "" then []
+          else [ ("args", Json.Obj [ ("detail", Json.String ev.ev_arg) ]) ]
+        in
+        Json.Obj
+          ([
+             ("name", Json.String ev.ev_name);
+             ("cat", Json.String "belr");
+             ("ph", Json.String "X");
+             ("ts", Json.Float (us_of_ns (Int64.sub ev.ev_start_ns !epoch)));
+             ("dur", Json.Float (us_of_ns ev.ev_dur_ns));
+             ("pid", Json.Int 1);
+             ("tid", Json.Int 1);
+           ]
+          @ args))
+      (events ())
+  in
+  let process_name =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.String "belr check") ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (process_name :: span_events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(** Schema identifier of {!profile_json}; bump on incompatible changes. *)
+let profile_schema = "belr-profile/1"
+
+(** The machine-readable [--profile] report: per-phase totals, counter
+    totals, and peak-depth watermarks.  This is the stable format for the
+    committed [BENCH_*.json] performance trajectory. *)
+let profile_json () : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.String profile_schema);
+      ("total_ns", Json.Int (Int64.to_int !root_total_ns));
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (name, count, total) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("count", Json.Int count);
+                   ("wall_ns", Json.Int (Int64.to_int total));
+                 ])
+             (phase_rows ())) );
+      ( "counters",
+        Json.List
+          (List.map
+             (fun (name, total) ->
+               Json.Obj
+                 [ ("name", Json.String name); ("total", Json.Int total) ])
+             (counter_totals ())) );
+      ( "watermarks",
+        Json.List
+          (List.map
+             (fun (name, peak) ->
+               Json.Obj
+                 [ ("name", Json.String name); ("peak_depth", Json.Int peak) ])
+             (List.sort compare (Limits.peaks ()))) );
+      ("events_recorded", Json.Int (events_recorded ()));
+      ("events_dropped", Json.Int (events_dropped ()));
+    ]

@@ -29,7 +29,22 @@ open Lf
 
 exception Unify of string
 
-let fail fmt = Format.kasprintf (fun s -> raise (Unify s)) fmt
+(* Telemetry: one counter per interesting unifier operation.  There is no
+   postponement in this decidable pattern fragment — problems either solve
+   or fail — so the counters are problems/solved-variables/occurs-checks/
+   failures. *)
+
+let c_problems = Telemetry.counter "unify.problems"
+
+let c_solved = Telemetry.counter "unify.solved_vars"
+
+let c_occurs = Telemetry.counter "unify.occurs_checks"
+
+let c_failures = Telemetry.counter "unify.failures"
+
+let fail fmt =
+  Telemetry.bump c_failures;
+  Format.kasprintf (fun s -> raise (Unify s)) fmt
 
 (** Depth fuel for the term-level recursion and for the solution-resolution
     fixpoints: outside the pattern fragment a cyclic partial solution could
@@ -44,6 +59,7 @@ type state = {
 }
 
 let make ~sg ~omega ~flex =
+  Telemetry.bump c_problems;
   { sg; omega; flex; sol = Array.make (List.length omega) None }
 
 let lookup_sol st i = if i <= Array.length st.sol then st.sol.(i - 1) else None
@@ -51,6 +67,7 @@ let lookup_sol st i = if i <= Array.length st.sol then st.sol.(i - 1) else None
 let set_sol st i o =
   if not (st.flex i) then
     Error.violation "unify: attempt to solve a rigid variable";
+  Telemetry.bump c_solved;
   st.sol.(i - 1) <- Some o
 
 let decl st i =
@@ -242,6 +259,7 @@ and unify_normal_inner st (m1 : normal) (m2 : normal) : unit =
       fail "cannot unify an abstraction with a neutral term"
 
 and solve_mvar st (u : int) (s : sub) (m : normal) : unit =
+  Telemetry.bump c_occurs;
   if occurs_normal u m then fail "occurs check failed";
   let m' = invert_term s m in
   let psi =
@@ -276,6 +294,7 @@ and solve_pvar st (p : int) (s : sub) (b : head) : unit =
   (match b with
   | BVar _ | PVar _ -> ()
   | _ -> fail "parameter variable can only be a block or parameter variable");
+  Telemetry.bump c_occurs;
   if occurs_head p b then fail "occurs check failed (parameter)";
   let b' =
     if is_identity s then b

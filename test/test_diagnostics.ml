@@ -209,10 +209,38 @@ let analysis_tests =
         Alcotest.(check int) "exit" 1 (Diagnostics.exit_code sink));
   ]
 
+let dump_tests =
+  [
+    (* regression: [dump] must flush explicitly, or diagnostics sit in the
+       Format buffer and interleave wrongly with (or never reach) the
+       device when the process exits through [exit]. *)
+    test "dump writes every diagnostic and flushes the formatter" (fun () ->
+        let buf = Buffer.create 256 in
+        let flushed = ref false in
+        let ppf =
+          Format.formatter_of_out_functions
+            {
+              Format.out_string =
+                (fun s pos len -> Buffer.add_substring buf s pos len);
+              out_flush = (fun () -> flushed := true);
+              out_newline = (fun () -> Buffer.add_char buf '\n');
+              out_spaces = (fun n -> Buffer.add_string buf (String.make n ' '));
+              out_indent = (fun n -> Buffer.add_string buf (String.make n ' '));
+            }
+        in
+        let sink, _ = check (base ^ "LF bad : type = | c : missing;") in
+        Alcotest.(check int) "one error" 1 (Diagnostics.error_count sink);
+        Diagnostics.dump ppf sink;
+        Alcotest.(check bool) "formatter flushed" true !flushed;
+        Alcotest.(check bool) "diagnostic text reached the device" true
+          (Buffer.length buf > 0));
+  ]
+
 let suites =
   [
     ("diagnostics.multi-error", multi_error_tests);
     ("diagnostics.exit-codes", exit_code_tests);
     ("diagnostics.resources", resource_tests);
     ("diagnostics.analyses", analysis_tests);
+    ("diagnostics.dump", dump_tests);
   ]

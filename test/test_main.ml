@@ -4,4 +4,5 @@ let () =
    @ Test_comp.suites @ Test_conventional.suites @ Test_parser.suites
    @ Test_props.suites @ Test_coverage.suites @ Test_values.suites
    @ Test_parity.suites @ Test_termination.suites @ Test_errors.suites
-   @ Test_typed_equal.suites @ Test_diagnostics.suites @ Test_fuzz.suites)
+   @ Test_typed_equal.suites @ Test_diagnostics.suites @ Test_telemetry.suites
+   @ Test_fuzz.suites)

@@ -1,0 +1,58 @@
+(** CI gate for telemetry artifacts: each argument must parse as JSON,
+    and recognized shapes get structural checks — a Chrome trace must
+    carry a non-empty [traceEvents] array of complete/metadata events,
+    and a [belr-profile/1] report must carry its [phases] and [counters]
+    sections.  Exit 0 iff every file passes; the [@smoke] dune alias
+    fails the build otherwise. *)
+
+module J = Belr_support.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_structure (j : J.t) : string option =
+  match J.member "traceEvents" j with
+  | Some events -> (
+      match J.to_list events with
+      | Some (_ :: _ as evs) ->
+          let bad_event e =
+            match J.member "ph" e with
+            | Some (J.String ("X" | "M" | "B" | "E" | "C" | "i")) -> false
+            | _ -> true
+          in
+          if List.exists bad_event evs then
+            Some "a traceEvents entry is missing a valid \"ph\" phase field"
+          else None
+      | _ -> Some "\"traceEvents\" is not a non-empty array")
+  | None -> (
+      match J.member "schema" j with
+      | Some (J.String "belr-profile/1") ->
+          if J.member "phases" j = None then
+            Some "profile report lacks \"phases\""
+          else if J.member "counters" j = None then
+            Some "profile report lacks \"counters\""
+          else None
+      | _ -> None (* generic JSON (e.g. a bench report): parsing sufficed *))
+
+let () =
+  let failed = ref false in
+  let report path = function
+    | None -> Printf.printf "%s: ok\n" path
+    | Some msg ->
+        Printf.eprintf "%s: INVALID: %s\n" path msg;
+        failed := true
+  in
+  Array.iteri
+    (fun i path ->
+      if i > 0 then
+        match read_file path with
+        | exception Sys_error msg -> report path (Some msg)
+        | src -> (
+            match J.parse src with
+            | Error msg -> report path (Some msg)
+            | Ok j -> report path (check_structure j)))
+    Sys.argv;
+  if !failed then exit 1
