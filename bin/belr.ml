@@ -3,6 +3,10 @@
     - [belr check FILE…]   parse, elaborate, sort-check, and run the
       conservativity translation on each file (later files see the
       declarations of earlier ones).
+    - [belr lint FILE…]    check, then run the signature analyses
+      (subordination, adequacy, dead sorts, unused declarations,
+      shadowing); findings are diagnostics with stable W07xx/E0702 codes,
+      and [--json FILE] writes the machine-readable [belr-lint/1] report.
 
     Checking is fault-tolerant: every independent error in a pass is
     reported (one declaration failing does not hide the rest), rendered
@@ -43,8 +47,15 @@ let write_report sink path json =
       (Diagnostics.make ~code:"E0701" Diagnostics.Error
          "cannot write report %s: %s" path msg)
 
-let run_check files verbose total max_errors max_depth werror stats trace
-    profile =
+let print_lint_results sg (lr : Belr_analysis.Lint.result) =
+  Fmt.pr "analysis passes:@.";
+  List.iter
+    (fun (name, findings) -> Fmt.pr "  %-12s %d finding(s)@." name findings)
+    lr.Belr_analysis.Lint.lr_passes;
+  Fmt.pr "%a" (Belr_analysis.Subord.pp sg) lr.Belr_analysis.Lint.lr_subord
+
+let run_check files verbose total lint max_errors max_depth werror stats
+    trace profile =
   Limits.set_max_depth max_depth;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
@@ -54,6 +65,9 @@ let run_check files verbose total max_errors max_depth werror stats trace
   let sink = Diagnostics.sink ~max_errors ~werror () in
   let sg = Belr_parser.Driver.check_files sink files in
   if total then Belr_parser.Driver.analyze sink sg;
+  let lint_result =
+    if lint then Some (Belr_parser.Driver.lint sink sg) else None
+  in
   if telemetry then begin
     (* stop recording before rendering, so the renderers observe a
        stable state *)
@@ -69,10 +83,48 @@ let run_check files verbose total max_errors max_depth werror stats trace
   | 0 ->
       Fmt.pr "%d file(s) checked successfully.@." (List.length files);
       summarize sg;
-      if verbose then print_recs sg;
+      if verbose then begin
+        print_recs sg;
+        Option.iter (print_lint_results sg) lint_result
+      end;
       0
   | code ->
       Fmt.epr "check failed: %a.@." Diagnostics.pp_summary sink;
+      code
+
+let run_lint files verbose json max_errors max_depth werror stats trace
+    profile =
+  Limits.set_max_depth max_depth;
+  let telemetry = stats || trace <> None || profile <> None in
+  if telemetry then begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  end;
+  let sink = Diagnostics.sink ~max_errors ~werror () in
+  let sg = Belr_parser.Driver.check_files sink files in
+  let lr = Belr_parser.Driver.lint sink sg in
+  if telemetry then begin
+    Telemetry.set_enabled false;
+    Option.iter (fun f -> write_report sink f (Telemetry.trace_json ())) trace;
+    Option.iter
+      (fun f -> write_report sink f (Telemetry.profile_json ()))
+      profile
+  end;
+  (* written on every exit path: a report full of findings is the point *)
+  Option.iter
+    (fun f ->
+      write_report sink f (Belr_analysis.Lint.report_json ~files sink lr))
+    json;
+  Diagnostics.dump Fmt.stderr sink;
+  if stats then Fmt.epr "%a@?" Telemetry.pp_stats ();
+  match Diagnostics.exit_code sink with
+  | 0 ->
+      Fmt.pr "%d file(s) linted: %a.@." (List.length files)
+        Diagnostics.pp_summary sink;
+      if verbose then print_lint_results sg lr;
+      0
+  | code ->
+      Fmt.epr "lint failed: %a.@." Diagnostics.pp_summary sink;
       code
 
 let files_arg =
@@ -91,6 +143,25 @@ let total_arg =
           "also run the optional coverage and structural-termination \
            analyses (the paper's §6.1 extensions) and report warnings \
            (codes W0601/W0602) on stderr")
+
+let lint_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "also run the signature analyses (subordination, adequacy, dead \
+           sorts, unused declarations, shadowing) after checking; \
+           findings carry stable W07xx/E0702 codes and share the \
+           diagnostic stream and exit code with checking")
+
+let lint_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "write the machine-readable lint report (schema belr-lint/1: \
+           per-pass finding counts, every diagnostic with code and \
+           location, summary, exit code) to $(docv)")
 
 let max_errors_arg =
   Arg.(
@@ -145,16 +216,29 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun files v t me md we st tr pr ->
-          run_check files v t me md we st tr pr)
-      $ files_arg $ verbose_arg $ total_arg $ max_errors_arg $ max_depth_arg
-      $ werror_arg $ stats_arg $ trace_arg $ profile_arg)
+      const (fun files v t li me md we st tr pr ->
+          run_check files v t li me md we st tr pr)
+      $ files_arg $ verbose_arg $ total_arg $ lint_flag_arg $ max_errors_arg
+      $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg)
+
+let lint_cmd =
+  let doc =
+    "check source files, then run the signature analyses (subordination, \
+     adequacy, dead sorts, unused declarations, shadowing)"
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const (fun files v js me md we st tr pr ->
+          run_lint files v js me md we st tr pr)
+      $ files_arg $ verbose_arg $ lint_json_arg $ max_errors_arg
+      $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg)
 
 let main =
   let doc =
     "a proof environment with contextual refinement types (Gaulin & \
      Pientka reproduction)"
   in
-  Cmd.group (Cmd.info "belr" ~version:"1.0.0" ~doc) [ check_cmd ]
+  Cmd.group (Cmd.info "belr" ~version:"1.0.0" ~doc) [ check_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,37 @@
+(** The reusable analysis-pass framework behind [belr lint].
+
+    A pass is a named analysis over a checked signature that reports its
+    findings through the shared {!Belr_support.Diagnostics.sink} — the
+    same sink the checking pipeline used, so one run yields one unified,
+    deduplicated diagnostic stream and one exit code.
+
+    Passes run under {!Belr_support.Diagnostics.recover}: a crashing pass
+    becomes a [B0002] bug diagnostic (exit code 2), never a lost run, and
+    the remaining passes still execute.  Each pass is timed under a
+    [lint:<name>] telemetry span so [--stats]/[--profile] break analysis
+    time down per pass. *)
+
+open Belr_support
+
+type t = {
+  p_name : string;  (** short stable name, e.g. ["subord"] *)
+  p_doc : string;  (** one-line description for [-v] listings *)
+  p_run : Belr_lf.Sign.t -> Diagnostics.sink -> unit;
+}
+
+let findings_so_far sink =
+  Diagnostics.error_count sink + Diagnostics.warning_count sink
+
+(** Run every pass in order over [sg], emitting into [sink]; returns the
+    per-pass finding counts (errors + warnings attributed to that pass),
+    in pass order.  {!Diagnostics.Stop} (the [--max-errors] cap)
+    propagates to the caller, as in the checking pipeline. *)
+let run_all (passes : t list) (sg : Belr_lf.Sign.t)
+    (sink : Diagnostics.sink) : (string * int) list =
+  List.map
+    (fun p ->
+      let before = findings_so_far sink in
+      Telemetry.with_span ("lint:" ^ p.p_name) (fun () ->
+          ignore (Diagnostics.recover sink (fun () -> p.p_run sg sink)));
+      (p.p_name, findings_so_far sink - before))
+    passes

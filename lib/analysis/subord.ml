@@ -1,0 +1,140 @@
+(** Subordination between LF type families.
+
+    [a ≼ b] ("[a] is subordinate to [b]") holds when terms of family [a]
+    can appear inside terms — or inside the types of terms — of family
+    [b].  The relation is generated from the declared signature exactly as
+    in Twelf/Beluga:
+
+    - for every constant [c : Πx₁:A₁…Πxₙ:Aₙ. b·M⃗], each domain
+      contributes [target(Aᵢ) ≼ b], recursively inside the [Aᵢ]
+      (a domain [Πy:B.C] nested anywhere contributes
+      [target(B) ≼ target(C)]);
+    - for every family [b : Πx:A.K], the index domains contribute
+      [target(A) ≼ b];
+    - families of constants appearing in index terms [M⃗] of an atomic
+      type [a·M⃗] are subordinate to [a];
+
+    closed under reflexivity and transitivity.
+
+    The result is the precondition for context strengthening: a
+    declaration [x:A] can be pruned from the context of a term of family
+    [b] whenever [target(A) ⋠ b].  This module only {e computes} the
+    relation (the strengthening optimization is future work, see
+    ROADMAP.md); the lint layer warns about vacuous dependencies and uses
+    mutual subordination for the adequacy check. *)
+
+open Belr_syntax
+module Sign = Belr_lf.Sign
+
+type t = {
+  so_ids : Lf.cid_typ array;  (** position → family id, sorted ascending *)
+  so_pos : (Lf.cid_typ, int) Hashtbl.t;  (** family id → position *)
+  so_rel : bool array array;
+      (** [so_rel.(i).(j)]: family at position [i] ≼ family at position [j] *)
+}
+
+(** The generating edges [(a, b)] (meaning [a ≼ b]) read off the
+    signature, {e before} the reflexive-transitive closure.  Exposed so
+    the test suite can cross-check {!analyze} against a brute-force
+    closure over the same edge set. *)
+let direct_edges (sg : Sign.t) : (Lf.cid_typ * Lf.cid_typ) list =
+  let edges = ref [] in
+  let add a b = edges := (a, b) :: !edges in
+  (* families of constants used in the index terms of an atomic type
+     headed by [into] *)
+  let spine_families into sp =
+    List.iter
+      (Refs.iter_normal (function
+        | Refs.RConst c -> add (Sign.const_entry sg c).Sign.c_family into
+        | _ -> ()))
+      sp
+  in
+  let rec typ_edges (ty : Lf.typ) =
+    match ty with
+    | Lf.Atom (a, sp) -> spine_families a sp
+    | Lf.Pi (_, a, b) ->
+        add (Lf.typ_target a) (Lf.typ_target b);
+        typ_edges a;
+        typ_edges b
+  in
+  let rec kind_edges into (k : Lf.kind) =
+    match k with
+    | Lf.Ktype -> ()
+    | Lf.Kpi (_, a, k) ->
+        add (Lf.typ_target a) into;
+        typ_edges a;
+        kind_edges into k
+  in
+  List.iter
+    (fun (a, (te : Sign.typ_entry)) -> kind_edges a te.Sign.t_kind)
+    (Sign.all_typs sg);
+  List.iter
+    (fun (_, (ce : Sign.const_entry)) -> typ_edges ce.Sign.c_typ)
+    (Sign.all_consts sg);
+  !edges
+
+(** Compute the reflexive-transitive subordination relation of a
+    signature (Floyd–Warshall over the family set; signatures are small). *)
+let analyze (sg : Sign.t) : t =
+  let fams = List.sort compare (List.map fst (Sign.all_typs sg)) in
+  let so_ids = Array.of_list fams in
+  let n = Array.length so_ids in
+  let so_pos = Hashtbl.create (max 16 n) in
+  Array.iteri (fun i a -> Hashtbl.replace so_pos a i) so_ids;
+  let rel = Array.init n (fun i -> Array.init n (fun j -> i = j)) in
+  List.iter
+    (fun (a, b) ->
+      match (Hashtbl.find_opt so_pos a, Hashtbl.find_opt so_pos b) with
+      | Some i, Some j -> rel.(i).(j) <- true
+      | _ -> ())
+    (direct_edges sg);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if rel.(i).(k) then
+        for j = 0 to n - 1 do
+          if rel.(k).(j) then rel.(i).(j) <- true
+        done
+    done
+  done;
+  { so_ids; so_pos; so_rel = rel }
+
+(** [leq t a b]: is [a ≼ b]?  Unknown families are only related to
+    themselves. *)
+let leq (t : t) (a : Lf.cid_typ) (b : Lf.cid_typ) : bool =
+  match (Hashtbl.find_opt t.so_pos a, Hashtbl.find_opt t.so_pos b) with
+  | Some i, Some j -> t.so_rel.(i).(j)
+  | _ -> a = b
+
+(** Mutual subordination [a ≼ b ∧ b ≼ a] — the families' terms can nest
+    inside each other, so neither can be strengthened away from the
+    other's contexts. *)
+let mutual (t : t) a b = leq t a b && leq t b a
+
+(** All families the relation was computed over. *)
+let families (t : t) : Lf.cid_typ list = Array.to_list t.so_ids
+
+(** The non-reflexive pairs [(a, b)] with [a ≼ b] and [a ≠ b], in a
+    deterministic order. *)
+let pairs (t : t) : (Lf.cid_typ * Lf.cid_typ) list =
+  let out = ref [] in
+  let n = Array.length t.so_ids in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if i <> j && t.so_rel.(i).(j) then
+        out := (t.so_ids.(i), t.so_ids.(j)) :: !out
+    done
+  done;
+  !out
+
+(** Render the non-reflexive part of the relation, one [a =< b] line per
+    pair, using the signature's family names. *)
+let pp (sg : Sign.t) ppf (t : t) =
+  match pairs t with
+  | [] -> Fmt.pf ppf "subordination: no cross-family dependencies@."
+  | ps ->
+      Fmt.pf ppf "subordination (a =< b: a-terms occur in b-terms):@.";
+      List.iter
+        (fun (a, b) ->
+          Fmt.pf ppf "  %s =< %s@." (Sign.typ_entry sg a).Sign.t_name
+            (Sign.typ_entry sg b).Sign.t_name)
+        ps

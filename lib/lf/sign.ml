@@ -87,6 +87,10 @@ type t = {
           up raises {!Belr_support.Error.Depends_on_failed} so downstream
           declarations report a single dependency note instead of a
           cascade of spurious errors *)
+  locs : (string, Loc.t) Hashtbl.t;
+      (** name → source span of its declaration; best-effort (synthetic
+          entries have no span), consumed by tooling that reports on the
+          signature after checking, e.g. [belr lint] *)
   mutable fresh : int;
 }
 
@@ -101,6 +105,7 @@ let create () =
     csorts = Hashtbl.create 64;
     by_name = Hashtbl.create 128;
     poisoned = Hashtbl.create 16;
+    locs = Hashtbl.create 128;
     fresh = 0;
   }
 
@@ -123,6 +128,14 @@ let is_poisoned sg name = Hashtbl.mem sg.poisoned name
 let lookup_name sg name =
   if Hashtbl.mem sg.poisoned name then raise (Error.Depends_on_failed name);
   Hashtbl.find_opt sg.by_name name
+
+(** Record where [name] was declared.  Ghost spans are not recorded, so a
+    later real span (e.g. a per-constructor location refining the whole
+    declaration's) can still land. *)
+let set_decl_loc sg name (loc : Loc.t) =
+  if not (Loc.is_ghost loc) then Hashtbl.replace sg.locs name loc
+
+let decl_loc sg name : Loc.t option = Hashtbl.find_opt sg.locs name
 
 (* --- declaration ---------------------------------------------------- *)
 
@@ -256,6 +269,11 @@ let all_schemas sg : (Lf.cid_schema * schema_entry) list =
 
 let all_sschemas sg : (Lf.cid_sschema * sschema_entry) list =
   Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.sschemas []
+
+(** Every recorded sort assignment
+    [(constant, sort family) → (sort, implicits)] (unordered). *)
+let all_csorts sg : ((Lf.cid_const * Lf.cid_srt) * (Lf.srt * int)) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) sg.csorts []
 
 (** Is this refinement-schema entry the auto-registered trivial refinement
     (hidden from user-facing summaries)? *)

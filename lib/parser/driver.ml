@@ -50,6 +50,26 @@ let check_files (sink : Diagnostics.sink) (files : string list) :
         files);
   sg
 
+(** Run the [belr lint] signature analyses (subordination, adequacy,
+    sorts, unused declarations, shadowing) over a checked signature,
+    reporting through the {e same} sink the checking pipeline used — one
+    unified diagnostic stream, one exit code.  Every pass already runs
+    under {!Diagnostics.recover}; the [--max-errors] cap is absorbed here
+    like in checking, in which case the per-pass counts cover only the
+    passes that ran. *)
+let lint (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
+    Belr_analysis.Lint.result =
+  let result = ref None in
+  Diagnostics.with_stop sink (fun () ->
+      result := Some (Belr_analysis.Lint.run sink sg));
+  match !result with
+  | Some r -> r
+  | None ->
+      {
+        Belr_analysis.Lint.lr_passes = [];
+        Belr_analysis.Lint.lr_subord = Belr_analysis.Subord.analyze sg;
+      }
+
 (** The optional [--total] analyses (the paper's §6.1 future work):
     coverage and structural termination, reported as [W0601]/[W0602]
     warnings through the sink — never on stdout, so they cannot corrupt

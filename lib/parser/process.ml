@@ -198,6 +198,25 @@ let process_decl_inner (sg : Sign.t) (d : Ext.decl) : unit =
     first declared name (so traces show which declaration each phase
     belongs to). *)
 let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
+  (* coarse declaration spans for every bound name, before the finer
+     per-constructor spans recorded below; tooling over the checked
+     signature (belr lint) locates its findings with these *)
+  List.iter
+    (fun n -> Sign.set_decl_loc sg n (Ext.decl_loc d))
+    (Ext.declared_names d);
+  let typ_decl_locs (td : Ext.typ_decl) =
+    List.iter
+      (fun n -> Sign.set_decl_loc sg n td.Ext.d_loc)
+      (Ext.typ_decl_names td);
+    if td.Ext.d_refines = None then
+      List.iter
+        (fun (c : Ext.ctor) -> Sign.set_decl_loc sg c.Ext.k_name c.Ext.k_loc)
+        td.Ext.d_ctors
+  in
+  (match d with
+  | Ext.Dtyp td -> typ_decl_locs td
+  | Ext.Dmutual tds -> List.iter typ_decl_locs tds
+  | Ext.Dschema _ | Ext.Drec _ -> ());
   if Telemetry.enabled () then
     let arg =
       match Ext.declared_names d with name :: _ -> name | [] -> ""

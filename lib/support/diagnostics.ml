@@ -18,8 +18,17 @@
                     [E0902] out of memory
     - [W06xx]       the [--total] analyses: [W0601] non-exhaustive
                     coverage, [W0602] unproven termination
+    - [W07xx]/[E0702]  the [belr lint] signature analyses: [W0701]
+                    vacuous Π-dependency, [W0702] adequacy, [W0703] empty
+                    sort, [E0702] subsort cycle, [W0704] unused
+                    declaration, [W0705] shadowing
     - [B00xx]       internal bugs: [B0001] invariant violation, [B0002]
                     unexpected exception
+
+    Every code is listed in the {!registry} below with its default
+    severity and a one-line description; {!check_codes} rejects duplicate
+    registrations (guarded by the test suite), so a new diagnostic cannot
+    silently reuse a published code.
 
     Severities map to exit codes (see {!exit_code}): any [Bug] ⇒ 2, else
     any [Error] ⇒ 1, else 0.  [--werror] promotes warnings to errors at
@@ -49,6 +58,63 @@ let severity_label = function
   | Warning -> "warning"
   | Error -> "error"
   | Bug -> "bug"
+
+(* --- the code registry ------------------------------------------------- *)
+
+type code_class = {
+  cc_code : string;  (** stable published code, e.g. ["E0201"] *)
+  cc_severity : severity;  (** default severity (before [--werror]) *)
+  cc_doc : string;  (** one-line description for docs and tooling *)
+}
+
+let cc code sev doc = { cc_code = code; cc_severity = sev; cc_doc = doc }
+
+(** Every published diagnostic code.  Append-only: codes are part of the
+    tool's stable interface (scripts grep for them, docs cite them), so a
+    retired diagnostic keeps its row and a new one gets a fresh code. *)
+let registry : code_class list =
+  [
+    cc "E0001" Error "unclassified user error";
+    cc "E0002" Note "the --max-errors cap was reached";
+    cc "E0101" Error "lexical or syntax error";
+    cc "E0201" Error "declaration error: elaboration or sort checking";
+    cc "E0701" Error "input/output: unreadable or missing source file";
+    cc "E0702" Error "lint: subsort cycle between refinement sorts";
+    cc "E0801" Note "recovery: depends on a failed declaration";
+    cc "E0901" Error "resource limit: depth or stack exhausted";
+    cc "E0902" Error "resource limit: out of memory";
+    cc "W0601" Warning "totality: non-exhaustive coverage";
+    cc "W0602" Warning "totality: unproven termination";
+    cc "W0701" Warning "lint: vacuous Pi-dependency";
+    cc "W0702" Warning "lint: constant leaves the second-order HOAS fragment";
+    cc "W0703" Warning "lint: empty refinement sort";
+    cc "W0704" Warning "lint: unused declaration";
+    cc "W0705" Warning "lint: shadowed binder or duplicate context entry";
+    cc "B0001" Bug "internal invariant violation";
+    cc "B0002" Bug "unexpected exception";
+  ]
+
+(** Reject duplicate code registrations; [Error]'s payload names the first
+    duplicated code.  Run over {!registry} by the test suite, and usable
+    by tooling that extends the table. *)
+let check_codes (classes : code_class list) : (unit, string) result =
+  let seen = Hashtbl.create 32 in
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest ->
+        if Hashtbl.mem seen c.cc_code then
+          Result.Error
+            (Printf.sprintf "diagnostic code %s registered twice" c.cc_code)
+        else begin
+          Hashtbl.replace seen c.cc_code ();
+          go rest
+        end
+  in
+  go classes
+
+(** Look up a code's registry row, if published. *)
+let code_class (code : string) : code_class option =
+  List.find_opt (fun c -> c.cc_code = code) registry
 
 let pp ppf d =
   if Loc.is_ghost d.d_loc then

@@ -45,11 +45,16 @@ type counter = { ct_name : string; mutable ct_total : int }
 let counters : counter list ref = ref []
 
 (** Register a named counter (module-initialization time, one per
-    operation of interest). *)
+    operation of interest).  Idempotent: re-registering a name returns
+    the existing counter, so two modules naming the same quantity share
+    one total instead of splitting it across duplicate rows. *)
 let counter name =
-  let c = { ct_name = name; ct_total = 0 } in
-  counters := c :: !counters;
-  c
+  match List.find_opt (fun c -> c.ct_name = name) !counters with
+  | Some c -> c
+  | None ->
+      let c = { ct_name = name; ct_total = 0 } in
+      counters := c :: !counters;
+      c
 
 let bump c = if !on then c.ct_total <- c.ct_total + 1
 

@@ -1,0 +1,360 @@
+(** The [belr lint] signature analyses: subordination (cross-checked
+    against a brute-force closure), the five passes on seeded fixtures,
+    clean runs over the shipped examples, the shared-sink exit-code
+    contract, and the [belr-lint/1] report shape. *)
+
+open Belr_support
+open Belr_parser
+module Sign = Belr_lf.Sign
+module Subord = Belr_analysis.Subord
+module Lint = Belr_analysis.Lint
+
+let test name f = Alcotest.test_case name `Quick f
+
+let check ?werror (sources : (string * string) list) =
+  let sink = Diagnostics.sink ?werror () in
+  let sg = Driver.check_sources sink sources in
+  (sink, sg)
+
+let lint_src ?werror src =
+  let sink, sg = check ?werror [ ("test.bel", src) ] in
+  let r = Driver.lint sink sg in
+  (sink, sg, r)
+
+let codes sink =
+  List.map (fun (d : Diagnostics.t) -> d.Diagnostics.d_code)
+    (Diagnostics.all sink)
+
+let count code sink =
+  List.length (List.filter (String.equal code) (codes sink))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let nat = "LF nat : type = | z : nat | s : nat -> nat;\n"
+
+(* --- subordination ------------------------------------------------------- *)
+
+(** Reference implementation: reflexive-transitive reachability over
+    {!Subord.direct_edges} by depth-first search, no Floyd–Warshall. *)
+let brute_leq sg =
+  let edges = Subord.direct_edges sg in
+  fun a b ->
+    let visited = Hashtbl.create 16 in
+    let rec reach x =
+      x = b
+      || (not (Hashtbl.mem visited x))
+         && begin
+              Hashtbl.replace visited x ();
+              List.exists (fun (u, v) -> u = x && reach v) edges
+            end
+    in
+    reach a
+
+let cross_check name src () =
+  let _, sg = check [ (name, src) ] in
+  let sub = Subord.analyze sg in
+  let reference = brute_leq sg in
+  let fams = Subord.families sub in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: %s =< %s" name (Sign.typ_entry sg a).Sign.t_name
+               (Sign.typ_entry sg b).Sign.t_name)
+            (reference a b) (Subord.leq sub a b))
+        fams)
+    fams
+
+let planted_src =
+  nat
+  ^ "LF tm : type = | bad : ((tm -> tm) -> tm) -> tm;\n\
+     LF vac : nat -> type = | v : {x : nat} vac z;\n\
+     LF shad : nat -> type = | w : {y : nat} {y : nat} shad y;\n\
+     LFR mt <| nat : sort;\n\
+     LFR p1 <| nat : sort = | s : nat -> p1;\n\
+     LFR p2 <| nat : sort = | s : nat -> p2;\n\
+     schema gdead = | w : block (x : nat);\n\
+     LF use : tm -> vac z -> shad z -> type;\n"
+
+let subord_tests =
+  [
+    test "closure matches brute force on the aeq/deq signature"
+      (cross_check "equal.bel" Belr_kits.Surface.signature_src);
+    test "closure matches brute force on the full development"
+      (cross_check "full.bel" Belr_kits.Surface.full_src);
+    test "closure matches brute force on the planted lint fixture"
+      (cross_check "planted.bel" planted_src);
+    test "tm is subordinate to deq but not conversely" (fun () ->
+        let _, sg = check [ ("s.bel", Belr_kits.Surface.signature_src) ] in
+        let sub = Subord.analyze sg in
+        let fam n =
+          match Sign.lookup_name sg n with
+          | Some (Sign.Sym_typ a) -> a
+          | _ -> Alcotest.failf "%s is not a type family" n
+        in
+        Alcotest.(check bool) "tm =< deq" true
+          (Subord.leq sub (fam "tm") (fam "deq"));
+        Alcotest.(check bool) "deq =< tm" false
+          (Subord.leq sub (fam "deq") (fam "tm"));
+        Alcotest.(check bool) "reflexive" true
+          (Subord.leq sub (fam "tm") (fam "tm"));
+        Alcotest.(check bool) "not mutual" false
+          (Subord.mutual sub (fam "tm") (fam "deq")));
+    test "the result is exported through Lint.result" (fun () ->
+        let _, _, r = lint_src Belr_kits.Surface.signature_src in
+        Alcotest.(check bool) "has a cross-family pair" true
+          (Subord.pairs r.Lint.lr_subord <> []));
+  ]
+
+(* --- the passes on seeded fixtures -------------------------------------- *)
+
+let pass_tests =
+  [
+    test "W0701: a vacuous Pi-dependency is reported once" (fun () ->
+        let sink, _, _ =
+          lint_src
+            (nat
+           ^ "LF vac : nat -> type = | v : {x : nat} vac z;\n\
+              LF use : vac z -> type;\n")
+        in
+        Alcotest.(check int) "one W0701" 1 (count "W0701" sink);
+        Alcotest.(check int) "exit 0 (warning only)" 0
+          (Diagnostics.exit_code sink));
+    test "W0701: second-order binders that are used stay clean" (fun () ->
+        let sink, _, _ =
+          lint_src
+            (nat
+           ^ "LF fin : nat -> type = | fz : {n : nat} fin (s n);\n\
+              LF use : fin (s z) -> type;\n")
+        in
+        Alcotest.(check int) "no W0701" 0 (count "W0701" sink));
+    test "W0702: third-order negative occurrence breaks adequacy" (fun () ->
+        let sink, _, _ =
+          lint_src
+            ("LF tm : type = | lam : (tm -> tm) -> tm | app : tm -> tm -> \
+              tm;\n\
+              LF bad : type = | b : ((bad -> bad) -> bad) -> bad;\n\
+              LF use : tm -> bad -> type;\n")
+        in
+        Alcotest.(check int) "one W0702" 1 (count "W0702" sink));
+    test "W0702: the canonical second-order HOAS encoding is adequate"
+      (fun () ->
+        let sink, _, _ =
+          lint_src
+            ("LF tm : type = | lam : (tm -> tm) -> tm | app : tm -> tm -> \
+              tm;\n\
+              LF use : tm -> type;\n")
+        in
+        Alcotest.(check int) "no W0702" 0 (count "W0702" sink));
+    test "W0703: an empty refinement sort is reported" (fun () ->
+        let sink, _, _ = lint_src (nat ^ "LFR mt <| nat : sort;\n") in
+        Alcotest.(check int) "one W0703" 1 (count "W0703" sink));
+    test "E0702: identical constant sets form a subsort cycle (exit 1)"
+      (fun () ->
+        let sink, _, _ =
+          lint_src
+            (nat
+           ^ "LFR p1 <| nat : sort = | s : nat -> p1;\n\
+              LFR p2 <| nat : sort = | s : nat -> p2;\n")
+        in
+        Alcotest.(check int) "one E0702" 1 (count "E0702" sink);
+        Alcotest.(check int) "exit 1" 1 (Diagnostics.exit_code sink));
+    test "E0702: distinct constant sets are not a cycle" (fun () ->
+        let sink, _, _ =
+          lint_src
+            (nat
+           ^ "LFR p1 <| nat : sort = | s : nat -> p1;\n\
+              LFR p2 <| nat : sort = | z : p2 | s : nat -> p2;\n")
+        in
+        Alcotest.(check int) "no E0702" 0 (count "E0702" sink));
+    test "W0704: an unreferenced schema is reported" (fun () ->
+        let sink, _, _ =
+          lint_src (nat ^ "schema g = | w : block (x : nat);\n")
+        in
+        Alcotest.(check int) "one W0704" 1 (count "W0704" sink));
+    test "W0704: a schema referenced by a theorem is not reported" (fun () ->
+        let sink, _, _ =
+          lint_src
+            (nat
+           ^ "schema g = | w : block (x : nat);\n\
+              rec f : (Psi : g) (M : [Psi |- nat]) [Psi |- nat] =\n\
+              mlam Psi => mlam M => [Psi |- M];\n")
+        in
+        Alcotest.(check int) "no W0704" 0 (count "W0704" sink));
+    test "W0704: constants of a referenced family are considered live"
+      (fun () ->
+        (* z is never written anywhere, but nat is matched on/referenced,
+           so its constructors count as data of a live family *)
+        let sink, _, _ = lint_src (nat ^ "LF use : nat -> type;\n") in
+        Alcotest.(check int) "no W0704" 0 (count "W0704" sink));
+    test "W0705: a shadowed Pi binder is reported" (fun () ->
+        let sink, _, _ =
+          lint_src
+            (nat
+           ^ "LF shad : nat -> type = | w : {y : nat} {y : nat} shad y;\n\
+              LF use : shad z -> type;\n")
+        in
+        Alcotest.(check int) "one W0705" 1 (count "W0705" sink));
+    test "the five passes run in order with per-pass counts" (fun () ->
+        let sink, _, r = lint_src planted_src in
+        Alcotest.(check (list string))
+          "pass order"
+          [ "subord"; "adequacy"; "sorts"; "unused"; "shadowing" ]
+          (List.map fst r.Lint.lr_passes);
+        let total = List.fold_left (fun n (_, c) -> n + c) 0 r.Lint.lr_passes in
+        Alcotest.(check int) "per-pass counts sum to the findings" total
+          (Diagnostics.error_count sink + Diagnostics.warning_count sink));
+    test "the comprehensive fixture plants every documented code (exit 1)"
+      (fun () ->
+        let sink, _, _ = lint_src planted_src in
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) (c ^ " planted") true
+              (List.mem c (codes sink)))
+          [ "W0701"; "W0702"; "W0703"; "E0702"; "W0704"; "W0705" ];
+        Alcotest.(check int) "exit 1" 1 (Diagnostics.exit_code sink));
+  ]
+
+(* --- clean runs over the shipped examples -------------------------------- *)
+
+let clean_tests =
+  [
+    test "the full §2 development has zero findings" (fun () ->
+        let sink, _, _ = lint_src Belr_kits.Surface.full_src in
+        Alcotest.(check (list string)) "no diagnostics" [] (codes sink);
+        Alcotest.(check int) "exit 0" 0 (Diagnostics.exit_code sink));
+    test "examples/quickstart.blr has zero findings" (fun () ->
+        let src = read_file "../examples/quickstart.blr" in
+        let sink, _, _ = lint_src src in
+        Alcotest.(check (list string)) "no diagnostics" [] (codes sink));
+    test "the emitted equal.bel has zero findings" (fun () ->
+        let src = read_file "../examples/equal.bel" in
+        let sink, _, _ = lint_src src in
+        Alcotest.(check (list string)) "no diagnostics" [] (codes sink));
+  ]
+
+(* --- shared sink, exit codes, recovery ----------------------------------- *)
+
+let contract_tests =
+  [
+    test "lint shares the sink with checking (one stream, one exit code)"
+      (fun () ->
+        let sink, sg =
+          check [ ("t.bel", nat ^ "LF bad : type = | c : missing;\n") ]
+        in
+        let _ = Driver.lint sink sg in
+        Alcotest.(check bool) "check error present" true
+          (List.mem "E0201" (codes sink));
+        Alcotest.(check int) "exit 1" 1 (Diagnostics.exit_code sink));
+    test "--werror promotes lint warnings to exit 1" (fun () ->
+        let sink, _, _ =
+          lint_src ~werror:true (nat ^ "schema g = | w : block (x : nat);\n")
+        in
+        Alcotest.(check int) "exit 1" 1 (Diagnostics.exit_code sink));
+    test "a crashing pass is a recovered B0002, not a lost run" (fun () ->
+        let sink = Diagnostics.sink () in
+        let boom =
+          {
+            Belr_analysis.Pass.p_name = "boom";
+            p_doc = "always crashes";
+            p_run = (fun _ _ -> raise Not_found);
+          }
+        in
+        let counts =
+          Belr_analysis.Pass.run_all [ boom ] (Sign.create ()) sink
+        in
+        Alcotest.(check (list (pair string int)))
+          "pass still reports" [ ("boom", 0) ] counts;
+        Alcotest.(check int) "bug recorded" 1 (Diagnostics.bug_count sink);
+        Alcotest.(check int) "exit 2" 2 (Diagnostics.exit_code sink));
+    test "lint phases appear as lint:<pass> telemetry spans" (fun () ->
+        Telemetry.reset ();
+        Telemetry.set_enabled true;
+        Fun.protect
+          ~finally:(fun () -> Telemetry.set_enabled false)
+          (fun () ->
+            let _ = lint_src Belr_kits.Surface.signature_src in
+            let names =
+              List.map (fun e -> e.Telemetry.ev_name) (Telemetry.events ())
+            in
+            List.iter
+              (fun p ->
+                Alcotest.(check bool) (p ^ " span recorded") true
+                  (List.mem p names))
+              [
+                "lint"; "lint:subord"; "lint:adequacy"; "lint:sorts";
+                "lint:unused"; "lint:shadowing";
+              ]));
+  ]
+
+(* --- the belr-lint/1 report ---------------------------------------------- *)
+
+let report_tests =
+  [
+    test "the JSON report round-trips and carries the documented shape"
+      (fun () ->
+        let sink, _, r = lint_src planted_src in
+        let j =
+          Lint.report_json ~files:[ "planted.bel" ] sink r
+        in
+        match Json.parse (Json.to_string j) with
+        | Error msg -> Alcotest.failf "report does not re-parse: %s" msg
+        | Ok j ->
+            Alcotest.(check (option string))
+              "schema" (Some Lint.schema_id)
+              (Option.bind (Json.member "schema" j) Json.to_str);
+            let findings =
+              Option.bind (Json.member "findings" j) Json.to_list
+              |> Option.value ~default:[]
+            in
+            Alcotest.(check bool) "has findings" true (findings <> []);
+            List.iter
+              (fun f ->
+                Alcotest.(check bool) "finding has code" true
+                  (Option.bind (Json.member "code" f) Json.to_str <> None);
+                Alcotest.(check bool) "finding has severity" true
+                  (Option.bind (Json.member "severity" f) Json.to_str <> None))
+              findings;
+            Alcotest.(check (option int))
+              "exit_code" (Some 1)
+              (Option.bind (Json.member "exit_code" j) Json.to_int);
+            let summary_warnings =
+              Option.bind (Json.member "summary" j) (Json.member "warnings")
+              |> Fun.flip Option.bind Json.to_int
+            in
+            Alcotest.(check (option int))
+              "summary.warnings counts the sink"
+              (Some (Diagnostics.warning_count sink))
+              summary_warnings);
+    test "findings carry source positions from the declaration table"
+      (fun () ->
+        let sink, _, r = lint_src planted_src in
+        let j = Lint.report_json ~files:[ "planted.bel" ] sink r in
+        let findings =
+          Option.bind (Json.member "findings" j) Json.to_list
+          |> Option.value ~default:[]
+        in
+        let located =
+          List.filter
+            (fun f ->
+              Option.bind (Json.member "file" f) Json.to_str
+              = Some "test.bel")
+            findings
+        in
+        Alcotest.(check bool) "every finding is located" true
+          (List.length located = List.length findings));
+  ]
+
+let suites =
+  [
+    ("analysis.subordination", subord_tests);
+    ("analysis.passes", pass_tests);
+    ("analysis.clean", clean_tests);
+    ("analysis.contract", contract_tests);
+    ("analysis.report", report_tests);
+  ]

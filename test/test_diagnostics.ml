@@ -209,6 +209,64 @@ let analysis_tests =
         Alcotest.(check int) "exit" 1 (Diagnostics.exit_code sink));
   ]
 
+let registry_tests =
+  [
+    test "the code registry has no duplicate registrations" (fun () ->
+        match Diagnostics.check_codes Diagnostics.registry with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail msg);
+    test "check_codes rejects a duplicated code" (fun () ->
+        let dup =
+          Diagnostics.registry
+          @ [
+              {
+                Diagnostics.cc_code = "E0201";
+                cc_severity = Diagnostics.Error;
+                cc_doc = "imposter";
+              };
+            ]
+        in
+        match Diagnostics.check_codes dup with
+        | Ok () -> Alcotest.fail "duplicate E0201 was accepted"
+        | Error msg ->
+            let contains affix s =
+              let n = String.length affix and m = String.length s in
+              let rec go i =
+                i + n <= m && (String.sub s i n = affix || go (i + 1))
+              in
+              go 0
+            in
+            Alcotest.(check bool) "names the code" true
+              (contains "E0201" msg));
+    test "every code emitted by the pipeline and lint is registered"
+      (fun () ->
+        (* codes referenced in this test file + the lint pass codes *)
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) (c ^ " registered") true
+              (Diagnostics.code_class c <> None))
+          [
+            "E0001"; "E0002"; "E0101"; "E0201"; "E0701"; "E0702"; "E0801";
+            "E0901"; "E0902"; "W0601"; "W0602"; "W0701"; "W0702"; "W0703";
+            "W0704"; "W0705"; "B0001"; "B0002";
+          ]);
+    test "registry severities match the lint exit-code contract" (fun () ->
+        (* E0702 must be an Error (findings fail the run); W07xx must be
+           Warnings (clean exit unless --werror) *)
+        let sev c =
+          match Diagnostics.code_class c with
+          | Some cc -> cc.Diagnostics.cc_severity
+          | None -> Alcotest.failf "%s not registered" c
+        in
+        Alcotest.(check bool) "E0702 is an error" true
+          (sev "E0702" = Diagnostics.Error);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) (c ^ " is a warning") true
+              (sev c = Diagnostics.Warning))
+          [ "W0701"; "W0702"; "W0703"; "W0704"; "W0705" ]);
+  ]
+
 let dump_tests =
   [
     (* regression: [dump] must flush explicitly, or diagnostics sit in the
@@ -242,5 +300,6 @@ let suites =
     ("diagnostics.exit-codes", exit_code_tests);
     ("diagnostics.resources", resource_tests);
     ("diagnostics.analyses", analysis_tests);
+    ("diagnostics.registry", registry_tests);
     ("diagnostics.dump", dump_tests);
   ]

@@ -1,9 +1,11 @@
-(** CI gate for telemetry artifacts: each argument must parse as JSON,
-    and recognized shapes get structural checks — a Chrome trace must
-    carry a non-empty [traceEvents] array of complete/metadata events,
-    and a [belr-profile/1] report must carry its [phases] and [counters]
-    sections.  Exit 0 iff every file passes; the [@smoke] dune alias
-    fails the build otherwise. *)
+(** CI gate for machine-readable artifacts: each argument must parse as
+    JSON, and recognized shapes get structural checks — a Chrome trace
+    must carry a non-empty [traceEvents] array of complete/metadata
+    events, a [belr-profile/1] report its [phases] and [counters]
+    sections, and a [belr-lint/1] report a well-formed [findings] array
+    (code + severity per entry) and a [summary].  Exit 0 iff every file
+    passes; the [@smoke] and [@lint] dune aliases fail the build
+    otherwise. *)
 
 module J = Belr_support.Json
 
@@ -35,6 +37,22 @@ let check_structure (j : J.t) : string option =
           else if J.member "counters" j = None then
             Some "profile report lacks \"counters\""
           else None
+      | Some (J.String "belr-lint/1") -> (
+          match Option.bind (J.member "findings" j) J.to_list with
+          | None -> Some "lint report lacks a \"findings\" array"
+          | Some findings ->
+              let bad_finding f =
+                match (J.member "code" f, J.member "severity" f) with
+                | Some (J.String _), Some (J.String _) -> false
+                | _ -> true
+              in
+              if List.exists bad_finding findings then
+                Some
+                  "a findings entry is missing its \"code\" or \
+                   \"severity\" string"
+              else if J.member "summary" j = None then
+                Some "lint report lacks \"summary\""
+              else None)
       | _ -> None (* generic JSON (e.g. a bench report): parsing sufficed *))
 
 let () =
