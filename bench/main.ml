@@ -11,6 +11,9 @@
     - E4  scaling of sort checking (near-linear, no intersection blow-up)
     - E5  hereditary substitution with tuple fronts / block projections
     - E6  ablation: unified single-pass judgment vs naive two-pass
+    - E7  ablation: hash-consed term store on vs off (PR 4; the "off"
+          rows are what [BELR_NO_HASHCONS=1] gives end to end), plus the
+          one-at-a-time vs batched spine-append micro-benchmark
 
     Run with: [dune exec bench/main.exe]  (add [--fast] for a quick pass).
 
@@ -89,10 +92,8 @@ let id_tm = Ulam.id_tm u
 
 (* the canonical aeq/deq derivation for the identity *)
 let d_id =
-  Root
-    ( Const u.Ulam.e_lam,
-      [ Lam ("x", Root (BVar 1, [])); Lam ("x", Root (BVar 1, []));
-        Lam ("x", Lam ("u", Root (BVar 1, []))) ] )
+  (mk_root ((mk_const u.Ulam.e_lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))); (mk_lam "x" ((mk_root ((mk_bvar 1)) [])));
+        (mk_lam "x" ((mk_lam "u" ((mk_root ((mk_bvar 1)) []))))) ]))
 
 (** Balanced application tree of depth [d] (size ~2^d). *)
 let rec gen_term d =
@@ -103,7 +104,7 @@ let rec gen_drv d =
   if d = 0 then d_id
   else
     let t = gen_term (d - 1) and s = gen_drv (d - 1) in
-    Root (Const u.Ulam.e_app, [ t; t; t; t; s; s ])
+    (mk_root ((mk_const u.Ulam.e_app)) ([ t; t; t; t; s; s ]))
 
 let depths = if fast then [ 3; 5 ] else [ 3; 5; 7 ]
 
@@ -113,15 +114,15 @@ let lf_env = Check_lf.make_env sgu []
 
 let aeq_srt d =
   let t = gen_term d in
-  SAtom (u.Ulam.aeq, [ t; t ])
+  (mk_satom u.Ulam.aeq ([ t; t ]))
 
 let deq_typ d =
   let t = gen_term d in
-  Atom (u.Ulam.deq, [ t; t ])
+  (mk_atom u.Ulam.deq ([ t; t ]))
 
 let deq_emb d =
   let t = gen_term d in
-  SEmbed (u.Ulam.deq, [ t; t ])
+  (mk_sembed u.Ulam.deq ([ t; t ]))
 
 (* ------------------------------------------------------------------ *)
 (* E1 — proof sizes (static)                                            *)
@@ -316,16 +317,16 @@ let e5 () =
   (* a term with a free variable at every leaf; substituting triggers a
      β-redex at each *)
   let rec open_term d =
-    if d = 0 then Root (BVar 1, [ id_tm ])
+    if d = 0 then (mk_root ((mk_bvar 1)) ([ id_tm ]))
     else Ulam.app_tm u (open_term (d - 1)) (open_term (d - 1))
   in
-  let subst = Dot (Obj (Lam ("y", Root (BVar 1, []))), Shift 0) in
+  let subst = (mk_dot (Obj ((mk_lam "y" ((mk_root ((mk_bvar 1)) []))))) ((mk_shift 0))) in
   (* block-projection-heavy: substitute a tuple for a block variable *)
   let rec proj_term d =
-    if d = 0 then Root (Proj (BVar 1, 2), [])
+    if d = 0 then (mk_root ((mk_proj ((mk_bvar 1)) 2)) [])
     else Ulam.app_tm u (proj_term (d - 1)) (proj_term (d - 1))
   in
-  let tuple_subst = Dot (Tup [ id_tm; id_tm ], Shift 0) in
+  let tuple_subst = (mk_dot (Tup [ id_tm; id_tm ]) ((mk_shift 0))) in
   let tests =
     List.concat_map
       (fun d ->
@@ -401,6 +402,105 @@ let e6 () =
        [ ("times_ns", json_rows rows); ("two_pass_over_unified", J.Obj ratios) ])
 
 (* ------------------------------------------------------------------ *)
+(* E7 — ablation: the hash-consed term store (PR 4)                     *)
+
+let e7 () =
+  Fmt.pr
+    "@.== E7: ablation — hash-consed term store (DESIGN.md §S21; \
+     BELR_NO_HASHCONS=1@.";
+  Fmt.pr "   reproduces the \"off\" rows end to end) ==@.";
+  let saved = store_enabled () in
+  (* Each mode builds its own copy of the workload under that mode (so
+     "on" terms are interned and "off" terms are plain allocations), and
+     re-asserts the mode inside the measured closure because bechamel
+     interleaves runs of different tests. *)
+  let mode_tests (label, on) =
+    set_store_enabled on;
+    Hsub.clear_memo ();
+    List.concat_map
+      (fun d ->
+        let drv = gen_drv d in
+        (* a second structurally identical build: physically shared with
+           [drv] exactly when the store is on *)
+        let drv' = gen_drv d in
+        let s = aeq_srt d in
+        [
+          Test.make
+            ~name:(Fmt.str "%s/sort-check/depth-%02d" label d)
+            (Staged.stage (fun () ->
+                 set_store_enabled on;
+                 ignore (Check_lfr.check_normal lfr_env Ctxs.empty_sctx drv s)));
+          Test.make
+            ~name:(Fmt.str "%s/equal/depth-%02d" label d)
+            (Staged.stage (fun () ->
+                 set_store_enabled on;
+                 ignore (Equal.normal drv drv')));
+        ])
+      depths
+  in
+  (* satellite micro-benchmark: the pre-PR4 one-argument-at-a-time spine
+     append (O(n²) in the spine length) vs the batched [Lf.app_spine] *)
+  let spine_k = 256 in
+  let spine_args = List.init spine_k (fun _ -> id_tm) in
+  let spine_base = mk_root (mk_bvar 1) [] in
+  let spine_tests =
+    [
+      Test.make
+        ~name:(Fmt.str "spine-append/one-at-a-time/%d" spine_k)
+        (Staged.stage (fun () ->
+             ignore
+               (List.fold_left
+                  (fun m a -> app_spine m [ a ])
+                  spine_base spine_args)));
+      Test.make
+        ~name:(Fmt.str "spine-append/batched/%d" spine_k)
+        (Staged.stage (fun () -> ignore (app_spine spine_base spine_args)));
+    ]
+  in
+  let tests =
+    mode_tests ("off", false) @ mode_tests ("on", true) @ spine_tests
+  in
+  set_store_enabled true;
+  let rows =
+    print_results
+      "store off vs on (sort-check replicates the E2/E4 workload):"
+      (run_tests (Test.make_grouped ~name:"e7" tests))
+  in
+  let speedups =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun d ->
+            let get lbl =
+              try List.assoc (Fmt.str "e7/%s/%s/depth-%02d" lbl w d) rows
+              with Not_found -> nan
+            in
+            let off = get "off" and on = get "on" in
+            Fmt.pr "  depth %2d %-10s: off/on speedup = %.2fx@." d w
+              (off /. on);
+            (Fmt.str "%s-depth-%02d" w d, J.Float (off /. on)))
+          depths)
+      [ "sort-check"; "equal" ]
+  in
+  let spine_ratio =
+    let get lbl =
+      try List.assoc (Fmt.str "e7/spine-append/%s/%d" lbl spine_k) rows
+      with Not_found -> nan
+    in
+    let r = get "one-at-a-time" /. get "batched" in
+    Fmt.pr "  spine-append ×%d: one-at-a-time / batched = %.1fx@." spine_k r;
+    r
+  in
+  record "e7"
+    (J.Obj
+       [
+         ("times_ns", json_rows rows);
+         ("off_over_on", J.Obj speedups);
+         ("spine_one_at_a_time_over_batched", J.Float spine_ratio);
+       ]);
+  set_store_enabled saved
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Fmt.pr "belr benchmark harness (see DESIGN.md §3 and EXPERIMENTS.md)@.";
@@ -411,6 +511,7 @@ let () =
   e4 ();
   e5 ();
   e6 ();
+  e7 ();
   (match json_file with
   | None -> ()
   | Some path ->

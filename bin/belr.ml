@@ -47,6 +47,27 @@ let write_report sink path json =
       (Diagnostics.make ~code:"E0701" Diagnostics.Error
          "cannot write report %s: %s" path msg)
 
+(** One-line kernel summary for [--kernel-stats].  Reads the always-on
+    integer counters of the term store, the hereditary-substitution memo
+    table, and the equality fast path — no [--stats] instrumentation
+    required, so the line is accurate even on plain runs. *)
+let print_kernel_stats () =
+  let st = Belr_syntax.Lf.store_stats () in
+  let ms = Belr_lf.Hsub.memo_stats () in
+  let ps = Belr_syntax.Equal.phys_stats () in
+  Fmt.epr
+    "kernel: store %s (live %d, interned %d, dedup hits %d, ratio %.2f); \
+     hsub memo %d hit / %d miss (rate %.2f), mfi skips %d; equal phys-eq \
+     %d hit / %d miss@."
+    (if Belr_syntax.Lf.store_enabled () then "on" else "off")
+    st.Belr_syntax.Lf.st_live st.Belr_syntax.Lf.st_interned
+    st.Belr_syntax.Lf.st_dedup_hits
+    (Belr_syntax.Lf.dedup_ratio ())
+    ms.Belr_lf.Hsub.ms_hits ms.Belr_lf.Hsub.ms_misses
+    (Belr_lf.Hsub.memo_hit_rate ())
+    ms.Belr_lf.Hsub.ms_mfi_skips ps.Belr_syntax.Equal.ps_hits
+    ps.Belr_syntax.Equal.ps_misses
+
 let print_lint_results sg (lr : Belr_analysis.Lint.result) =
   Fmt.pr "analysis passes:@.";
   List.iter
@@ -55,7 +76,7 @@ let print_lint_results sg (lr : Belr_analysis.Lint.result) =
   Fmt.pr "%a" (Belr_analysis.Subord.pp sg) lr.Belr_analysis.Lint.lr_subord
 
 let run_check files verbose total lint max_errors max_depth werror stats
-    trace profile =
+    trace profile kernel_stats =
   Limits.set_max_depth max_depth;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
@@ -79,6 +100,7 @@ let run_check files verbose total lint max_errors max_depth werror stats
   end;
   Diagnostics.dump Fmt.stderr sink;
   if stats then Fmt.epr "%a@?" Telemetry.pp_stats ();
+  if kernel_stats then print_kernel_stats ();
   match Diagnostics.exit_code sink with
   | 0 ->
       Fmt.pr "%d file(s) checked successfully.@." (List.length files);
@@ -93,7 +115,7 @@ let run_check files verbose total lint max_errors max_depth werror stats
       code
 
 let run_lint files verbose json max_errors max_depth werror stats trace
-    profile =
+    profile kernel_stats =
   Limits.set_max_depth max_depth;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
@@ -117,6 +139,7 @@ let run_lint files verbose json max_errors max_depth werror stats trace
     json;
   Diagnostics.dump Fmt.stderr sink;
   if stats then Fmt.epr "%a@?" Telemetry.pp_stats ();
+  if kernel_stats then print_kernel_stats ();
   match Diagnostics.exit_code sink with
   | 0 ->
       Fmt.pr "%d file(s) linted: %a.@." (List.length files)
@@ -211,15 +234,28 @@ let profile_arg =
            wall time, counter totals, depth watermarks) to $(docv); the \
            schema is documented in README.md (Observability)")
 
+let kernel_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "kernel-stats" ]
+        ~doc:
+          "print a one-line summary of the hash-consing term store \
+           (DESIGN.md S21) on stderr after checking: live/interned node \
+           counts, dedup ratio, hereditary-substitution memo hit rate, \
+           and equality fast-path hits; unlike $(b,--stats) this reads \
+           always-on counters and needs no instrumentation (set \
+           BELR_NO_HASHCONS=1 to disable the store itself)")
+
 let check_cmd =
   let doc = "parse, elaborate, and sort-check source files" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun files v t li me md we st tr pr ->
-          run_check files v t li me md we st tr pr)
+      const (fun files v t li me md we st tr pr ks ->
+          run_check files v t li me md we st tr pr ks)
       $ files_arg $ verbose_arg $ total_arg $ lint_flag_arg $ max_errors_arg
-      $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg)
+      $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg
+      $ kernel_stats_arg)
 
 let lint_cmd =
   let doc =
@@ -229,10 +265,11 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
-      const (fun files v js me md we st tr pr ->
-          run_lint files v js me md we st tr pr)
+      const (fun files v js me md we st tr pr ks ->
+          run_lint files v js me md we st tr pr ks)
       $ files_arg $ verbose_arg $ lint_json_arg $ max_errors_arg
-      $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg)
+      $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg
+      $ kernel_stats_arg)
 
 let main =
   let doc =

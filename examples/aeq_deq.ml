@@ -57,11 +57,11 @@ let () =
   in
   let ceq = find_r "ceq" in
   let hat0 = { Meta.hat_var = None; Meta.hat_names = [] } in
-  let idt = Root (Const lam, [ Lam ("x", Root (BVar 1, [])) ]) in
+  let idt = (mk_root ((mk_const lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) ])) in
   (* a declarative derivation full of equivalence axioms *)
-  let refl = Root (Const e_refl, [ idt ]) in
-  let sym = Root (Const e_sym, [ idt; idt; refl ]) in
-  let d = Root (Const e_trans, [ idt; idt; idt; refl; sym ]) in
+  let refl = (mk_root ((mk_const e_refl)) ([ idt ])) in
+  let sym = (mk_root ((mk_const e_sym)) ([ idt; idt; refl ])) in
+  let d = (mk_root ((mk_const e_trans)) ([ idt; idt; idt; refl; sym ])) in
   Fmt.pr "declarative input:@.  %a@.@." (Pp.pp_normal penv) d;
   let mapps f args = List.fold_left (fun e a -> Comp.MApp (e, a)) f args in
   let call =
@@ -82,13 +82,13 @@ let () =
   Fmt.pr "ceq computes the algorithmic derivation:@.  %a@.@."
     (Pp.pp_normal penv) result;
   let env = Check_lfr.make_env sg [] in
-  let out_srt = SAtom (aeq, [ idt; idt ]) in
+  let out_srt = (mk_satom aeq ([ idt; idt ])) in
   let a = Check_lfr.check_normal env Ctxs.empty_sctx result out_srt in
   Fmt.pr "it checks: %a ⊑ %a@.@." (Pp.pp_srt penv) out_srt (Pp.pp_typ penv) a;
   (* soundness is free: the same derivation checks at ⌊deq⌋ *)
   ignore
     (Check_lfr.check_normal env Ctxs.empty_sctx result
-       (SEmbed (deq, [ idt; idt ])));
+       ((mk_sembed deq ([ idt; idt ]))));
   Fmt.pr "soundness is FREE: the aeq derivation already checks at deq@.@.";
   (* the refinement rejects the equivalence axioms *)
   (match
@@ -114,17 +114,10 @@ let () =
     (Pp.pp_srt (Pp.env_of_sctx penv psi)) s_promoted;
   (* run ceq under the binder-heavy input too *)
   let body =
-    Lam
-      ( "x",
-        Lam
-          ( "u",
-            Root
-              ( Const e_sym,
-                [ Root (BVar 2, []); Root (BVar 2, []); Root (BVar 1, []) ] )
-          ) )
+    (mk_lam "x" ((mk_lam "u" ((mk_root ((mk_const e_sym)) ([ (mk_root ((mk_bvar 2)) []); (mk_root ((mk_bvar 2)) []); (mk_root ((mk_bvar 1)) []) ]))))))
   in
   let dlam =
-    Root (Const e_lam, [ Lam ("x", Root (BVar 1, [])); Lam ("x", Root (BVar 1, [])); body ])
+    (mk_root ((mk_const e_lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))); (mk_lam "x" ((mk_root ((mk_bvar 1)) []))); body ]))
   in
   let call2 =
     Comp.App

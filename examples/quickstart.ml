@@ -58,13 +58,13 @@ let () =
     | Some (Sign.Sym_rec r) -> r
     | _ -> failwith "pred not found"
   in
-  let rec church k = if k = 0 then Root (Const z, []) else Root (Const s, [ church (k - 1) ]) in
+  let rec church k = if k = 0 then (mk_root ((mk_const z)) []) else (mk_root ((mk_const s)) ([ church (k - 1) ])) in
   let penv = Sign.pp_env sg in
   let hat0 = { Meta.hat_var = None; Meta.hat_names = [] } in
   (* three is positive; check it at sort pos and take its predecessor *)
   let three = church 3 in
   let env = Check_lfr.make_env sg [] in
-  let a = Check_lfr.check_normal env Ctxs.empty_sctx three (SAtom (pos, [])) in
+  let a = Check_lfr.check_normal env Ctxs.empty_sctx three ((mk_satom pos [])) in
   Fmt.pr "s (s (s z)) ⇐ pos ⊑ %a   (the type is the checker's output)@."
     (Pp.pp_typ penv) a;
   let call =
@@ -77,7 +77,7 @@ let () =
   (match
      Error.protect (fun () ->
          Check_lfr.check_normal env Ctxs.empty_sctx (church 0)
-           (SAtom (pos, [])))
+           ((mk_satom pos [])))
    with
   | Ok _ -> Fmt.pr "BUG: z checked at pos@."
   | Error msg -> Fmt.pr "z ⇐ pos is rejected, as it should be:@.  %s@." msg);

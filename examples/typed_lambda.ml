@@ -73,16 +73,14 @@ let () =
     | _ -> failwith "infer not found"
   in
   let hat0 = { Meta.hat_var = None; Meta.hat_names = [] } in
-  let b = Root (Const base, []) in
-  let arrow a c = Root (Const arr, [ a; c ]) in
+  let b = (mk_root ((mk_const base)) []) in
+  let arrow a c = (mk_root ((mk_const arr)) ([ a; c ])) in
   (* the identity at base: lam base (\x. x), typed by t-lam with the
      variable case *)
-  let id_tm = Root (Const lam, [ b; Lam ("x", Root (BVar 1, [])) ]) in
+  let id_tm = (mk_root ((mk_const lam)) ([ b; (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) ])) in
   let d_id =
-    Root
-      ( Const t_lam,
-        [ Lam ("x", Root (BVar 1, [])); b; b;
-          Lam ("x", Lam ("t", Root (BVar 1, []))) ] )
+    (mk_root ((mk_const t_lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))); b; b;
+          (mk_lam "x" ((mk_lam "t" ((mk_root ((mk_bvar 1)) []))))) ]))
   in
   let env = Check_lfr.make_env sg [] in
   let oft_a =
@@ -92,7 +90,7 @@ let () =
   in
   ignore
     (Check_lfr.check_normal env Ctxs.empty_sctx d_id
-       (SEmbed (oft_a, [ id_tm; arrow b b ])));
+       ((mk_sembed oft_a ([ id_tm; arrow b b ]))));
   Fmt.pr "⊢ lam base (\\x. x) : base → base  (derivation checks)@.";
   (* apply it to itself?  No — self-application is not typable; apply a
      variable instead: in context b : tW base. *)
@@ -130,16 +128,14 @@ let () =
   in
   (* y = index 1, f = index 2 *)
   let app_c = find_c "app" in
-  let m = Root (Const app_c, [ Root (Proj (BVar 2, 1), []); Root (Proj (BVar 1, 1), []) ]) in
+  let m = (mk_root ((mk_const app_c)) ([ (mk_root ((mk_proj ((mk_bvar 2)) 1)) []); (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) ])) in
   let d =
-    Root
-      ( Const t_app,
-        [ Root (Proj (BVar 2, 1), []); b; b; Root (Proj (BVar 1, 1), []);
-          Root (Proj (BVar 2, 2), []); Root (Proj (BVar 1, 2), []) ] )
+    (mk_root ((mk_const t_app)) ([ (mk_root ((mk_proj ((mk_bvar 2)) 1)) []); b; b; (mk_root ((mk_proj ((mk_bvar 1)) 1)) []);
+          (mk_root ((mk_proj ((mk_bvar 2)) 2)) []); (mk_root ((mk_proj ((mk_bvar 1)) 2)) []) ]))
   in
   ignore
     (Check_lfr.check_normal env psi d
-       (SEmbed (oft_a, [ m; Shift.shift_normal 0 0 b ])));
+       ((mk_sembed oft_a ([ m; Shift.shift_normal 0 0 b ]))));
   Fmt.pr "f : base → base, y : base ⊢ f y : base  (derivation checks)@.";
   let h = Meta.hat_of_sctx psi in
   let call =

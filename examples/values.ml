@@ -31,12 +31,12 @@ let () =
     | Some (Sign.Sym_rec r) -> r
     | _ -> failwith "strengthen not found"
   in
-  let idf = Lam ("x", Root (BVar 1, [])) in
-  let idt = Root (Const lam, [ idf ]) in
-  let appt = Root (Const app, [ idt; idt ]) in
-  let ev_id = Root (Const ev_lam, [ idf ]) in
+  let idf = (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) in
+  let idt = (mk_root ((mk_const lam)) ([ idf ])) in
+  let appt = (mk_root ((mk_const app)) ([ idt; idt ])) in
+  let ev_id = (mk_root ((mk_const ev_lam)) ([ idf ])) in
   let d =
-    Root (Const ev_app, [ idt; idf; idt; idt; idt; ev_id; ev_id; ev_id ])
+    (mk_root ((mk_const ev_app)) ([ idt; idf; idt; idt; idt; ev_id; ev_id; ev_id ]))
   in
   Fmt.pr "evaluation derivation for (\\x.x) (\\x.x):@.  %a@.@."
     (Pp.pp_normal penv) d;
@@ -63,7 +63,7 @@ let () =
   let env = Check_lfr.make_env sg [] in
   ignore
     (Check_lfr.check_normal env Ctxs.empty_sctx res
-       (SAtom (evalv, [ appt; idt ])));
+       ((mk_satom evalv ([ appt; idt ]))));
   Fmt.pr "result checks at evalv — the value-ness of the result index is@.";
   Fmt.pr "enforced by the refinement KIND tm -> val -> sort: writing@.";
   Fmt.pr "evalv M (app …) is not even a well-formed sort.@."

@@ -87,17 +87,17 @@ let rec wf_srt e (psi : Ctxs.sctx) (s : srt) : typ =
   | SAtom (s_cid, sp) ->
       let entry = Sign.srt_entry e.sg s_cid in
       check_spine_skind e psi sp entry.Sign.s_kind;
-      Atom (entry.Sign.s_refines, sp)
+      mk_atom entry.Sign.s_refines sp
   | SEmbed (a, sp) ->
       (* type-level checking, performed exactly when the embedding is
          reached *)
       let k = (Sign.typ_entry e.sg a).Sign.t_kind in
       Check_lf.check_spine_kind (erased_env e) (Erase.sctx e.sg psi) sp k;
-      Atom (a, sp)
+      mk_atom a sp
   | SPi (x, s1, s2) ->
       let a1 = wf_srt e psi s1 in
       let a2 = wf_srt e (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s1))) s2 in
-      Pi (x, a1, a2)
+      mk_pi x a1 a2
 
 and check_spine_skind e psi (sp : spine) (l : skind) : unit =
   match (sp, l) with
@@ -116,7 +116,7 @@ and check_normal e psi (m : normal) (s : srt) : typ =
       let a2 =
         check_normal e (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s1))) body s2
       in
-      Pi (x, a1, a2)
+      mk_pi x a1 a2
   | Lam _, (SAtom _ | SEmbed _) ->
       Error.raise_msg "abstraction checked against atomic sort %a"
         (pp_srt e psi) s
@@ -181,7 +181,7 @@ and head_srt_principal e psi (h : head) : srt =
       let psi_p, f, ms = pvar_decl e p in
       check_sub e psi s psi_p;
       let blk = Hsub.inst_sblock f ms in
-      Sctxops.proj_srt blk (PVar (p, s)) s k
+      Sctxops.proj_srt blk (mk_pvar p s) s k
   | Proj _ ->
       Error.raise_msg "projection base must be a block or parameter variable"
   | PVar _ ->
@@ -251,7 +251,7 @@ and check_tuple e psi (t : tuple) (blk : Ctxs.sblock) : unit =
   | [], [] -> ()
   | m :: t', (_, q) :: blk' ->
       ignore (check_normal e psi m q);
-      let blk'' = Hsub.sub_sblock (Dot (Obj m, Shift 0)) blk' in
+      let blk'' = Hsub.sub_sblock (dot_obj m (mk_shift 0)) blk' in
       check_tuple e psi t' blk''
   | _ ->
       Error.raise_msg "tuple has %d components but block expects %d"
@@ -357,13 +357,13 @@ let check_selem_inst e psi (f : Ctxs.selem) (ms : normal list) : unit =
     | [], [] -> ()
     | (_, q) :: params', m :: ms' ->
         ignore (check_normal e psi m (Hsub.sub_srt s q));
-        go (Dot (Obj m, s)) params' ms'
+        go (dot_obj m s) params' ms'
     | _ ->
         Error.raise_msg "schema element applied to %d arguments, expected %d"
           (List.length ms)
           (List.length f.Ctxs.f_params)
   in
-  go Empty f.Ctxs.f_params ms
+  go mk_empty f.Ctxs.f_params ms
 
 (** Context well-formedness [Ω ⊢ Ψ ⊑ Γ] (Fig. 1), entrywise. *)
 let wf_sctx e (psi : Ctxs.sctx) : Ctxs.ctx =

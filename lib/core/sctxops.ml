@@ -54,13 +54,13 @@ let proj_srt (blk : Ctxs.sblock) (base : head) (tail : sub) (k : int) : srt =
   | Some (_, s_k) ->
       let rec chain j acc =
         if j = 0 then acc
-        else chain (j - 1) (Dot (Obj (Root (Proj (base, k - j), [])), acc))
+        else chain (j - 1) (dot_obj (mk_root (mk_proj base (k - j)) []) acc)
       in
       Hsub.sub_srt (chain (k - 1) tail) s_k
 
 let srt_of_proj (sg : Sign.t) (psi : Ctxs.sctx) (i : int) (k : int) : srt =
   let blk = sblock_of_bvar sg psi i in
-  proj_srt blk (BVar i) (Shift 0) k
+  proj_srt blk (mk_bvar i) (mk_shift 0) k
 
 let sctx_drop (psi : Ctxs.sctx) (n : int) : Ctxs.sctx =
   if List.length psi.Ctxs.s_decls < n then

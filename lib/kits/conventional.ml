@@ -55,21 +55,21 @@ type t = {
   sound : cid_rec;
 }
 
-let v i : normal = Root (BVar i, [])
+let v i : normal = (mk_root ((mk_bvar i)) [])
 
-let arr a b = Pi ("_", a, Shift.shift_typ 1 0 b)
+let arr a b = (mk_pi "_" a (Shift.shift_typ 1 0 b))
 
-let mv i : normal = Root (MVar (i, Shift 0), [])
+let mv i : normal = (mk_root ((mk_mvar i ((mk_shift 0)))) [])
 
-let mvs i s : normal = Root (MVar (i, s), [])
+let mvs i s : normal = (mk_root ((mk_mvar i s)) [])
 
-let bv i : normal = Root (BVar i, [])
+let bv i : normal = (mk_root ((mk_bvar i)) [])
 
-let pj b k : normal = Root (Proj (BVar b, k), [])
+let pj b k : normal = (mk_root ((mk_proj ((mk_bvar b)) k)) [])
 
-let pvj p k : normal = Root (Proj (PVar (p, Shift 0), k), [])
+let pvj p k : normal = (mk_root ((mk_proj ((mk_pvar p ((mk_shift 0)))) k)) [])
 
-let lam_eta i : normal = Lam ("x", mv i)
+let lam_eta i : normal = (mk_lam "x" (mv i))
 
 let psi k : Ctxs.sctx =
   { Ctxs.s_var = Some k; Ctxs.s_promoted = false; Ctxs.s_decls = [] }
@@ -88,23 +88,23 @@ let non_dep_inv name msrt body : Comp.inv =
     Comp.inv_body = body }
 
 (** [σb : (ψ,x) → (ψ,b)]. *)
-let sigma_b : sub = Dot (Obj (pj 1 1), Shift 1)
+let sigma_b : sub = (mk_dot (Obj (pj 1 1)) ((mk_shift 1)))
 
 (** [σbd3 : (ψ,x,u,v) → (ψ,b)] for triple blocks. *)
 let sigma_bd3 : sub =
-  Dot (Obj (pj 1 3), Dot (Obj (pj 1 2), Dot (Obj (pj 1 1), Shift 1)))
+  (mk_dot (Obj (pj 1 3)) ((mk_dot (Obj (pj 1 2)) ((mk_dot (Obj (pj 1 1)) ((mk_shift 1)))))))
 
 (** [σe3 : (ψ,b) → (ψ,x,u,v)], sending [b ↦ ⟨x;u;v⟩]. *)
-let sigma_e3 : sub = Dot (Tup [ bv 3; bv 2; bv 1 ], Shift 3)
+let sigma_e3 : sub = (mk_dot (Tup [ bv 3; bv 2; bv 1 ]) ((mk_shift 3)))
 
 (** Weakening [(ψ,x) → (ψ,x,u,v)], canonically [↑²]. *)
-let sub_x3 : sub = Shift 2
+let sub_x3 : sub = (mk_shift 2)
 
 let make () : t =
   let sg = Sign.create () in
   let tm = Sign.add_typ sg ~name:"tm" ~kind:Ktype ~implicit:0 in
-  let tm_t = Atom (tm, []) in
-  let tm_arr = Pi ("x", tm_t, tm_t) in
+  let tm_t = (mk_atom tm []) in
+  let tm_arr = (mk_pi "x" tm_t tm_t) in
   let lam = Sign.add_const sg ~name:"lam" ~typ:(arr tm_arr tm_t) ~implicit:0 in
   let app =
     Sign.add_const sg ~name:"app" ~typ:(arr tm_t (arr tm_t tm_t)) ~implicit:0
@@ -112,61 +112,34 @@ let make () : t =
   let eq_kind = Kpi ("m", tm_t, Kpi ("n", tm_t, Ktype)) in
   let aeq = Sign.add_typ sg ~name:"aeq" ~kind:eq_kind ~implicit:0 in
   let deq = Sign.add_typ sg ~name:"deq" ~kind:eq_kind ~implicit:0 in
-  let aq m n = Atom (aeq, [ m; n ]) in
-  let dqt m n = Atom (deq, [ m; n ]) in
-  let eta_fn i = Lam ("x", Root (BVar (i + 1), [ v 1 ])) in
+  let aq m n = (mk_atom aeq ([ m; n ])) in
+  let dqt m n = (mk_atom deq ([ m; n ])) in
+  let eta_fn i = (mk_lam "x" ((mk_root ((mk_bvar (i + 1))) ([ v 1 ])))) in
   (* generalized lam rule for a target family [h]:
      {M}{N} ({x:tm} aeq x x -> deq x x -> h (M x) (N x))
             -> h (lam M) (lam N) *)
   let gen_lam_typ h =
-    Pi
-      ( "M",
-        tm_arr,
-        Pi
-          ( "N",
-            tm_arr,
-            arr
-              (Pi
-                 ( "x",
-                   tm_t,
-                   arr
+    (mk_pi "M" tm_arr ((mk_pi "N" tm_arr (arr
+              ((mk_pi "x" tm_t (arr
                      (aq (v 1) (v 1))
                      (arr
                         (dqt (v 1) (v 1))
-                        (Atom
-                           ( h,
-                             [ Root (BVar 3, [ v 1 ]);
-                               Root (BVar 2, [ v 1 ]) ] )))))
-              (Atom
-                 ( h,
-                   [ Root (Const lam, [ eta_fn 2 ]);
-                     Root (Const lam, [ eta_fn 1 ]) ] )) ) )
+                        ((mk_atom h ([ (mk_root ((mk_bvar 3)) ([ v 1 ]));
+                               (mk_root ((mk_bvar 2)) ([ v 1 ])) ])))))))
+              ((mk_atom h ([ (mk_root ((mk_const lam)) ([ eta_fn 2 ]));
+                     (mk_root ((mk_const lam)) ([ eta_fn 1 ])) ])))))))
   in
   (* NOTE on indices inside gen_lam_typ: the nested [arr]s keep all
      sub-terms at the level of their syntactic position; under [x] the
      binders are M(3), N(2), x(1), and crossing each (anonymous) arrow
      binder shifts uniformly, which [arr] performs. *)
   let gen_app_typ h =
-    Pi
-      ( "M1",
-        tm_t,
-        Pi
-          ( "N1",
-            tm_t,
-            Pi
-              ( "M2",
-                tm_t,
-                Pi
-                  ( "N2",
-                    tm_t,
-                    arr
-                      (Atom (h, [ v 4; v 3 ]))
+    (mk_pi "M1" tm_t ((mk_pi "N1" tm_t ((mk_pi "M2" tm_t ((mk_pi "N2" tm_t (arr
+                      ((mk_atom h ([ v 4; v 3 ])))
                       (arr
-                         (Atom (h, [ v 2; v 1 ]))
-                         (Atom
-                            ( h,
-                              [ Root (Const app, [ v 4; v 2 ]);
-                                Root (Const app, [ v 3; v 1 ]) ] ))) ) ) ) )
+                         ((mk_atom h ([ v 2; v 1 ])))
+                         ((mk_atom h ([ (mk_root ((mk_const app)) ([ v 4; v 2 ]));
+                                (mk_root ((mk_const app)) ([ v 3; v 1 ])) ]))))))))))))
   in
   let ae_lam =
     Sign.add_const sg ~name:"ae-lam" ~typ:(gen_lam_typ aeq) ~implicit:2
@@ -182,30 +155,19 @@ let make () : t =
   in
   let de_refl =
     Sign.add_const sg ~name:"de-refl"
-      ~typ:(Pi ("M", tm_t, dqt (v 1) (v 1)))
+      ~typ:((mk_pi "M" tm_t (dqt (v 1) (v 1))))
       ~implicit:0
   in
   let de_sym =
     Sign.add_const sg ~name:"de-sym"
       ~typ:
-        (Pi
-           ("M", tm_t, Pi ("N", tm_t, arr (dqt (v 2) (v 1)) (dqt (v 1) (v 2)))))
+        ((mk_pi "M" tm_t ((mk_pi "N" tm_t (arr (dqt (v 2) (v 1)) (dqt (v 1) (v 2)))))))
       ~implicit:2
   in
   let de_trans =
     Sign.add_const sg ~name:"de-trans"
       ~typ:
-        (Pi
-           ( "M1",
-             tm_t,
-             Pi
-               ( "M2",
-                 tm_t,
-                 Pi
-                   ( "M3",
-                     tm_t,
-                     arr (dqt (v 3) (v 2)) (arr (dqt (v 2) (v 1)) (dqt (v 3) (v 1)))
-                   ) ) ))
+        ((mk_pi "M1" tm_t ((mk_pi "M2" tm_t ((mk_pi "M3" tm_t (arr (dqt (v 3) (v 2)) (arr (dqt (v 2) (v 1)) (dqt (v 3) (v 1))))))))))
       ~implicit:3
   in
   (* joint schema: block (x : tm, u : aeq x x, v : deq x x) *)
@@ -222,9 +184,9 @@ let make () : t =
   let xg_selem = Embed.elem ~refines:0 xg_elem in
 
   (* sort-level (all-embedded) views *)
-  let tm_s = SEmbed (tm, []) in
-  let aqs m n = SEmbed (aeq, [ m; n ]) in
-  let dqs m n = SEmbed (deq, [ m; n ]) in
+  let tm_s = (mk_sembed tm []) in
+  let aqs m n = (mk_sembed aeq ([ m; n ])) in
+  let dqs m n = (mk_sembed deq ([ m; n ])) in
   let psi_x k =
     { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
       Ctxs.s_decls = [ Ctxs.SCDecl ("x", tm_s) ] }
@@ -241,9 +203,9 @@ let make () : t =
     { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
       Ctxs.s_decls = [ Ctxs.SCBlock ("b", xg_selem, []) ] }
   in
-  let e_lam3 a b body = Root (Const ae_lam, [ a; b; body ]) in
-  let d_lam3 a b body = Root (Const de_lam, [ a; b; body ]) in
-  let lam3 body = Lam ("x", Lam ("u", Lam ("v", body))) in
+  let e_lam3 a b body = (mk_root ((mk_const ae_lam)) ([ a; b; body ])) in
+  let d_lam3 a b body = (mk_root ((mk_const de_lam)) ([ a; b; body ])) in
+  let lam3 body = (mk_lam "x" ((mk_lam "u" ((mk_lam "v" body))))) in
   let check_rec name styp body_of_id =
     let typ = Erase.ctyp sg styp in
     ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) styp);
@@ -290,7 +252,7 @@ let make () : t =
           in
           { Comp.br_mctx = [ Meta.MDTerm ("M'", psi_x 2, tm_s) ];
             Comp.br_pat =
-              mobj (hat 3) (Root (Const lam, [ Lam ("x", mv 1) ]));
+              mobj (hat 3) ((mk_root ((mk_const lam)) ([ (mk_lam "x" (mv 1)) ])));
             Comp.br_body = body }
         in
         (* app: Ω_all = [M2(1); M1(2); M(3); ψ(4)] *)
@@ -307,15 +269,14 @@ let make () : t =
                       ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 5)),
                         mobj (hat 5) (mv 2) ),
                     boxm (hat 6)
-                      (Root
-                         (Const ae_app, [ mv 4; mv 4; mv 3; mv 3; mv 2; mv 1 ]))
+                      ((mk_root ((mk_const ae_app)) ([ mv 4; mv 4; mv 3; mv 3; mv 2; mv 1 ])))
                   ) )
           in
           { Comp.br_mctx =
               [ Meta.MDTerm ("M2", psi 3, tm_s);
                 Meta.MDTerm ("M1", psi 2, tm_s) ];
             Comp.br_pat =
-              mobj (hat 4) (Root (Const app, [ mv 2; mv 1 ]));
+              mobj (hat 4) ((mk_root ((mk_const app)) ([ mv 2; mv 1 ])));
             Comp.br_body = body }
         in
         mlams [ "Psi"; "M" ]
@@ -395,8 +356,7 @@ let make () : t =
                             mobj (hat 10) (mv 4) ),
                         boxm (hat 10) (mv 2) ),
                     boxm (hat 11)
-                      (Root
-                         (Const ae_app, [ mv 7; mv 8; mv 5; mv 6; mv 2; mv 1 ]))
+                      ((mk_root ((mk_const ae_app)) ([ mv 7; mv 8; mv 5; mv 6; mv 2; mv 1 ])))
                   ) )
           in
           { Comp.br_mctx =
@@ -408,7 +368,7 @@ let make () : t =
                 Meta.MDTerm ("M1'", psi 3, tm_s) ];
             Comp.br_pat =
               mobj (hat 9)
-                (Root (Const ae_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+                ((mk_root ((mk_const ae_app)) ([ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ])));
             Comp.br_body = body }
         in
         mlams [ "Psi"; "M"; "N" ]
@@ -450,10 +410,10 @@ let make () : t =
           let inner_inv =
             non_dep_inv "X1"
               (Meta.MSTerm
-                 (psi 7, aqs (Root (Const lam, [ lam_eta 2 ])) (mv 4)))
+                 (psi 7, aqs ((mk_root ((mk_const lam)) ([ lam_eta 2 ]))) (mv 4)))
               (Comp.CBox
                  (Meta.MSTerm
-                    (psi 8, aqs (Root (Const lam, [ lam_eta 4 ])) (mv 5))))
+                    (psi 8, aqs ((mk_root ((mk_const lam)) ([ lam_eta 4 ]))) (mv 5))))
           in
           (* inner ae-lam: Ω_all2 = [D'(1); P'(2); N''(3); D(4); N'(5);
              M'(6); M3(7); M2(8); M1(9); ψ(10)] *)
@@ -504,10 +464,10 @@ let make () : t =
           let inner_inv =
             non_dep_inv "X1"
               (Meta.MSTerm
-                 (psi 10, aqs (Root (Const app, [ mv 5; mv 3 ])) (mv 7)))
+                 (psi 10, aqs ((mk_root ((mk_const app)) ([ mv 5; mv 3 ]))) (mv 7)))
               (Comp.CBox
                  (Meta.MSTerm
-                    (psi 11, aqs (Root (Const app, [ mv 7; mv 5 ])) (mv 8))))
+                    (psi 11, aqs ((mk_root ((mk_const app)) ([ mv 7; mv 5 ]))) (mv 8))))
           in
           let inner_app =
             let body =
@@ -542,9 +502,7 @@ let make () : t =
                               boxm (hat 17) (mv 8) ),
                           boxm (hat 17) (mv 2) ),
                       boxm (hat 18)
-                        (Root
-                           ( Const ae_app,
-                             [ mv 14; mv 7; mv 12; mv 5; mv 2; mv 1 ] )) ) )
+                        ((mk_root ((mk_const ae_app)) ([ mv 14; mv 7; mv 12; mv 5; mv 2; mv 1 ]))) ) )
             in
             { Comp.br_mctx =
                 [ Meta.MDTerm ("F2", psi 15, aqs (mv 3) (mv 2));
@@ -555,7 +513,7 @@ let make () : t =
                   Meta.MDTerm ("N1''", psi 10, tm_s) ];
               Comp.br_pat =
                 mobj (hat 16)
-                  (Root (Const ae_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+                  ((mk_root ((mk_const ae_app)) ([ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ])));
               Comp.br_body = body }
           in
           { Comp.br_mctx =
@@ -567,7 +525,7 @@ let make () : t =
                 Meta.MDTerm ("M1'", psi 4, tm_s) ];
             Comp.br_pat =
               mobj (hat 10)
-                (Root (Const ae_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+                ((mk_root ((mk_const ae_app)) ([ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ])));
             Comp.br_body = Comp.Case (inner_inv, Comp.Var 1, [ inner_app ]) }
         in
         mlams [ "Psi"; "M1"; "M2"; "M3" ]
@@ -654,8 +612,7 @@ let make () : t =
                             mobj (hat 10) (mv 4) ),
                         boxm (hat 10) (mv 2) ),
                     boxm (hat 11)
-                      (Root
-                         (Const ae_app, [ mv 8; mv 7; mv 6; mv 5; mv 2; mv 1 ]))
+                      ((mk_root ((mk_const ae_app)) ([ mv 8; mv 7; mv 6; mv 5; mv 2; mv 1 ])))
                   ) )
           in
           { Comp.br_mctx =
@@ -667,13 +624,13 @@ let make () : t =
                 Meta.MDTerm ("M1'", psi 3, tm_s) ];
             Comp.br_pat =
               mobj (hat 9)
-                (Root (Const de_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+                ((mk_root ((mk_const de_app)) ([ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ])));
             Comp.br_body = body }
         in
         (* de-refl: Ω_all = [M0(1); N(2); M(3); ψ(4)] *)
         let br_refl =
           { Comp.br_mctx = [ Meta.MDTerm ("M0", psi 3, tm_s) ];
-            Comp.br_pat = mobj (hat 4) (Root (Const de_refl, [ mv 1 ]));
+            Comp.br_pat = mobj (hat 4) ((mk_root ((mk_const de_refl)) ([ mv 1 ])));
             Comp.br_body =
               Comp.MApp
                 ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 4)),
@@ -704,7 +661,7 @@ let make () : t =
                 Meta.MDTerm ("N0", psi 4, tm_s);
                 Meta.MDTerm ("M0", psi 3, tm_s) ];
             Comp.br_pat =
-              mobj (hat 6) (Root (Const de_sym, [ mv 3; mv 2; mv 1 ]));
+              mobj (hat 6) ((mk_root ((mk_const de_sym)) ([ mv 3; mv 2; mv 1 ])));
             Comp.br_body = body }
         in
         (* de-trans: Ω_all = [D2(1); D1(2); M2'(3); M1'(4); M0'(5);
@@ -752,7 +709,7 @@ let make () : t =
                 Meta.MDTerm ("M0'", psi 3, tm_s) ];
             Comp.br_pat =
               mobj (hat 8)
-                (Root (Const de_trans, [ mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+                ((mk_root ((mk_const de_trans)) ([ mv 5; mv 4; mv 3; mv 2; mv 1 ])));
             Comp.br_body = body }
         in
         mlams [ "Psi"; "M"; "N" ]
@@ -836,8 +793,7 @@ let make () : t =
                             mobj (hat 10) (mv 4) ),
                         boxm (hat 10) (mv 2) ),
                     boxm (hat 11)
-                      (Root
-                         (Const de_app, [ mv 8; mv 7; mv 6; mv 5; mv 2; mv 1 ]))
+                      ((mk_root ((mk_const de_app)) ([ mv 8; mv 7; mv 6; mv 5; mv 2; mv 1 ])))
                   ) )
           in
           { Comp.br_mctx =
@@ -849,7 +805,7 @@ let make () : t =
                 Meta.MDTerm ("M1'", psi 3, tm_s) ];
             Comp.br_pat =
               mobj (hat 9)
-                (Root (Const ae_app, [ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+                ((mk_root ((mk_const ae_app)) ([ mv 6; mv 5; mv 4; mv 3; mv 2; mv 1 ])));
             Comp.br_body = body }
         in
         mlams [ "Psi"; "M"; "N" ]

@@ -38,19 +38,19 @@ type t = {
 (* ----------------------------------------------------------------- *)
 (* Shorthands                                                          *)
 
-let mv i : normal = Root (MVar (i, Shift 0), [])
+let mv i : normal = (mk_root ((mk_mvar i ((mk_shift 0)))) [])
 
-let mvs i s : normal = Root (MVar (i, s), [])
+let mvs i s : normal = (mk_root ((mk_mvar i s)) [])
 
-let bv i : normal = Root (BVar i, [])
+let bv i : normal = (mk_root ((mk_bvar i)) [])
 
-let pj b k : normal = Root (Proj (BVar b, k), [])
+let pj b k : normal = (mk_root ((mk_proj ((mk_bvar b)) k)) [])
 
-let pvj p k : normal = Root (Proj (PVar (p, Shift 0), k), [])
+let pvj p k : normal = (mk_root ((mk_proj ((mk_pvar p ((mk_shift 0)))) k)) [])
 
 (** η-long functional argument [λx. M'\[id\]] for a meta-variable of
     contextual sort [(Ψ,x:tm).tm]. *)
-let lam_eta i : normal = Lam ("x", mv i)
+let lam_eta i : normal = (mk_lam "x" (mv i))
 
 let psi k : Ctxs.sctx =
   { Ctxs.s_var = Some k; Ctxs.s_promoted = false; Ctxs.s_decls = [] }
@@ -66,17 +66,17 @@ let boxm h m : Comp.exp = Comp.Box (Meta.MOTerm (h, m))
 let mobj h m : Meta.mobj = Meta.MOTerm (h, m)
 
 (** [σb : (ψ,x) → (ψ,b)], sending [x ↦ b.1]. *)
-let sigma_b : sub = Dot (Obj (pj 1 1), Shift 1)
+let sigma_b : sub = (mk_dot (Obj (pj 1 1)) ((mk_shift 1)))
 
 (** [σbd : (ψ,x,u) → (ψ,b)], sending [x ↦ b.1], [u ↦ b.2]. *)
-let sigma_bd : sub = Dot (Obj (pj 1 2), Dot (Obj (pj 1 1), Shift 1))
+let sigma_bd : sub = (mk_dot (Obj (pj 1 2)) ((mk_dot (Obj (pj 1 1)) ((mk_shift 1)))))
 
 (** [σe : (ψ,b) → (ψ,x,u)], sending [b ↦ ⟨x;u⟩]. *)
-let sigma_e : sub = Dot (Tup [ bv 2; bv 1 ], Shift 2)
+let sigma_e : sub = (mk_dot (Tup [ bv 2; bv 1 ]) ((mk_shift 2)))
 
 (** The delayed substitution of the subderivation meta-variables in
     [e-lam] branches: the weakening [(ψ,x) → (ψ,x,u)], canonically [↑¹]. *)
-let sub_x2 : sub = Shift 1
+let sub_x2 : sub = (mk_shift 1)
 
 let mlams names e =
   List.fold_right (fun x acc -> Comp.MLam (x, acc)) names e
@@ -90,13 +90,13 @@ let non_dep_inv name msrt body : Comp.inv =
 let make () : t =
   let u = Ulam.make () in
   let sg = u.Ulam.sg in
-  let tm_s = SEmbed (u.Ulam.tm, []) in
-  let aq m n = SAtom (u.Ulam.aeq, [ m; n ]) in
-  let dq m n = SEmbed (u.Ulam.deq, [ m; n ]) in
-  let lam' m = Root (Const u.Ulam.lam, [ m ]) in
-  let app' m n = Root (Const u.Ulam.app, [ m; n ]) in
-  let e_lam sp = Root (Const u.Ulam.e_lam, sp) in
-  let e_app sp = Root (Const u.Ulam.e_app, sp) in
+  let tm_s = (mk_sembed u.Ulam.tm []) in
+  let aq m n = (mk_satom u.Ulam.aeq ([ m; n ])) in
+  let dq m n = (mk_sembed u.Ulam.deq ([ m; n ])) in
+  let lam' m = (mk_root ((mk_const u.Ulam.lam)) ([ m ])) in
+  let app' m n = (mk_root ((mk_const u.Ulam.app)) ([ m; n ])) in
+  let e_lam sp = (mk_root ((mk_const u.Ulam.e_lam)) sp) in
+  let e_app sp = (mk_root ((mk_const u.Ulam.e_app)) sp) in
   (* context (ψ@k, x:tm) — the home of subterm meta-variables *)
   let psi_x k =
     { Ctxs.s_var = Some k; Ctxs.s_promoted = false;
@@ -153,10 +153,10 @@ let make () : t =
             boxm (hat 4)
               (e_lam
                  [ lam_eta 2; lam_eta 2;
-                   Lam ("x", Lam ("u", mvs 1 sigma_e)) ]) )
+                   (mk_lam "x" ((mk_lam "u" (mvs 1 sigma_e)))) ]) )
       in
       { Comp.br_mctx = [ Meta.MDTerm ("M'", psi_x 2, tm_s) ];
-        Comp.br_pat = mobj (hat 3) (lam' (Lam ("x", mv 1)));
+        Comp.br_pat = mobj (hat 3) (lam' ((mk_lam "x" (mv 1))));
         Comp.br_body = body }
     in
     let br_app =
@@ -237,7 +237,7 @@ let make () : t =
             boxm (hat 7)
               (e_lam
                  [ lam_eta 3; lam_eta 4;
-                   Lam ("x", Lam ("u", mvs 1 sigma_e)) ]) )
+                   (mk_lam "x" ((mk_lam "u" (mvs 1 sigma_e)))) ]) )
       in
       { Comp.br_mctx =
           [ d_decl;
@@ -245,7 +245,7 @@ let make () : t =
             Meta.MDTerm ("M'", psi_x 3, tm_s) ];
         Comp.br_pat =
           mobj (hat 6)
-            (e_lam [ lam_eta 3; lam_eta 2; Lam ("x", Lam ("u", mv 1)) ]);
+            (e_lam [ lam_eta 3; lam_eta 2; (mk_lam "x" ((mk_lam "u" (mv 1)))) ]);
         Comp.br_body = body }
     in
     (* e-app case:
@@ -377,7 +377,7 @@ let make () : t =
               boxm (hat 11)
                 (e_lam
                    [ lam_eta 7; lam_eta 3;
-                     Lam ("x", Lam ("u", mvs 1 sigma_e)) ]) )
+                     (mk_lam "x" ((mk_lam "u" (mvs 1 sigma_e)))) ]) )
         in
         { Comp.br_mctx =
             [ d'_decl;
@@ -385,7 +385,7 @@ let make () : t =
               Meta.MDTerm ("N''", psi_x 7, tm_s) ];
           Comp.br_pat =
             mobj (hat 10)
-              (e_lam [ lam_eta 3; lam_eta 2; Lam ("x", Lam ("u", mv 1)) ]);
+              (e_lam [ lam_eta 3; lam_eta 2; (mk_lam "x" ((mk_lam "u" (mv 1)))) ]);
           Comp.br_body = body }
       in
       { Comp.br_mctx =
@@ -394,7 +394,7 @@ let make () : t =
             Meta.MDTerm ("M'", psi_x 4, tm_s) ];
         Comp.br_pat =
           mobj (hat 7)
-            (e_lam [ lam_eta 3; lam_eta 2; Lam ("x", Lam ("u", mv 1)) ]);
+            (e_lam [ lam_eta 3; lam_eta 2; (mk_lam "x" ((mk_lam "u" (mv 1)))) ]);
         Comp.br_body = Comp.Case (inner_inv, Comp.Var 1, [ inner_elam ]) }
     in
     (* e-app case:
@@ -534,7 +534,7 @@ let make () : t =
             boxm (hat 7)
               (e_lam
                  [ lam_eta 4; lam_eta 3;
-                   Lam ("x", Lam ("u", mvs 1 sigma_e)) ]) )
+                   (mk_lam "x" ((mk_lam "u" (mvs 1 sigma_e)))) ]) )
       in
       { Comp.br_mctx =
           [ d_decl;
@@ -542,7 +542,7 @@ let make () : t =
             Meta.MDTerm ("M'", psi_x 3, tm_s) ];
         Comp.br_pat =
           mobj (hat 6)
-            (e_lam [ lam_eta 3; lam_eta 2; Lam ("x", Lam ("u", mv 1)) ]);
+            (e_lam [ lam_eta 3; lam_eta 2; (mk_lam "x" ((mk_lam "u" (mv 1)))) ]);
         Comp.br_body = body }
     in
     (* e-app case:
@@ -588,7 +588,7 @@ let make () : t =
     let br_erefl =
       { Comp.br_mctx = [ Meta.MDTerm ("M0", psi 3, tm_s) ];
         Comp.br_pat =
-          mobj (hat 4) (Root (Const u.Ulam.e_refl, [ mv 1 ]));
+          mobj (hat 4) ((mk_root ((mk_const u.Ulam.e_refl)) ([ mv 1 ])));
         Comp.br_body =
           Comp.MApp
             ( Comp.MApp (Comp.RecConst refl_id, Meta.MOCtx (psi 4)),
@@ -622,7 +622,7 @@ let make () : t =
             Meta.MDTerm ("N0", psi 4, tm_s);
             Meta.MDTerm ("M0", psi 3, tm_s) ];
         Comp.br_pat =
-          mobj (hat 6) (Root (Const u.Ulam.e_sym, [ mv 3; mv 2; mv 1 ]));
+          mobj (hat 6) ((mk_root ((mk_const u.Ulam.e_sym)) ([ mv 3; mv 2; mv 1 ])));
         Comp.br_body = body }
     in
     (* e-trans case:
@@ -675,7 +675,7 @@ let make () : t =
             Meta.MDTerm ("M0'", psi 3, tm_s) ];
         Comp.br_pat =
           mobj (hat 8)
-            (Root (Const u.Ulam.e_trans, [ mv 5; mv 4; mv 3; mv 2; mv 1 ]));
+            ((mk_root ((mk_const u.Ulam.e_trans)) ([ mv 5; mv 4; mv 3; mv 2; mv 1 ])));
         Comp.br_body = body }
     in
     mlams [ "Psi"; "M"; "N" ]

@@ -16,11 +16,11 @@ open Belr_lf
 open Lf
 
 (* Shorthand *)
-let v i : normal = Root (BVar i, [])
+let v i : normal = (mk_root ((mk_bvar i)) [])
 
-let arr a b = Pi ("_", a, Shift.shift_typ 1 0 b)
+let arr a b = (mk_pi "_" a (Shift.shift_typ 1 0 b))
 
-let sarr s1 s2 = SPi ("_", s1, Shift.shift_srt 1 0 s2)
+let sarr s1 s2 = (mk_spi "_" s1 (Shift.shift_srt 1 0 s2))
 
 type t = {
   sg : Sign.t;
@@ -47,13 +47,13 @@ let make () =
   let sg = Sign.create () in
   (* nat *)
   let nat = Sign.add_typ sg ~name:"nat" ~kind:Ktype ~implicit:0 in
-  let nat_t = Atom (nat, []) in
+  let nat_t = (mk_atom nat []) in
   let z = Sign.add_const sg ~name:"z" ~typ:nat_t ~implicit:0 in
   let s = Sign.add_const sg ~name:"s" ~typ:(arr nat_t nat_t) ~implicit:0 in
   (* tm *)
   let tm = Sign.add_typ sg ~name:"tm" ~kind:Ktype ~implicit:0 in
-  let tm_t = Atom (tm, []) in
-  let tm_arr = Pi ("x", tm_t, tm_t) in
+  let tm_t = (mk_atom tm []) in
+  let tm_arr = (mk_pi "x" tm_t tm_t) in
   let lam = Sign.add_const sg ~name:"lam" ~typ:(arr tm_arr tm_t) ~implicit:0 in
   let app =
     Sign.add_const sg ~name:"app" ~typ:(arr tm_t (arr tm_t tm_t)) ~implicit:0
@@ -64,144 +64,89 @@ let make () =
       ~kind:(Kpi ("m", tm_t, Kpi ("n", tm_t, Ktype)))
       ~implicit:0
   in
-  let dq m n = Atom (deq, [ m; n ]) in
+  let dq m n = (mk_atom deq ([ m; n ])) in
   (* e-lam : {M : tm -> tm}{N : tm -> tm}
        ({x:tm} deq x x -> deq (M x) (N x)) -> deq (lam M) (lam N)
      (M, N implicit in the surface syntax) *)
   let eta_fn i =
     (* η-long occurrence of a variable of type tm -> tm *)
-    Lam ("x", Root (BVar (i + 1), [ v 1 ]))
+    (mk_lam "x" ((mk_root ((mk_bvar (i + 1))) ([ v 1 ]))))
   in
   let e_lam_typ =
-    Pi
-      ( "M",
-        tm_arr,
-        Pi
-          ( "N",
-            tm_arr,
-            arr
-              (Pi
-                 ( "x",
-                   tm_t,
-                   arr (dq (v 1) (v 1))
+    (mk_pi "M" tm_arr ((mk_pi "N" tm_arr (arr
+              ((mk_pi "x" tm_t (arr (dq (v 1) (v 1))
                      (* under x (and the anonymous arr binder shifts): in
                         [arr], codomain gets shifted; write directly *)
                      (dq
-                        (Root (BVar 3, [ v 1 ]))
-                        (Root (BVar 2, [ v 1 ])))))
+                        ((mk_root ((mk_bvar 3)) ([ v 1 ])))
+                        ((mk_root ((mk_bvar 2)) ([ v 1 ])))))))
               (dq
-                 (Root (Const lam, [ eta_fn 2 ]))
-                 (Root (Const lam, [ eta_fn 1 ]))) ) )
+                 ((mk_root ((mk_const lam)) ([ eta_fn 2 ])))
+                 ((mk_root ((mk_const lam)) ([ eta_fn 1 ]))))))))
   in
   let e_lam = Sign.add_const sg ~name:"e-lam" ~typ:e_lam_typ ~implicit:2 in
   (* e-app : {M1}{N1}{M2}{N2} deq M1 N1 -> deq M2 N2
        -> deq (app M1 M2) (app N1 N2) *)
   let e_app_typ =
-    Pi
-      ( "M1",
-        tm_t,
-        Pi
-          ( "N1",
-            tm_t,
-            Pi
-              ( "M2",
-                tm_t,
-                Pi
-                  ( "N2",
-                    tm_t,
-                    arr
+    (mk_pi "M1" tm_t ((mk_pi "N1" tm_t ((mk_pi "M2" tm_t ((mk_pi "N2" tm_t (arr
                       (dq (v 4) (v 3))
                       (arr
                          (dq (v 2) (v 1))
                          (dq
-                            (Root (Const app, [ v 4; v 2 ]))
-                            (Root (Const app, [ v 3; v 1 ])))) ) ) ) )
+                            ((mk_root ((mk_const app)) ([ v 4; v 2 ])))
+                            ((mk_root ((mk_const app)) ([ v 3; v 1 ])))))))))))))
   in
   let e_app = Sign.add_const sg ~name:"e-app" ~typ:e_app_typ ~implicit:4 in
   (* e-refl : {M : tm} deq M M *)
   let e_refl =
     Sign.add_const sg ~name:"e-refl"
-      ~typ:(Pi ("M", tm_t, dq (v 1) (v 1)))
+      ~typ:((mk_pi "M" tm_t (dq (v 1) (v 1))))
       ~implicit:0
   in
   (* e-sym : {M}{N} deq M N -> deq N M *)
   let e_sym =
     Sign.add_const sg ~name:"e-sym"
       ~typ:
-        (Pi
-           ( "M",
-             tm_t,
-             Pi ("N", tm_t, arr (dq (v 2) (v 1)) (dq (v 1) (v 2))) ))
+        ((mk_pi "M" tm_t ((mk_pi "N" tm_t (arr (dq (v 2) (v 1)) (dq (v 1) (v 2)))))))
       ~implicit:2
   in
   (* e-trans : {M1}{M2}{M3} deq M1 M2 -> deq M2 M3 -> deq M1 M3 *)
   let e_trans =
     Sign.add_const sg ~name:"e-trans"
       ~typ:
-        (Pi
-           ( "M1",
-             tm_t,
-             Pi
-               ( "M2",
-                 tm_t,
-                 Pi
-                   ( "M3",
-                     tm_t,
-                     arr
+        ((mk_pi "M1" tm_t ((mk_pi "M2" tm_t ((mk_pi "M3" tm_t (arr
                        (dq (v 3) (v 2))
-                       (arr (dq (v 2) (v 1)) (dq (v 3) (v 1))) ) ) ))
+                       (arr (dq (v 2) (v 1)) (dq (v 3) (v 1))))))))))
       ~implicit:3
   in
   (* aeq ⊑ deq : tm -> tm -> sort, keeping e-lam and e-app *)
   let aeq =
     Sign.add_srt sg ~name:"aeq" ~refines:deq
       ~skind:
-        (Kspi ("m", SEmbed (tm, []), Kspi ("n", SEmbed (tm, []), Ksort)))
+        (Kspi ("m", (mk_sembed tm []), Kspi ("n", (mk_sembed tm []), Ksort)))
       ~implicit:0
   in
-  let aq m n = SAtom (aeq, [ m; n ]) in
-  let tm_s = SEmbed (tm, []) in
-  let tm_sarr = SPi ("x", tm_s, tm_s) in
+  let aq m n = (mk_satom aeq ([ m; n ])) in
+  let tm_s = (mk_sembed tm []) in
+  let tm_sarr = (mk_spi "x" tm_s tm_s) in
   let e_lam_srt =
-    SPi
-      ( "M",
-        tm_sarr,
-        SPi
-          ( "N",
-            tm_sarr,
-            sarr
-              (SPi
-                 ( "x",
-                   tm_s,
-                   sarr
+    (mk_spi "M" tm_sarr ((mk_spi "N" tm_sarr (sarr
+              ((mk_spi "x" tm_s (sarr
                      (aq (v 1) (v 1))
-                     (aq (Root (BVar 3, [ v 1 ])) (Root (BVar 2, [ v 1 ])))
-                 ))
+                     (aq ((mk_root ((mk_bvar 3)) ([ v 1 ]))) ((mk_root ((mk_bvar 2)) ([ v 1 ])))))))
               (aq
-                 (Root (Const lam, [ eta_fn 2 ]))
-                 (Root (Const lam, [ eta_fn 1 ]))) ) )
+                 ((mk_root ((mk_const lam)) ([ eta_fn 2 ])))
+                 ((mk_root ((mk_const lam)) ([ eta_fn 1 ]))))))))
   in
   Sign.add_csort sg ~const:e_lam ~srt:e_lam_srt ~implicit:2;
   let e_app_srt =
-    SPi
-      ( "M1",
-        tm_s,
-        SPi
-          ( "N1",
-            tm_s,
-            SPi
-              ( "M2",
-                tm_s,
-                SPi
-                  ( "N2",
-                    tm_s,
-                    sarr
+    (mk_spi "M1" tm_s ((mk_spi "N1" tm_s ((mk_spi "M2" tm_s ((mk_spi "N2" tm_s (sarr
                       (aq (v 4) (v 3))
                       (sarr
                          (aq (v 2) (v 1))
                          (aq
-                            (Root (Const app, [ v 4; v 2 ]))
-                            (Root (Const app, [ v 3; v 1 ])))) ) ) ) )
+                            ((mk_root ((mk_const app)) ([ v 4; v 2 ])))
+                            ((mk_root ((mk_const app)) ([ v 3; v 1 ])))))))))))))
   in
   Sign.add_csort sg ~const:e_app ~srt:e_app_srt ~implicit:4;
   (* schemas *)
@@ -245,22 +190,22 @@ let make () =
 
 (* Common building blocks over the fixture *)
 
-let zero (f : t) : normal = Root (Const f.z, [])
+let zero (f : t) : normal = (mk_root ((mk_const f.z)) [])
 
-let succ (f : t) (n : normal) : normal = Root (Const f.s, [ n ])
+let succ (f : t) (n : normal) : normal = (mk_root ((mk_const f.s)) ([ n ]))
 
 let rec church_nat (f : t) (k : int) : normal =
   if k = 0 then zero f else succ f (church_nat f (k - 1))
 
-let nat_t (f : t) = Atom (f.nat, [])
+let nat_t (f : t) = (mk_atom f.nat [])
 
-let tm_t (f : t) = Atom (f.tm, [])
+let tm_t (f : t) = (mk_atom f.tm [])
 
 (** The identity λ-term [lam \x. x]. *)
-let id_tm (f : t) : normal = Root (Const f.lam, [ Lam ("x", v 1) ])
+let id_tm (f : t) : normal = (mk_root ((mk_const f.lam)) ([ (mk_lam "x" (v 1)) ]))
 
 (** [app m n]. *)
-let app_tm (f : t) m n : normal = Root (Const f.app, [ m; n ])
+let app_tm (f : t) m n : normal = (mk_root ((mk_const f.app)) ([ m; n ]))
 
 (** The paper's context [b : block (x:tm, u : deq x x)] with [n] blocks. *)
 let xd_ctx (f : t) (n : int) : Ctxs.ctx =

@@ -118,7 +118,7 @@ and infer_head e g (h : head) : typ =
       check_sub e g s g_p;
       let blk = Hsub.inst_block el ms in
       (* blk is valid in g_p; transport components through s *)
-      Ctxops.proj_typ blk (PVar (p, s)) s k
+      Ctxops.proj_typ blk (mk_pvar p s) s k
   | Proj (_, _) ->
       Error.raise_msg "projection base must be a block or parameter variable"
   | PVar _ ->
@@ -176,7 +176,7 @@ and check_tuple e g (t : tuple) (blk : Ctxs.block) : unit =
   | m :: t', (_, a) :: blk' ->
       check_normal e g m a;
       (* instantiate the first block binder with m in the remaining types *)
-      let blk'' = Hsub.sub_block (Dot (Obj m, Shift 0)) blk' in
+      let blk'' = Hsub.sub_block (dot_obj m (mk_shift 0)) blk' in
       check_tuple e g t' blk''
   | _ ->
       Error.raise_msg "tuple has %d components but block expects %d"
@@ -249,13 +249,13 @@ let check_elem_inst e g (el : Ctxs.elem) (ms : normal list) : unit =
     | [], [] -> ()
     | (_, a) :: params', m :: ms' ->
         check_normal e g m (Hsub.sub_typ s a);
-        go (Dot (Obj m, s)) params' ms'
+        go (dot_obj m s) params' ms'
     | _ ->
         Error.raise_msg "schema element applied to %d arguments, expected %d"
           (List.length ms)
           (List.length el.Ctxs.e_params)
   in
-  go Empty el.Ctxs.e_params ms
+  go mk_empty el.Ctxs.e_params ms
 
 (* --- contexts --------------------------------------------------------- *)
 

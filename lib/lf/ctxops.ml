@@ -40,14 +40,14 @@ let proj_typ (blk : Ctxs.block) (base : head) (tail : sub) (k : int) : typ =
       (* index 1 ↦ x₍ₖ₋₁₎ ↦ base.(k-1), …, index k-1 ↦ x₁ ↦ base.1 *)
       let rec chain j acc =
         if j = 0 then acc
-        else chain (j - 1) (Dot (Obj (Root (Proj (base, k - j), [])), acc))
+        else chain (j - 1) (dot_obj (mk_root (mk_proj base (k - j)) []) acc)
       in
       Hsub.sub_typ (chain (k - 1) tail) a_k
 
 (** Type of the projection [x.k] of block variable [i] in [Γ]. *)
 let typ_of_proj (g : Ctxs.ctx) (i : int) (k : int) : typ =
   let blk = block_of_bvar g i in
-  proj_typ blk (BVar i) (Shift 0) k
+  proj_typ blk (mk_bvar i) (mk_shift 0) k
 
 (** Drop the [n] innermost entries of a context (for checking [Shift n]). *)
 let ctx_drop (g : Ctxs.ctx) (n : int) : Ctxs.ctx =

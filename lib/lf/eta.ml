@@ -28,14 +28,14 @@ let rec approx_srt : srt -> aty = function
     [λx₁…xₙ. h (η x₁) … (η xₙ)]. *)
 let rec expand_head (t : aty) (h : head) : normal =
   match t with
-  | Aatom -> Root (h, [])
+  | Aatom -> mk_root h []
   | Aarr _ ->
       Telemetry.bump c_expand;
       Limits.guard depth (fun () -> expand_head_arr t h)
 
 and expand_head_arr (t : aty) (h : head) : normal =
   match t with
-  | Aatom -> Root (h, [])
+  | Aatom -> mk_root h []
   | Aarr _ ->
       (* Collect all argument skeletons. *)
       let rec args acc = function
@@ -48,18 +48,18 @@ and expand_head_arr (t : aty) (h : head) : normal =
          first domain) is the variable n - i + 1. *)
       let h' = Shift.shift_head n 0 h in
       let spine =
-        List.mapi (fun i dom -> expand_head dom (BVar (n - i))) doms
+        List.mapi (fun i dom -> expand_head dom (mk_bvar (n - i))) doms
       in
-      let root = Root (h', spine) in
-      let rec lams k m = if k = 0 then m else lams (k - 1) (Lam ("x", m)) in
+      let root = mk_root h' spine in
+      let rec lams k m = if k = 0 then m else lams (k - 1) (mk_lam "x" m) in
       lams n root
 
 (** η-long occurrence of a variable at a (dependent) type. *)
 let expand_var_typ (a : typ) (i : int) : normal =
-  expand_head (approx_typ a) (BVar i)
+  expand_head (approx_typ a) (mk_bvar i)
 
 let expand_var_srt (s : srt) (i : int) : normal =
-  expand_head (approx_srt s) (BVar i)
+  expand_head (approx_srt s) (mk_bvar i)
 
 (** Is [m] exactly the η-long form of head [h] at skeleton [t]?  Used to
     recognize identity substitutions and pattern variables. *)

@@ -10,7 +10,21 @@
     erased simple types); a depth guard ({!Belr_support.Limits}, the CLI's
     [--max-depth]) turns accidental divergence on ill-typed inputs into
     the recoverable [E0901] resource diagnostic instead of a hang or a
-    [Stack_overflow]. *)
+    [Stack_overflow].
+
+    PR 4 layers two caches over the traversal, both powered by the
+    hash-consing store ({!Belr_syntax.Store}):
+
+    - {e mfi skip}: a term whose max-free-index bound is [0] is closed, so
+      any substitution returns it unchanged — no traversal;
+    - {e memoization}: [sub_normal]/[sub_typ]/[sub_srt] results are cached
+      in bounded direct-mapped tables keyed on [(sub id, node id)].  Ids
+      are unique, monotone, and never reused, and interned nodes are
+      immutable, so a hit is always sound.  The memo is consulted first
+      (one array read), the mfi bound on a cold slot, so repeated closed
+      instantiations count as hits too.  The tables hold results (strong
+      references); they are bounded, and {!clear_memo} drops them
+      wholesale. *)
 
 open Belr_support
 open Belr_syntax
@@ -32,13 +46,49 @@ let c_proj = Telemetry.counter "hsub.tuple_projections"
 
 let c_inst = Telemetry.counter "hsub.instantiations"
 
-(** Smart constructor normalizing [Dot (xₙ, ↑ⁿ)] to [↑ⁿ⁻¹] so that
-    identity substitutions stay syntactically canonical under composition
-    (needed for the structural definitional equality of canonical forms). *)
-let norm_dot (f : front) (s : sub) : sub =
-  match (f, s) with
-  | Obj (Root (BVar k, [])), Shift n when k = n -> Shift (n - 1)
-  | _ -> Dot (f, s)
+(** Kept as an alias of {!Belr_syntax.Store.mk_dot} for callers that
+    normalize fronts directly (e.g. [Belr_meta.Msub]). *)
+let norm_dot (f : front) (s : sub) : sub = mk_dot f s
+
+(* --- substitution memo table ------------------------------------------ *)
+
+(* Direct-mapped cache: (sub id, normal id) ↦ result.  Collisions
+   overwrite (bounded memory); plain int counters so `--kernel-stats`
+   works without enabling telemetry recording. *)
+
+let memo_bits = 14
+
+let memo_size = 1 lsl memo_bits
+
+let memo : (int * int * normal) option array = Array.make memo_size None
+
+(* Types and sorts are instantiated by the checkers at least as often as
+   terms (every dependent application), so they get their own tables. *)
+let memo_typ : (int * int * typ) option array = Array.make memo_size None
+
+let memo_srt : (int * int * srt) option array = Array.make memo_size None
+
+let memo_hits = ref 0
+
+let memo_misses = ref 0
+
+let mfi_skips = ref 0
+
+let clear_memo () =
+  Array.fill memo 0 memo_size None;
+  Array.fill memo_typ 0 memo_size None;
+  Array.fill memo_srt 0 memo_size None
+
+type memo_stats = { ms_hits : int; ms_misses : int; ms_mfi_skips : int }
+
+let memo_stats () =
+  { ms_hits = !memo_hits; ms_misses = !memo_misses; ms_mfi_skips = !mfi_skips }
+
+let memo_hit_rate () =
+  let total = !memo_hits + !memo_misses in
+  if total = 0 then 0.0 else float_of_int !memo_hits /. float_of_int total
+
+let memo_slot ks km = (((ks * 0x9e3779b1) lxor km) land max_int) land (memo_size - 1)
 
 (** Result of pushing a substitution into a head. *)
 type head_result =
@@ -50,7 +100,7 @@ let rec lookup (s : sub) (i : int) : head_result =
   match s with
   | Empty ->
       Error.violation "substitution lookup: variable %d under empty substitution" i
-  | Shift n -> Rhead (BVar (i + n))
+  | Shift n -> Rhead (mk_bvar (i + n))
   | Dot (f, s') ->
       if i = 1 then
         match f with
@@ -70,11 +120,11 @@ let rec sub_head (s : sub) (h : head) : head_result =
   match h with
   | Const _ -> Rhead h
   | BVar i -> lookup s i
-  | PVar (p, sp) -> Rhead (PVar (p, comp sp s))
-  | MVar (u, su) -> Rhead (MVar (u, comp su s))
+  | PVar (p, sp) -> Rhead (mk_pvar p (comp sp s))
+  | MVar (u, su) -> Rhead (mk_mvar u (comp su s))
   | Proj (b, k) -> (
       match sub_head s b with
-      | Rhead b' -> Rhead (Proj (b', k))
+      | Rhead b' -> Rhead (mk_proj b' k)
       | Rtup t -> (
           Telemetry.bump c_proj;
           match List.nth_opt t (k - 1) with
@@ -82,25 +132,48 @@ let rec sub_head (s : sub) (h : head) : head_result =
           | None -> Error.violation "projection %d out of tuple range" k)
       | Rnorm m -> (
           match norm_as_head m with
-          | Some b' -> Rhead (Proj (b', k))
+          | Some b' -> Rhead (mk_proj b' k)
           | None ->
               Error.violation
                 "projection base was substituted by a non-variable term"))
 
 and sub_normal (s : sub) (m : normal) : normal =
   match s with
-  | Shift 0 -> m  (* identity: frequent fast path *)
-  | _ -> (
-      Telemetry.bump c_subst;
-      match m with
-      | Lam (x, n) -> Lam (x, sub_normal (dot1 s) n)
-      | Root (h, sp) -> (
-          let sp' = sub_spine s sp in
-          match sub_head s h with
-          | Rhead h' -> Root (h', sp')
-          | Rnorm n -> guard (fun () -> reduce n sp')
-          | Rtup _ ->
-              Error.violation "block variable used as a term (missing projection)"))
+  | Shift 0 -> m (* identity: frequent fast path *)
+  | _ ->
+      if not (store_enabled ()) then sub_normal_work s m
+      else begin
+        let ks = sub_id s and km = normal_id m in
+        let i = memo_slot ks km in
+        match memo.(i) with
+        | Some (ks', km', r) when ks' = ks && km' = km ->
+            incr memo_hits;
+            r
+        | _ ->
+            incr memo_misses;
+            let r =
+              if mfi_normal m = 0 then begin
+                (* closed term: no substitution can touch it *)
+                incr mfi_skips;
+                m
+              end
+              else sub_normal_work s m
+            in
+            memo.(i) <- Some (ks, km, r);
+            r
+      end
+
+and sub_normal_work (s : sub) (m : normal) : normal =
+  Telemetry.bump c_subst;
+  match m with
+  | Lam (x, n) -> mk_lam x (sub_normal (dot1 s) n)
+  | Root (h, sp) -> (
+      let sp' = sub_spine s sp in
+      match sub_head s h with
+      | Rhead h' -> mk_root h' sp'
+      | Rnorm n -> guard (fun () -> reduce n sp')
+      | Rtup _ ->
+          Error.violation "block variable used as a term (missing projection)")
 
 and sub_spine s sp = List.map (sub_normal s) sp
 
@@ -113,20 +186,21 @@ and sub_front s = function
     (i.e. [sub_normal (comp s1 s2) m = sub_normal s2 (sub_normal s1 m)]). *)
 and comp (s1 : sub) (s2 : sub) : sub =
   match (s1, s2) with
-  | Empty, _ -> Empty
+  | Empty, _ -> s1
   | Shift 0, _ -> s2
-  | Shift n, Dot (_, s2') -> comp (Shift (n - 1)) s2'
-  | Shift n, Shift m -> Shift (n + m)
+  | _, Shift 0 -> s1 (* right identity: skip rebuilding s1 *)
+  | Shift n, Dot (_, s2') -> comp (mk_shift (n - 1)) s2'
+  | Shift n, Shift m -> mk_shift (n + m)
   | Shift _, Empty ->
       (* only reachable when the common context is itself empty *)
-      Empty
-  | Dot (f, s1'), _ -> norm_dot (sub_front s2 f) (comp s1' s2)
+      s2
+  | Dot (f, s1'), _ -> mk_dot (sub_front s2 f) (comp s1' s2)
 
 (** Extend a substitution under one binder: [dot1 σ = (1 . σ ∘ ↑)]. *)
 and dot1 (s : sub) : sub =
   match s with
   | Shift 0 -> s
-  | _ -> norm_dot (Obj (Root (BVar 1, []))) (comp s (Shift 1))
+  | _ -> mk_dot (Obj (bvar 1)) (comp s (mk_shift 1))
 
 (** β-reduce a normal applied to a spine (the hereditary step). *)
 and reduce (m : normal) (sp : spine) : normal =
@@ -134,19 +208,71 @@ and reduce (m : normal) (sp : spine) : normal =
   | _, [] -> m
   | Lam (_, body), n :: rest ->
       Telemetry.bump c_beta;
-      guard (fun () -> reduce (sub_normal (Dot (Obj n, Shift 0)) body) rest)
-  | Root (h, sp0), _ -> Root (h, sp0 @ sp)
+      guard (fun () -> reduce (sub_normal (dot_obj n (mk_shift 0)) body) rest)
+  | Root _, _ -> app_spine m sp
 
 (* --- types, sorts, kinds --------------------------------------------- *)
 
-let rec sub_typ (s : sub) : typ -> typ = function
-  | Atom (a, sp) -> Atom (a, sub_spine s sp)
-  | Pi (x, a, b) -> Pi (x, sub_typ s a, sub_typ (dot1 s) b)
+let rec sub_typ (s : sub) (a : typ) : typ =
+  match s with
+  | Shift 0 -> a
+  | _ ->
+      if not (store_enabled ()) then sub_typ_work s a
+      else begin
+        let ks = sub_id s and ka = typ_id a in
+        let i = memo_slot ks ka in
+        match memo_typ.(i) with
+        | Some (ks', ka', r) when ks' = ks && ka' = ka ->
+            incr memo_hits;
+            r
+        | _ ->
+            incr memo_misses;
+            let r =
+              if mfi_typ a = 0 then begin
+                incr mfi_skips;
+                a
+              end
+              else sub_typ_work s a
+            in
+            memo_typ.(i) <- Some (ks, ka, r);
+            r
+      end
 
-let rec sub_srt (s : sub) : srt -> srt = function
-  | SAtom (q, sp) -> SAtom (q, sub_spine s sp)
-  | SEmbed (a, sp) -> SEmbed (a, sub_spine s sp)
-  | SPi (x, s1, s2) -> SPi (x, sub_srt s s1, sub_srt (dot1 s) s2)
+and sub_typ_work (s : sub) (a : typ) : typ =
+  match a with
+  | Atom (p, sp) -> mk_atom p (sub_spine s sp)
+  | Pi (x, a1, b) -> mk_pi x (sub_typ s a1) (sub_typ (dot1 s) b)
+
+let rec sub_srt (s : sub) (q : srt) : srt =
+  match s with
+  | Shift 0 -> q
+  | _ ->
+      if not (store_enabled ()) then sub_srt_work s q
+      else begin
+        let ks = sub_id s and kq = srt_id q in
+        let i = memo_slot ks kq in
+        match memo_srt.(i) with
+        | Some (ks', kq', r) when ks' = ks && kq' = kq ->
+            incr memo_hits;
+            r
+        | _ ->
+            incr memo_misses;
+            let r =
+              if mfi_srt q = 0 then begin
+                incr mfi_skips;
+                q
+              end
+              else sub_srt_work s q
+            in
+            memo_srt.(i) <- Some (ks, kq, r);
+            r
+      end
+
+and sub_srt_work (s : sub) (q : srt) : srt =
+  match q with
+  | SAtom (c, sp) -> mk_satom c (sub_spine s sp)
+  | SEmbed (a, sp) -> mk_sembed a (sub_spine s sp)
+  | SPi (x, s1, s2) -> mk_spi x (sub_srt s s1) (sub_srt (dot1 s) s2)
 
 let rec sub_kind (s : sub) : kind -> kind = function
   | Ktype -> Ktype
@@ -162,23 +288,23 @@ let rec sub_skind (s : sub) : skind -> skind = function
     they carry their own telemetry counter. *)
 let inst_normal (body : normal) (n : normal) : normal =
   Telemetry.bump c_inst;
-  sub_normal (Dot (Obj n, Shift 0)) body
+  sub_normal (dot_obj n (mk_shift 0)) body
 
 let inst_typ (body : typ) (n : normal) : typ =
   Telemetry.bump c_inst;
-  sub_typ (Dot (Obj n, Shift 0)) body
+  sub_typ (dot_obj n (mk_shift 0)) body
 
 let inst_srt (body : srt) (n : normal) : srt =
   Telemetry.bump c_inst;
-  sub_srt (Dot (Obj n, Shift 0)) body
+  sub_srt (dot_obj n (mk_shift 0)) body
 
 let inst_kind (body : kind) (n : normal) : kind =
   Telemetry.bump c_inst;
-  sub_kind (Dot (Obj n, Shift 0)) body
+  sub_kind (dot_obj n (mk_shift 0)) body
 
 let inst_skind (body : skind) (n : normal) : skind =
   Telemetry.bump c_inst;
-  sub_skind (Dot (Obj n, Shift 0)) body
+  sub_skind (dot_obj n (mk_shift 0)) body
 
 (* --- blocks and schema elements --------------------------------------- *)
 
@@ -233,7 +359,7 @@ let inst_block (e : Ctxs.elem) (ms : normal list) : Ctxs.block =
       (List.length e.Ctxs.e_params);
   (* Build σ mapping the innermost parameter (index 1) to the last
      instantiation. *)
-  let s = List.fold_left (fun acc m -> Dot (Obj m, acc)) (Shift 0) ms in
+  let s = List.fold_left (fun acc m -> dot_obj m acc) (mk_shift 0) ms in
   sub_block s e.Ctxs.e_block
 
 let inst_sblock (f : Ctxs.selem) (ms : normal list) : Ctxs.sblock =
@@ -241,5 +367,16 @@ let inst_sblock (f : Ctxs.selem) (ms : normal list) : Ctxs.sblock =
     Error.raise_msg "schema element applied to %d arguments, expected %d"
       (List.length ms)
       (List.length f.Ctxs.f_params);
-  let s = List.fold_left (fun acc m -> Dot (Obj m, acc)) (Shift 0) ms in
+  let s = List.fold_left (fun acc m -> dot_obj m acc) (mk_shift 0) ms in
   sub_sblock s f.Ctxs.f_block
+
+(* Contribute the memo numbers to the same "store" section as the arena
+   stats from Belr_syntax.Store (sections with one name are merged). *)
+let () =
+  Telemetry.register_section "store" (fun () ->
+      [
+        ("memo_hits", Json.Int !memo_hits);
+        ("memo_misses", Json.Int !memo_misses);
+        ("memo_hit_rate", Json.Float (memo_hit_rate ()));
+        ("mfi_skips", Json.Int !mfi_skips);
+      ])

@@ -28,10 +28,10 @@ let rec head c (theta : Meta.msub) (h : head) :
   | Const _ | BVar _ -> `Head h
   | MVar (u, s) -> (
       let s' = sub c theta s in
-      if u <= c then `Head (MVar (u, s'))
+      if u <= c then `Head (mk_mvar u s')
       else
         match lookup theta (u - c) with
-        | `Var j -> `Head (MVar (j + c, s'))
+        | `Var j -> `Head (mk_mvar (j + c) s')
         | `Inst (Meta.MOTerm (_, m)) ->
             let m = Shift.mshift_normal c 0 m in
             `Norm (Hsub.sub_normal s' m)
@@ -39,10 +39,10 @@ let rec head c (theta : Meta.msub) (h : head) :
             Error.violation "meta-variable instantiated by a non-term")
   | PVar (p, s) -> (
       let s' = sub c theta s in
-      if p <= c then `Head (PVar (p, s'))
+      if p <= c then `Head (mk_pvar p s')
       else
         match lookup theta (p - c) with
-        | `Var j -> `Head (PVar (j + c, s'))
+        | `Var j -> `Head (mk_pvar (j + c) s')
         | `Inst (Meta.MOParam (_, hd)) -> (
             let hd = Shift.mshift_head c 0 hd in
             (* transport the instantiating variable through s' *)
@@ -57,18 +57,18 @@ let rec head c (theta : Meta.msub) (h : head) :
               "parameter variable instantiated by a non-parameter")
   | Proj (b, k) -> (
       match head c theta b with
-      | `Head b' -> `Head (Proj (b', k))
-      | `Norm (Root (b', [])) -> `Head (Proj (b', k))
+      | `Head b' -> `Head (mk_proj b' k)
+      | `Norm (Root (b', [])) -> `Head (mk_proj b' k)
       | `Norm _ ->
           Error.violation "projection base instantiated by a non-variable")
 
 and normal c theta (m : normal) : normal =
   match m with
-  | Lam (x, n) -> Lam (x, normal c theta n)
+  | Lam (x, n) -> mk_lam x (normal c theta n)
   | Root (h, sp) -> (
       let sp' = spine c theta sp in
       match head c theta h with
-      | `Head h' -> Root (h', sp')
+      | `Head h' -> mk_root h' sp'
       | `Norm n -> Hsub.reduce n sp')
 
 and spine c theta sp = List.map (normal c theta) sp
@@ -80,18 +80,17 @@ and front c theta = function
 
 and sub c theta (s : sub) : sub =
   match s with
-  | Empty -> Empty
-  | Shift n -> Shift n
+  | Empty | Shift _ -> s
   | Dot (f, s') -> Hsub.norm_dot (front c theta f) (sub c theta s')
 
 let rec typ c theta : typ -> typ = function
-  | Atom (a, sp) -> Atom (a, spine c theta sp)
-  | Pi (x, a, b) -> Pi (x, typ c theta a, typ c theta b)
+  | Atom (a, sp) -> mk_atom a (spine c theta sp)
+  | Pi (x, a, b) -> mk_pi x (typ c theta a) (typ c theta b)
 
 let rec srt c theta : srt -> srt = function
-  | SAtom (s, sp) -> SAtom (s, spine c theta sp)
-  | SEmbed (a, sp) -> SEmbed (a, spine c theta sp)
-  | SPi (x, s1, s2) -> SPi (x, srt c theta s1, srt c theta s2)
+  | SAtom (s, sp) -> mk_satom s (spine c theta sp)
+  | SEmbed (a, sp) -> mk_sembed a (spine c theta sp)
+  | SPi (x, s1, s2) -> mk_spi x (srt c theta s1) (srt c theta s2)
 
 let sblock c theta (b : Ctxs.sblock) : Ctxs.sblock =
   List.map (fun (x, s) -> (x, srt c theta s)) b
@@ -180,8 +179,8 @@ and structural_erase : Ctxs.scentry -> Ctxs.centry = function
           ms )
 
 and structural_erase_srt : srt -> typ = function
-  | SEmbed (a, sp) -> Atom (a, sp)
-  | SPi (x, s1, s2) -> Pi (x, structural_erase_srt s1, structural_erase_srt s2)
+  | SEmbed (a, sp) -> mk_atom a sp
+  | SPi (x, s1, s2) -> mk_pi x (structural_erase_srt s1) (structural_erase_srt s2)
   | SAtom _ ->
       Error.violation
         "structural erasure hit a proper sort; erase with the signature first"

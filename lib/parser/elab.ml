@@ -138,7 +138,7 @@ let rec elab_term e (l : lenv) ?(holes = None) (t : Ext.term) (expected : srt)
     : normal =
   match (t, expected) with
   | Ext.Lam (_, x, body), SPi (_, s1, s2) ->
-      Lam (x, elab_term e (lpush l x s1) ~holes body s2)
+      mk_lam x (elab_term e (lpush l x s1) ~holes body s2)
   | Ext.Lam (loc, _, _), _ ->
       err loc "abstraction used where an atomic sort is expected"
   | _, SPi _ -> (
@@ -178,7 +178,7 @@ and elab_neutral e (l : lenv) ~holes (t : Ext.term) (expected : srt) : normal =
       let h = elab_head e l ~holes head_ext in
       let s_h = Check_lfr.head_srt (lfr_env e) l.lctx h ~target:expected in
       let spine, _ = elab_spine e l ~holes (term_loc t) args s_h in
-      Root (h, spine)
+      mk_root h spine
 
 and elab_spine e l ~holes loc (args : Ext.term list) (s : srt) : spine * srt =
   match (args, s) with
@@ -193,26 +193,26 @@ and elab_head e (l : lenv) ~holes (t : Ext.term) : head =
   match t with
   | Ext.Ident (loc, s) -> (
       match find_index s l.lnames with
-      | Some i -> BVar i
+      | Some i -> mk_bvar i
       | None -> (
           match find_index s e.omega_names with
           | Some i ->
               let dc = domain_concrete e i in
-              MVar (i, weakening l dc 0)
+              mk_mvar i (weakening l dc 0)
           | None -> (
               match Sign.lookup_name e.sg s with
-              | Some (Sign.Sym_const c) -> Const c
+              | Some (Sign.Sym_const c) -> mk_const c
               | Some _ -> err loc "%s is not a term-level name" s
               | None -> err loc "unbound identifier %s" s)))
   | Ext.Hash (loc, s) -> (
       match find_index s e.omega_names with
       | Some i ->
           let dc = domain_concrete e i in
-          PVar (i, weakening l dc 0)
+          mk_pvar i (weakening l dc 0)
       | None -> err loc "unbound parameter variable #%s" s)
   | Ext.Proj (loc, base, k) -> (
       match elab_head e l ~holes base with
-      | (BVar _ | PVar _) as b -> Proj (b, k)
+      | (BVar _ | PVar _) as b -> mk_proj b k
       | _ -> err loc "projection base must be a block or parameter variable")
   | Ext.Sub (loc, base, esub) -> (
       match base with
@@ -220,13 +220,13 @@ and elab_head e (l : lenv) ~holes (t : Ext.term) : head =
           match find_index s e.omega_names with
           | Some i ->
               let dc = domain_concrete e i in
-              MVar (i, elab_esub e l ~holes loc esub dc)
+              mk_mvar i (elab_esub e l ~holes loc esub dc)
           | None -> err loc "only meta-variables take substitutions (%s)" s)
       | Ext.Hash (_, s) -> (
           match find_index s e.omega_names with
           | Some i ->
               let dc = domain_concrete e i in
-              PVar (i, elab_esub e l ~holes loc esub dc)
+              mk_pvar i (elab_esub e l ~holes loc esub dc)
           | None -> err loc "unbound parameter variable #%s" s)
       | _ -> err loc "substitutions apply to meta-variables only")
   | _ -> err (term_loc t) "expected a head"
@@ -235,13 +235,13 @@ and elab_head e (l : lenv) ~holes (t : Ext.term) : head =
     [dom_concrete] entries, of which the last [fronts] are replaced by
     explicit fronts) into the current context. *)
 and weakening (l : lenv) (dom_concrete : int) (fronts : int) : sub =
-  Shift (concrete_len l.lctx - (dom_concrete - fronts))
+  mk_shift (concrete_len l.lctx - (dom_concrete - fronts))
 
 and elab_esub e l ~holes loc (s : Ext.esub) (dom_concrete : int) : sub =
   let nf = List.length s.Ext.es_fronts in
   let tail =
     if s.Ext.es_dots then weakening l dom_concrete nf
-    else if nf >= dom_concrete then Empty
+    else if nf >= dom_concrete then mk_empty
     else err loc "substitution must start with .. unless it closes the context"
   in
   (* NOTE: fronts are elaborated without an expected sort — they are
@@ -264,14 +264,14 @@ and elab_front_term e l ~holes (t : Ext.term) : normal =
   (* fronts: heads applied to nothing, or general terms synthesized *)
   match flatten t [] with
   | (Ext.Ident _ | Ext.Hash _ | Ext.Proj _ | Ext.Sub _), [] ->
-      Root (elab_head e l ~holes t, [])
+      mk_root (elab_head e l ~holes t) []
   | _ ->
       (* general term: elaborate by synthesis through its head sort *)
       let head_ext, args = flatten t [] in
       let h = elab_head e l ~holes head_ext in
       let s_h = Check_lfr.head_srt_principal (lfr_env e) l.lctx h in
       let spine, _ = elab_spine e l ~holes (term_loc t) args s_h in
-      Root (h, spine)
+      mk_root h spine
 
 (* ------------------------------------------------------------------ *)
 (* Declaration-level holes                                              *)
@@ -300,12 +300,12 @@ and elab_hole e l ~holes loc (s : string) (args : Ext.term list)
     match a with
     | Ext.Ident (aloc, x) -> (
         match find_index x l.lnames with
-        | Some i -> (aloc, BVar i, Sctxops.srt_of_bvar e.sg l.lctx i)
+        | Some i -> (aloc, mk_bvar i, Sctxops.srt_of_bvar e.sg l.lctx i)
         | None ->
             if is_hole e l holes x then (
               let posx, slotx, _ = Hashtbl.find tbl x in
               match !slotx with
-              | Some sx -> (aloc, BVar (depth + (total - posx)), sx)
+              | Some sx -> (aloc, mk_bvar (depth + (total - posx)), sx)
               | None ->
                   err aloc
                     "implicit argument %s is used before its classifier is \
@@ -314,7 +314,7 @@ and elab_hole e l ~holes loc (s : string) (args : Ext.term list)
             else err aloc "hole arguments must be bound variables (%s)" x)
     | Ext.Proj (aloc, Ext.Ident (_, x), k) -> (
         match find_index x l.lnames with
-        | Some i -> (aloc, Proj (BVar i, k), Sctxops.srt_of_proj e.sg l.lctx i k)
+        | Some i -> (aloc, mk_proj (mk_bvar i) k, Sctxops.srt_of_proj e.sg l.lctx i k)
         | None -> err aloc "hole arguments must be bound variables (%s)" x)
     | a -> err (term_loc a) "hole arguments must be bound variables"
   in
@@ -329,8 +329,8 @@ and elab_hole e l ~holes loc (s : string) (args : Ext.term list)
               arguments only *)
            let sigma =
              List.fold_left
-               (fun acc (_, h', _) -> Dot (Obj (Root (h', [])), acc))
-               Empty
+               (fun acc (_, h', _) -> dot_obj (mk_root h' []) acc)
+               mk_empty
                (List.rev rest)
            in
            let s_a' = invert_srt aloc sigma s_a in
@@ -341,12 +341,12 @@ and elab_hole e l ~holes loc (s : string) (args : Ext.term list)
      let doms = build (List.rev arg_heads) [] in
      let sigma_all =
        List.fold_left
-         (fun acc (_, h', _) -> Dot (Obj (Root (h', [])), acc))
-         Empty arg_heads
+         (fun acc (_, h', _) -> dot_obj (mk_root h' []) acc)
+         mk_empty arg_heads
      in
      let q' = invert_srt loc sigma_all expected in
      let hole_srt =
-       List.fold_right (fun d acc -> SPi ("x", d, acc)) doms q'
+       List.fold_right (fun d acc -> mk_spi "x" d acc) doms q'
      in
      (* hole sorts must be closed (no other holes, no local variables) *)
      slot := Some hole_srt);
@@ -355,7 +355,7 @@ and elab_hole e l ~holes loc (s : string) (args : Ext.term list)
       (fun (_, h, s_a) -> Eta.expand_head (Eta.approx_srt s_a) h)
       arg_heads
   in
-  Root (BVar idx, spine)
+  mk_root (mk_bvar idx) spine
 
 (** Invert an atomic sort through a pattern substitution (reconstruction
     restriction: the classifiers of implicit arguments are atomic). *)
@@ -366,8 +366,8 @@ and invert_srt loc (sigma : sub) (s : srt) : srt =
       err loc "cannot reconstruct implicit argument: %s" msg
   in
   match s with
-  | SAtom (f, sp) -> SAtom (f, List.map inv sp)
-  | SEmbed (a, sp) -> SEmbed (a, List.map inv sp)
+  | SAtom (f, sp) -> mk_satom f (List.map inv sp)
+  | SEmbed (a, sp) -> mk_sembed a (List.map inv sp)
   | SPi _ ->
       err loc
         "reconstruction restriction: implicit arguments must have atomic \
@@ -385,11 +385,11 @@ let rec elab_asrt e (l : lenv) ?(holes = None) (t : Ext.term) : srt =
       | Some (Sign.Sym_srt sid) ->
           let lk = (Sign.srt_entry e.sg sid).Sign.s_kind in
           let sp = elab_spine_skind e l ~holes loc args lk in
-          SAtom (sid, sp)
+          mk_satom sid sp
       | Some (Sign.Sym_typ aid) ->
           let k = (Sign.typ_entry e.sg aid).Sign.t_kind in
           let sp = elab_spine_kind e l ~holes loc args k in
-          SEmbed (aid, sp)
+          mk_sembed aid sp
       | _ -> err loc "%s is not a type or sort family" s)
   | _ -> err (term_loc t) "expected an atomic type or sort"
 
@@ -417,11 +417,11 @@ and elab_srt e (l : lenv) ?(holes = None) (t : Ext.term) : srt =
   | Ext.Arrow (a, b) ->
       let s1 = elab_srt e l ~holes a in
       let s2 = elab_srt e (lpush l "_" s1) ~holes b in
-      SPi ("_", s1, s2)
+      mk_spi "_" s1 s2
   | Ext.Pi (_, x, a, b) ->
       let s1 = elab_srt e l ~holes a in
       let s2 = elab_srt e (lpush l x s1) ~holes b in
-      SPi (x, s1, s2)
+      mk_spi x s1 s2
   | _ -> elab_asrt e l ~holes t
 
 (** Type-level formation (LF declarations): like {!elab_srt} but requires
@@ -429,8 +429,8 @@ and elab_srt e (l : lenv) ?(holes = None) (t : Ext.term) : srt =
 let elab_typ e l ?(holes = None) (t : Ext.term) : typ =
   let s = elab_srt e l ~holes t in
   let rec erase = function
-    | SEmbed (a, sp) -> Atom (a, sp)
-    | SPi (x, s1, s2) -> Pi (x, erase s1, erase s2)
+    | SEmbed (a, sp) -> mk_atom a sp
+    | SPi (x, s1, s2) -> mk_pi x (erase s1) (erase s2)
     | SAtom _ ->
         err (term_loc t)
           "a proper sort cannot appear in a type-level declaration"
@@ -521,7 +521,7 @@ let elab_decl_srt e (t : Ext.term) : srt * int =
       (fun s acc ->
         let _, slot, _ = Hashtbl.find tbl s in
         match !slot with
-        | Some dom -> SPi (s, dom, acc)
+        | Some dom -> mk_spi s dom acc
         | None ->
             Error.raise_msg
               "could not infer a classifier for implicit argument %s" s)
@@ -532,8 +532,8 @@ let elab_decl_srt e (t : Ext.term) : srt * int =
 let elab_decl_typ e (t : Ext.term) : typ * int =
   let s, n = elab_decl_srt e t in
   let rec erase = function
-    | SEmbed (a, sp) -> Atom (a, sp)
-    | SPi (x, s1, s2) -> Pi (x, erase s1, erase s2)
+    | SEmbed (a, sp) -> mk_atom a sp
+    | SPi (x, s1, s2) -> mk_pi x (erase s1) (erase s2)
     | SAtom _ ->
         err (term_loc t)
           "a proper sort cannot appear in a type-level declaration"
@@ -608,12 +608,12 @@ and elab_world_args e l (args : Ext.term list)
     | [], [] -> []
     | a :: args', (_, s) :: params' ->
         let m = elab_term e l a (Hsub.sub_srt sub s) in
-        m :: go (Dot (Obj m, sub)) args' params'
+        m :: go (dot_obj m sub) args' params'
     | _ ->
         Error.raise_msg "world applied to %d arguments, expected %d"
           (List.length args) (List.length params)
   in
-  go Empty args params
+  go mk_empty args params
 
 (* ------------------------------------------------------------------ *)
 (* Computation level                                                    *)
@@ -670,25 +670,25 @@ let synth_box e (ctx : Ext.ectx) (t : Ext.term) : Meta.mobj * Meta.msrt =
   let h = elab_head e l ~holes:None head_ext in
   let s_h = Check_lfr.head_srt_principal (lfr_env e) l.lctx h in
   let sp, s_res = elab_spine e l ~holes:None (term_loc t) args s_h in
-  let m = Root (h, sp) in
+  let m = mk_root h sp in
   (Meta.MOTerm (Meta.hat_of_sctx l.lctx, m), Meta.MSTerm (l.lctx, s_res))
 
 (** Replace occurrences of [target] (an LF normal, adjusted under LF
     binders) by [X₀] in a comp sort: dependent case invariants. *)
 let abstract_normal (target : normal) (t : Comp.ctyp) : Comp.ctyp =
-  let x0 d = Root (MVar (1, Shift d), []) in
+  let x0 d = mk_root (mk_mvar 1 (mk_shift d)) [] in
   ignore x0;
   let rec in_normal d m =
     if Equal.normal m (Shift.shift_normal d 0 target) then
-      Root (MVar (1, Shift d), [])
+      mk_root (mk_mvar 1 (mk_shift d)) []
     else
       match m with
-      | Lam (x, n) -> Lam (x, in_normal (d + 1) n)
-      | Root (h, sp) -> Root (h, List.map (in_normal d) sp)
+      | Lam (x, n) -> mk_lam x (in_normal (d + 1) n)
+      | Root (h, sp) -> mk_root h (List.map (in_normal d) sp)
   in
   let in_srt d = function
-    | SAtom (s, sp) -> SAtom (s, List.map (in_normal d) sp)
-    | SEmbed (a, sp) -> SEmbed (a, List.map (in_normal d) sp)
+    | SAtom (s, sp) -> mk_satom s (List.map (in_normal d) sp)
+    | SEmbed (a, sp) -> mk_sembed a (List.map (in_normal d) sp)
     | SPi _ as s -> s
   in
   let in_msrt = function

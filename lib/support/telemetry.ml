@@ -66,6 +66,31 @@ let counter_total c = c.ct_total
 let counter_totals () =
   List.sort compare (List.map (fun c -> (c.ct_name, c.ct_total)) !counters)
 
+(* --- extension sections ------------------------------------------------- *)
+
+(** Layers below the pipeline (e.g. the hash-consing term store in
+    [Belr_syntax], whose library this module cannot depend on) register a
+    named section of report fields here at module-initialization time.
+    Providers registered under the same section name are merged into one
+    object, so the store and the substitution memo table — which live in
+    different libraries — can contribute to a single ["store"] section.
+    Providers are pure reads over always-on state: they are consulted only
+    when a report is rendered, never on the hot path. *)
+
+let sections : (string * (unit -> (string * Json.t) list)) list ref = ref []
+
+let register_section name provider = sections := !sections @ [ (name, provider) ]
+
+(** Sections with same-name providers merged, in registration order. *)
+let section_reports () : (string * (string * Json.t) list) list =
+  List.fold_left
+    (fun acc (name, provider) ->
+      let fields = provider () in
+      if List.mem_assoc name acc then
+        List.map (fun (n, f) -> if n = name then (n, f @ fields) else (n, f)) acc
+      else acc @ [ (name, fields) ])
+    [] !sections
+
 (* --- spans -------------------------------------------------------------- *)
 
 type event = {
@@ -226,7 +251,20 @@ let pp_stats ppf () =
   List.iter
     (fun (name, peak) ->
       if peak > 0 then Fmt.pf ppf "   %-42s %12d@." name peak)
-    (List.sort compare (Limits.peaks ()))
+    (List.sort compare (Limits.peaks ()));
+  List.iter
+    (fun (section, fields) ->
+      Fmt.pf ppf "-- %s --@." section;
+      List.iter
+        (fun (name, v) ->
+          match (v : Json.t) with
+          | Json.Int i -> Fmt.pf ppf "   %-42s %12d@." name i
+          | Json.Float f -> Fmt.pf ppf "   %-42s %12.3f@." name f
+          | Json.String s -> Fmt.pf ppf "   %-42s %12s@." name s
+          | Json.Bool b -> Fmt.pf ppf "   %-42s %12b@." name b
+          | _ -> ())
+        fields)
+    (section_reports ())
 
 let us_of_ns (ns : int64) : float = Int64.to_float ns /. 1e3
 
@@ -279,7 +317,7 @@ let profile_schema = "belr-profile/1"
     committed [BENCH_*.json] performance trajectory. *)
 let profile_json () : Json.t =
   Json.Obj
-    [
+    ([
       ("schema", Json.String profile_schema);
       ("total_ns", Json.Int (Int64.to_int !root_total_ns));
       ( "phases",
@@ -310,3 +348,6 @@ let profile_json () : Json.t =
       ("events_recorded", Json.Int (events_recorded ()));
       ("events_dropped", Json.Int (events_dropped ()));
     ]
+    @ List.map
+        (fun (section, fields) -> (section, Json.Obj fields))
+        (section_reports ()))

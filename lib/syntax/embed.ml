@@ -8,8 +8,8 @@
     left inverse. *)
 
 let rec typ : Lf.typ -> Lf.srt = function
-  | Lf.Atom (a, sp) -> Lf.SEmbed (a, sp)
-  | Lf.Pi (x, a, b) -> Lf.SPi (x, typ a, typ b)
+  | Lf.Atom (a, sp) -> Lf.mk_sembed a sp
+  | Lf.Pi (x, a, b) -> Lf.mk_spi x (typ a) (typ b)
 
 let rec kind : Lf.kind -> Lf.skind = function
   | Lf.Ktype -> Lf.Ksort

@@ -3,24 +3,132 @@
     Since the internal syntax is de Bruijn, α-equivalence is structural
     equality that ignores the [Name.t] printing hints.  Canonical forms
     make this the right definitional equality for checking: no reduction
-    is needed (§3, canonical-forms presentation). *)
+    is needed (§3, canonical-forms presentation).
 
+    Since PR 4 every LF node is interned in the hash-consing store
+    ({!Store}), so physical equality [==] is a sound O(1) fast path: two
+    pointer-equal nodes are the same node.  The fast path is checked at
+    every node of the comparison, so even a failing comparison skips the
+    shared subtrees.  The [deep_*] family keeps the pure structural
+    definition (no pointer shortcuts) — it is the specification the fast
+    path is tested against, and what the property tests use to state
+    "phys-eq implies deep-eq".
+
+    Substitution equality additionally identifies a delayed shift with
+    its η-expansion at a context boundary, [↑ⁿ ≡ (n+1 . ↑ⁿ⁺¹)]: the two
+    spellings denote the same total substitution, and checkers reach the
+    boundary with either spelling depending on which rule fired last.
+    {!Store.mk_dot} collapses the expanded spelling on construction, so
+    this equation mostly matters when hash-consing is disabled
+    ([BELR_NO_HASHCONS=1]) or for terms built before a {!store_clear}. *)
+
+open Belr_support
 open Lf
 
-let rec head (h1 : head) (h2 : head) =
+(* --- instrumentation ---------------------------------------------------- *)
+
+(** O(1) pointer-equality short-circuits taken / missed.  Plain ints so
+    they work without [--stats]; surfaced in the ["store"] telemetry
+    section and [belr check --kernel-stats]. *)
+let phys_hits = ref 0
+
+let phys_misses = ref 0
+
+type phys_stats = { ps_hits : int; ps_misses : int }
+
+let phys_stats () = { ps_hits = !phys_hits; ps_misses = !phys_misses }
+
+(** Interning-totality check: with [BELR_STORE_DEBUG=1], any normal that
+    reaches [Equal] without being the store's representative was built
+    around the smart constructors — a sharing leak. *)
+let assert_rep (m : normal) =
+  if store_debug && store_enabled () && not (is_rep_normal m) then
+    Error.violation
+      "Equal: normal term is not the store representative (a constructor \
+       bypassed the hash-consing store)"
+
+(* --- deep (specification) equality -------------------------------------- *)
+
+let rec deep_head (h1 : head) (h2 : head) =
   match (h1, h2) with
   | Const c1, Const c2 -> c1 = c2
   | BVar i1, BVar i2 -> i1 = i2
-  | PVar (p1, s1), PVar (p2, s2) -> p1 = p2 && sub s1 s2
-  | Proj (b1, k1), Proj (b2, k2) -> k1 = k2 && head b1 b2
-  | MVar (u1, s1), MVar (u2, s2) -> u1 = u2 && sub s1 s2
+  | PVar (p1, s1), PVar (p2, s2) -> p1 = p2 && deep_sub s1 s2
+  | Proj (b1, k1), Proj (b2, k2) -> k1 = k2 && deep_head b1 b2
+  | MVar (u1, s1), MVar (u2, s2) -> u1 = u2 && deep_sub s1 s2
   | _ -> false
 
-and normal (m1 : normal) (m2 : normal) =
+and deep_normal (m1 : normal) (m2 : normal) =
   match (m1, m2) with
-  | Lam (_, n1), Lam (_, n2) -> normal n1 n2
-  | Root (h1, sp1), Root (h2, sp2) -> head h1 h2 && spine sp1 sp2
+  | Lam (_, n1), Lam (_, n2) -> deep_normal n1 n2
+  | Root (h1, sp1), Root (h2, sp2) -> deep_head h1 h2 && deep_spine sp1 sp2
   | _ -> false
+
+and deep_spine sp1 sp2 =
+  List.length sp1 = List.length sp2 && List.for_all2 deep_normal sp1 sp2
+
+and deep_front f1 f2 =
+  match (f1, f2) with
+  | Obj m1, Obj m2 -> deep_normal m1 m2
+  | Tup t1, Tup t2 -> deep_spine t1 t2
+  | Undef, Undef -> true
+  | _ -> false
+
+and deep_sub (s1 : sub) (s2 : sub) =
+  match (s1, s2) with
+  | Empty, Empty -> true
+  | Shift n1, Shift n2 -> n1 = n2
+  (* ↑ⁿ ≡ (n+1 . ↑ⁿ⁺¹): unfold the shift one step and keep comparing.
+     Terminates because the [Dot] side shrinks at every step. *)
+  | Shift n, Dot (Obj (Root (BVar k, [])), s2') when k = n + 1 ->
+      deep_sub (mk_shift (n + 1)) s2'
+  | Dot (Obj (Root (BVar k, [])), s1'), Shift n when k = n + 1 ->
+      deep_sub s1' (mk_shift (n + 1))
+  | Dot (f1, s1'), Dot (f2, s2') -> deep_front f1 f2 && deep_sub s1' s2'
+  | _ -> false
+
+let rec deep_typ (a1 : typ) (a2 : typ) =
+  match (a1, a2) with
+  | Atom (a1, sp1), Atom (a2, sp2) -> a1 = a2 && deep_spine sp1 sp2
+  | Pi (_, a1, b1), Pi (_, a2, b2) -> deep_typ a1 a2 && deep_typ b1 b2
+  | _ -> false
+
+let rec deep_srt (s1 : srt) (s2 : srt) =
+  match (s1, s2) with
+  | SAtom (s1, sp1), SAtom (s2, sp2) -> s1 = s2 && deep_spine sp1 sp2
+  | SEmbed (a1, sp1), SEmbed (a2, sp2) -> a1 = a2 && deep_spine sp1 sp2
+  | SPi (_, s1, t1), SPi (_, s2, t2) -> deep_srt s1 s2 && deep_srt t1 t2
+  | _ -> false
+
+(* --- equality with O(1) sharing fast paths ------------------------------ *)
+
+let rec head (h1 : head) (h2 : head) =
+  if h1 == h2 then (
+    incr phys_hits;
+    true)
+  else (
+    incr phys_misses;
+    match (h1, h2) with
+    | Const c1, Const c2 -> c1 = c2
+    | BVar i1, BVar i2 -> i1 = i2
+    | PVar (p1, s1), PVar (p2, s2) -> p1 = p2 && sub s1 s2
+    | Proj (b1, k1), Proj (b2, k2) -> k1 = k2 && head b1 b2
+    | MVar (u1, s1), MVar (u2, s2) -> u1 = u2 && sub s1 s2
+    | _ -> false)
+
+and normal (m1 : normal) (m2 : normal) =
+  if m1 == m2 then (
+    incr phys_hits;
+    true)
+  else (
+    if store_debug then (
+      assert_rep m1;
+      assert_rep m2);
+    incr phys_misses;
+    match (m1, m2) with
+    | Lam (_, n1), Lam (_, n2) -> normal n1 n2
+    | Root (h1, sp1), Root (h2, sp2) -> head h1 h2 && spine sp1 sp2
+    | _ -> false)
 
 and spine sp1 sp2 =
   List.length sp1 = List.length sp2 && List.for_all2 normal sp1 sp2
@@ -33,24 +141,43 @@ and front f1 f2 =
   | _ -> false
 
 and sub (s1 : sub) (s2 : sub) =
-  match (s1, s2) with
-  | Empty, Empty -> true
-  | Shift n1, Shift n2 -> n1 = n2
-  | Dot (f1, s1'), Dot (f2, s2') -> front f1 f2 && sub s1' s2'
-  | _ -> false
+  if s1 == s2 then (
+    incr phys_hits;
+    true)
+  else (
+    incr phys_misses;
+    match (s1, s2) with
+    | Empty, Empty -> true
+    | Shift n1, Shift n2 -> n1 = n2
+    | Shift n, Dot (Obj (Root (BVar k, [])), s2') when k = n + 1 ->
+        sub (mk_shift (n + 1)) s2'
+    | Dot (Obj (Root (BVar k, [])), s1'), Shift n when k = n + 1 ->
+        sub s1' (mk_shift (n + 1))
+    | Dot (f1, s1'), Dot (f2, s2') -> front f1 f2 && sub s1' s2'
+    | _ -> false)
 
 let rec typ (a1 : typ) (a2 : typ) =
-  match (a1, a2) with
-  | Atom (a1, sp1), Atom (a2, sp2) -> a1 = a2 && spine sp1 sp2
-  | Pi (_, a1, b1), Pi (_, a2, b2) -> typ a1 a2 && typ b1 b2
-  | _ -> false
+  if a1 == a2 then (
+    incr phys_hits;
+    true)
+  else (
+    incr phys_misses;
+    match (a1, a2) with
+    | Atom (a1, sp1), Atom (a2, sp2) -> a1 = a2 && spine sp1 sp2
+    | Pi (_, a1, b1), Pi (_, a2, b2) -> typ a1 a2 && typ b1 b2
+    | _ -> false)
 
 let rec srt (s1 : srt) (s2 : srt) =
-  match (s1, s2) with
-  | SAtom (s1, sp1), SAtom (s2, sp2) -> s1 = s2 && spine sp1 sp2
-  | SEmbed (a1, sp1), SEmbed (a2, sp2) -> a1 = a2 && spine sp1 sp2
-  | SPi (_, s1, t1), SPi (_, s2, t2) -> srt s1 s2 && srt t1 t2
-  | _ -> false
+  if s1 == s2 then (
+    incr phys_hits;
+    true)
+  else (
+    incr phys_misses;
+    match (s1, s2) with
+    | SAtom (s1, sp1), SAtom (s2, sp2) -> s1 = s2 && spine sp1 sp2
+    | SEmbed (a1, sp1), SEmbed (a2, sp2) -> a1 = a2 && spine sp1 sp2
+    | SPi (_, s1, t1), SPi (_, s2, t2) -> srt s1 s2 && srt t1 t2
+    | _ -> false)
 
 let rec kind (k1 : kind) (k2 : kind) =
   match (k1, k2) with
@@ -156,3 +283,15 @@ let rec ctyp_t (t1 : Comp.ctyp_t) (t2 : Comp.ctyp_t) =
   | Comp.TPi (_, i1, s1, t1), Comp.TPi (_, i2, s2, t2) ->
       i1 = i2 && mtyp s1 s2 && ctyp_t t1 t2
   | _ -> false
+
+let () =
+  Telemetry.register_section "store" (fun () ->
+      let h = !phys_hits and m = !phys_misses in
+      let rate =
+        if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+      in
+      [
+        ("equal_phys_hits", Json.Int h);
+        ("equal_phys_misses", Json.Int m);
+        ("equal_phys_rate", Json.Float rate);
+      ])

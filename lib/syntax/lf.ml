@@ -10,106 +10,41 @@
     Sorts live alongside types: a sort [S] refines a type [A] ([S ⊑ A]).
     Terms are shared between the type level and the refinement level, as in
     the paper ("terms ... are the same at both levels since they do not
-    contain any type information to refine"). *)
+    contain any type information to refine").
+
+    Since PR 4 the node types are [private] and every constructed node
+    goes through the hash-consing store ({!Store}): use the [mk_*] smart
+    constructors (or the helpers below) to build terms; pattern matching
+    is unaffected.  See DESIGN.md §S21. *)
 
 open Belr_support
-
-(** Identifiers into the global signature (see {!Belr_lf.Sign}). *)
-type cid_typ = int
-(** Atomic type family [a]. *)
-
-type cid_srt = int
-(** Atomic sort family [s ⊑ a]. *)
-
-type cid_const = int
-(** Term-level constant [c]. *)
-
-type cid_schema = int
-(** Type-level context schema [G]. *)
-
-type cid_sschema = int
-(** Refinement (sort-level) context schema [H ⊑ G]. *)
-
-type cid_rec = int
-(** Computation-level (recursive) function. *)
-
-(** Heads of neutral terms.
-
-    [Proj] bases are restricted to [BVar] and [PVar] by the checker.
-    [MVar (u, σ)] is a contextual meta-variable under a delayed
-    substitution; [PVar (p, σ)] is a parameter variable standing for a
-    block declared in a context variable (written [#b] in the paper's
-    examples).  Both indices point into the meta-context [Ω]. *)
-type head =
-  | Const of cid_const
-  | BVar of int
-  | PVar of int * sub
-  | Proj of head * int  (** [h.k], 1-based projection out of a block *)
-  | MVar of int * sub
-
-and normal =
-  | Lam of Name.t * normal
-  | Root of head * spine
-
-and spine = normal list
-
-(** Substitution entries.  [Tup] replaces a block variable with an n-ary
-    tuple of terms, resolving projections hereditarily ([⟦M⃗/b⟧(b.k) = M_k],
-    §3.1.3).  [Undef] only appears inside the unifier (pruning and
-    inversion); checked substitutions never contain it. *)
-and front = Obj of normal | Tup of tuple | Undef
-
-and tuple = normal list
-
-(** Simultaneous substitutions.
-
-    - [Empty] is the paper's [·]: it weakens a closed object into an
-      arbitrary context.
-    - [Shift n] maps index [i] to [i + n]; [Shift 0] is the identity, in
-      particular [id_ψ] on a context rooted at a context variable.
-    - [Dot (f, σ)] sends index 1 to [f] and the rest through [σ]. *)
-and sub = Empty | Shift of int | Dot of front * sub
-
-let id : sub = Shift 0
-
-(** Canonical type families [A ::= P | Πx:A₁.A₂] with atomic families
-    applied to spines. *)
-type typ = Atom of cid_typ * spine | Pi of Name.t * typ * typ
-
-(** Kinds [K ::= type | Πx:A.K]. *)
-type kind = Ktype | Kpi of Name.t * typ * kind
-
-(** Canonical sort families [S ::= Q | Πx:S₁.S₂].
-
-    [SEmbed (a, sp)] is the explicit embedding [⌊a · sp⌋] of an atomic type
-    into the sorts refining it; the paper uses this in place of an
-    ambiguous ⊤ sort so that every sort determines its refined type. *)
-type srt =
-  | SAtom of cid_srt * spine
-  | SEmbed of cid_typ * spine
-  | SPi of Name.t * srt * srt
-
-(** Refinement kinds [L ::= sort | Πx:S.L], refining kinds [K]. *)
-type skind = Ksort | Kspi of Name.t * srt * skind
+include Store
 
 (* ------------------------------------------------------------------ *)
 (* Small helpers used throughout.                                      *)
 
+let id : sub = mk_shift 0
+
 (** η-short variable occurrence; use {!Belr_lf.Eta} for η-long forms. *)
-let bvar i : normal = Root (BVar i, [])
+let bvar i : normal = mk_root (mk_bvar i) []
 
-let const c spine : normal = Root (Const c, spine)
+let const c spine : normal = mk_root (mk_const c) spine
 
-(** [dot1 σ] extends [σ] under one binder: [1.σ∘↑] for ordinary
-    variables.  Correct only when index 1 needs no η-expansion at its use
-    sites (e.g. the binder has atomic type) — the checkers use the η-aware
+(** [dot_obj m σ] is [Dot (Obj m, σ)] (normalized by {!Store.mk_dot}).
+    Correct only when index 1 needs no η-expansion at its use sites
+    (e.g. the binder has atomic type) — the checkers use the η-aware
     version in [Belr_lf.Hsub.dot1]. *)
-let dot_obj m sigma = Dot (Obj m, sigma)
+let dot_obj m sigma = mk_dot (Obj m) sigma
 
+(** Apply a neutral term to additional arguments, batched: one append for
+    the whole argument list, not one per argument (callers that used to
+    fold [app_spine] one argument at a time paid O(n²) on growing
+    checker spines — pass the full list instead). *)
 let app_spine (m : normal) (extra : spine) : normal =
   match (m, extra) with
   | _, [] -> m
-  | Root (h, sp), _ -> Root (h, sp @ extra)
+  | Root (h, []), _ -> mk_root h extra
+  | Root (h, sp), _ -> mk_root h (List.rev_append (List.rev sp) extra)
   | Lam _, _ ->
       (* The caller must use hereditary substitution to reduce.  Reaching
          this case means a redex was about to be built. *)

@@ -105,4 +105,4 @@ let mctx_t_lookup (delta : mctx_t) (i : int) : mdecl_t option =
 (** The meta-variable [i ↦ i]-style eta-expansion of a meta-variable as a
     contextual object: [u] of sort [Ψ.Q] becomes [Ψ̂. u[id]]. *)
 let mvar_mobj (i : int) (psi : Ctxs.sctx) : mobj =
-  MOTerm (hat_of_sctx psi, Lf.Root (Lf.MVar (i, Lf.id), []))
+  MOTerm (hat_of_sctx psi, Lf.mk_root (Lf.mk_mvar i Lf.id) [])

@@ -130,7 +130,7 @@ let rec pp_srt ?(paren = false) e ppf = function
           sp
       in
       if paren then Fmt.parens body ppf () else Fmt.box body ppf ()
-  | SEmbed (a, sp) -> pp_typ ~paren e ppf (Atom (a, sp))
+  | SEmbed (a, sp) -> pp_typ ~paren e ppf (mk_atom a sp)
   | SPi (x, s1, s2) ->
       let e', x' = push_bound e x in
       let body ppf () =

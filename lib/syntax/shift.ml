@@ -10,7 +10,12 @@
     [shift_*] renames LF indices; [mshift_*] renames meta indices.  Both
     take the amount [d] and a cutoff [c] (indices [≤ c] are bound locally
     and untouched).  Renaming never creates redexes, so no hereditary
-    machinery is needed here. *)
+    machinery is needed here.
+
+    Fast paths (PR 4): shifting by [d = 0] is the identity, and so is
+    shifting a node whose max-free-index bound ([Store.mfi_*]) is at most
+    the cutoff — every free index is untouched, so the input is returned
+    with no traversal and no reallocation. *)
 
 open Lf
 
@@ -18,60 +23,68 @@ open Lf
 (* LF-level shifting                                                   *)
 
 let rec shift_head d c (h : head) : head =
-  match h with
-  | Const _ -> h
-  | BVar i -> if i > c then BVar (i + d) else BVar i
-  | PVar (p, s) -> PVar (p, shift_sub d c s)
-  | Proj (b, k) -> Proj (shift_head d c b, k)
-  | MVar (u, s) -> MVar (u, shift_sub d c s)
+  if d = 0 || (store_enabled () && mfi_head h <= c) then h
+  else
+    match h with
+    | Const _ -> h
+    | BVar i -> if i > c then mk_bvar (i + d) else h
+    | PVar (p, s) -> mk_pvar p (shift_sub d c s)
+    | Proj (b, k) -> mk_proj (shift_head d c b) k
+    | MVar (u, s) -> mk_mvar u (shift_sub d c s)
 
 and shift_normal d c (m : normal) : normal =
-  match m with
-  | Lam (x, n) -> Lam (x, shift_normal d (c + 1) n)
-  | Root (h, sp) -> Root (shift_head d c h, shift_spine d c sp)
+  if d = 0 || (store_enabled () && mfi_normal m <= c) then m
+  else
+    match m with
+    | Lam (x, n) -> mk_lam x (shift_normal d (c + 1) n)
+    | Root (h, sp) -> mk_root (shift_head d c h) (shift_spine d c sp)
 
-and shift_spine d c sp = List.map (shift_normal d c) sp
+and shift_spine d c sp =
+  if d = 0 then sp else List.map (shift_normal d c) sp
 
 and shift_front d c = function
   | Obj m -> Obj (shift_normal d c m)
   | Tup t -> Tup (List.map (shift_normal d c) t)
   | Undef -> Undef
 
-and norm_dot (f : front) (s : sub) : sub =
-  (* keep identity substitutions canonical: Dot (xₙ, ↑ⁿ) = ↑ⁿ⁻¹ *)
-  match (f, s) with
-  | Obj (Root (BVar k, [])), Shift n when k = n -> Shift (n - 1)
-  | _ -> Dot (f, s)
-
 and shift_sub d c (s : sub) : sub =
-  match s with
-  | Empty -> Empty
-  | Shift n ->
-      (* [Shift n] maps i ↦ i + n; composing with the renaming i ↦ i + d
-         above cutoff c.  Under a cutoff this representation cannot stay a
-         bare [Shift]; the checkers only shift closed-from-below
-         substitutions (c = 0), which is the case we support exactly. *)
-      if c = 0 then Shift (n + d)
-      else if n >= c then Shift (n + d)
-      else
-        (* Expand the first components explicitly: indices 1..(c-n) are
-           below the cutoff after shifting. *)
-        let rec expand i acc =
-          if i > c - n then acc
-          else
-            expand (i + 1) (fun tail -> acc (norm_dot (Obj (bvar (i + n))) tail))
-        in
-        (expand 1 (fun tail -> tail)) (Shift (c + d))
-  | Dot (f, s') -> norm_dot (shift_front d c f) (shift_sub d c s')
+  if d = 0 || (store_enabled () && mfi_sub s <= c) then s
+  else
+    match s with
+    | Empty -> s
+    | Shift n ->
+        (* [Shift n] maps i ↦ i + n; composing with the renaming i ↦ i + d
+           above cutoff c.  Under a cutoff this representation cannot stay
+           a bare [Shift]; the checkers only shift closed-from-below
+           substitutions (c = 0), which is the case we support exactly. *)
+        if c = 0 then mk_shift (n + d)
+        else if n >= c then mk_shift (n + d)
+        else
+          (* Expand the first components explicitly: indices 1..(c-n) are
+             below the cutoff after shifting. *)
+          let rec expand i acc =
+            if i > c - n then acc
+            else
+              expand (i + 1) (fun tail ->
+                  acc (mk_dot (Obj (bvar (i + n))) tail))
+          in
+          (expand 1 (fun tail -> tail)) (mk_shift (c + d))
+    | Dot (f, s') -> mk_dot (shift_front d c f) (shift_sub d c s')
 
-let rec shift_typ d c : typ -> typ = function
-  | Atom (a, sp) -> Atom (a, shift_spine d c sp)
-  | Pi (x, a, b) -> Pi (x, shift_typ d c a, shift_typ d (c + 1) b)
+let rec shift_typ d c (a : typ) : typ =
+  if d = 0 || (store_enabled () && mfi_typ a <= c) then a
+  else
+    match a with
+    | Atom (p, sp) -> mk_atom p (shift_spine d c sp)
+    | Pi (x, a1, b) -> mk_pi x (shift_typ d c a1) (shift_typ d (c + 1) b)
 
-let rec shift_srt d c : srt -> srt = function
-  | SAtom (s, sp) -> SAtom (s, shift_spine d c sp)
-  | SEmbed (a, sp) -> SEmbed (a, shift_spine d c sp)
-  | SPi (x, s1, s2) -> SPi (x, shift_srt d c s1, shift_srt d (c + 1) s2)
+let rec shift_srt d c (s : srt) : srt =
+  if d = 0 || (store_enabled () && mfi_srt s <= c) then s
+  else
+    match s with
+    | SAtom (q, sp) -> mk_satom q (shift_spine d c sp)
+    | SEmbed (a, sp) -> mk_sembed a (shift_spine d c sp)
+    | SPi (x, s1, s2) -> mk_spi x (shift_srt d c s1) (shift_srt d (c + 1) s2)
 
 let rec shift_kind d c : kind -> kind = function
   | Ktype -> Ktype
@@ -100,41 +113,58 @@ let shift_selem d c (f : Ctxs.selem) : Ctxs.selem =
 (* ------------------------------------------------------------------ *)
 (* Meta-level shifting                                                 *)
 
+(* The store's mfi bound tracks LF indices only, so meta-level renaming
+   has just the [d = 0] fast path. *)
+
 let rec mshift_head d c (h : head) : head =
-  match h with
-  | Const _ | BVar _ -> h
-  | PVar (p, s) ->
-      let p' = if p > c then p + d else p in
-      PVar (p', mshift_sub d c s)
-  | Proj (b, k) -> Proj (mshift_head d c b, k)
-  | MVar (u, s) ->
-      let u' = if u > c then u + d else u in
-      MVar (u', mshift_sub d c s)
+  if d = 0 then h
+  else
+    match h with
+    | Const _ | BVar _ -> h
+    | PVar (p, s) ->
+        let p' = if p > c then p + d else p in
+        mk_pvar p' (mshift_sub d c s)
+    | Proj (b, k) -> mk_proj (mshift_head d c b) k
+    | MVar (u, s) ->
+        let u' = if u > c then u + d else u in
+        mk_mvar u' (mshift_sub d c s)
 
-and mshift_normal d c : normal -> normal = function
-  | Lam (x, n) -> Lam (x, mshift_normal d c n)
-  | Root (h, sp) -> Root (mshift_head d c h, mshift_spine d c sp)
+and mshift_normal d c (m : normal) : normal =
+  if d = 0 then m
+  else
+    match m with
+    | Lam (x, n) -> mk_lam x (mshift_normal d c n)
+    | Root (h, sp) -> mk_root (mshift_head d c h) (mshift_spine d c sp)
 
-and mshift_spine d c sp = List.map (mshift_normal d c) sp
+and mshift_spine d c sp =
+  if d = 0 then sp else List.map (mshift_normal d c) sp
 
 and mshift_front d c = function
   | Obj m -> Obj (mshift_normal d c m)
   | Tup t -> Tup (List.map (mshift_normal d c) t)
   | Undef -> Undef
 
-and mshift_sub d c : sub -> sub = function
-  | Empty -> Empty
-  | Shift n -> Shift n
-  | Dot (f, s) -> Dot (mshift_front d c f, mshift_sub d c s)
+and mshift_sub d c (s : sub) : sub =
+  if d = 0 then s
+  else
+    match s with
+    | Empty | Shift _ -> s
+    | Dot (f, s') -> mk_dot (mshift_front d c f) (mshift_sub d c s')
 
-let rec mshift_typ d c : typ -> typ = function
-  | Atom (a, sp) -> Atom (a, mshift_spine d c sp)
-  | Pi (x, a, b) -> Pi (x, mshift_typ d c a, mshift_typ d c b)
+let rec mshift_typ d c (a : typ) : typ =
+  if d = 0 then a
+  else
+    match a with
+    | Atom (p, sp) -> mk_atom p (mshift_spine d c sp)
+    | Pi (x, a1, b) -> mk_pi x (mshift_typ d c a1) (mshift_typ d c b)
 
-let rec mshift_srt d c : srt -> srt = function
-  | SAtom (s, sp) -> SAtom (s, mshift_spine d c sp)
-  | SEmbed (a, sp) -> SEmbed (a, mshift_spine d c sp)
-  | SPi (x, s1, s2) -> SPi (x, mshift_srt d c s1, mshift_srt d c s2)
+let rec mshift_srt d c (s : srt) : srt =
+  if d = 0 then s
+  else
+    match s with
+    | SAtom (q, sp) -> mk_satom q (mshift_spine d c sp)
+    | SEmbed (a, sp) -> mk_sembed a (mshift_spine d c sp)
+    | SPi (x, s1, s2) -> mk_spi x (mshift_srt d c s1) (mshift_srt d c s2)
 
 let mshift_block d c (b : Ctxs.block) : Ctxs.block =
   List.map (fun (x, a) -> (x, mshift_typ d c a)) b

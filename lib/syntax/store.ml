@@ -1,0 +1,561 @@
+(** Implementation of the hash-consing term store (see store.mli).
+
+    Layout: two weak structures per interned category.
+
+    - The {e arena} ([Weak.Make]): holds one representative per
+      structural-equality class (binder names ignored).  Keys are held
+      weakly, so a term no longer referenced by the kernel vanishes from
+      the arena and can be collected.
+    - The {e metadata table} ([Ephemeron.K1.Make], physical-equality
+      keys): node ↦ [{id; hash; mfi}].  Ephemeron semantics drop an entry
+      exactly when its node dies, so metadata never keeps a term alive.
+
+    Hashing bottoms out in the {e children's} stored hashes: a node's
+    hash is a one-level combination of its scalars and its (already
+    interned, already hashed) children, so interning a node is O(width),
+    not O(size).  The same holds for the max-free-index bound.
+
+    Spines, tuples and fronts are thin list/wrapper shapes between
+    interned nodes; they are hashed through on the fly and never interned
+    themselves (their identity is their elements').
+
+    Binder names: interning ignores [Name.t] hints (as [Equal] does), so
+    physically-equal ⟺ α-equal on interned representatives.  The
+    first-constructed node's hints win for printing. *)
+
+open Belr_support
+
+type cid_typ = int
+
+type cid_srt = int
+
+type cid_const = int
+
+type cid_schema = int
+
+type cid_sschema = int
+
+type cid_rec = int
+
+type head =
+  | Const of cid_const
+  | BVar of int
+  | PVar of int * sub
+  | Proj of head * int
+  | MVar of int * sub
+
+and normal = Lam of Name.t * normal | Root of head * spine
+
+and spine = normal list
+
+and front = Obj of normal | Tup of tuple | Undef
+
+and tuple = normal list
+
+and sub = Empty | Shift of int | Dot of front * sub
+
+type typ = Atom of cid_typ * spine | Pi of Name.t * typ * typ
+
+type kind = Ktype | Kpi of Name.t * typ * kind
+
+type srt =
+  | SAtom of cid_srt * spine
+  | SEmbed of cid_typ * spine
+  | SPi of Name.t * srt * srt
+
+type skind = Ksort | Kspi of Name.t * srt * skind
+
+(* --- store state ------------------------------------------------------ *)
+
+let on =
+  ref
+    (match Sys.getenv_opt "BELR_NO_HASHCONS" with
+    | None | Some "" | Some "0" -> true
+    | Some _ -> false)
+
+let store_enabled () = !on
+
+let set_store_enabled b = on := b
+
+let store_debug = Sys.getenv_opt "BELR_STORE_DEBUG" <> None
+
+let mfi_infinity = max_int
+
+(** Saturating decrement (leaving a binder). *)
+let dec i = if i = mfi_infinity then mfi_infinity else max 0 (i - 1)
+
+type meta = { m_id : int; m_hash : int; m_mfi : int }
+
+(* Never reset — monotone across [store_clear], so a memo table keyed on
+   ids (Belr_lf.Hsub) can never confuse a pre-clear entry with a
+   post-clear term. *)
+let next_id = ref 0
+
+let fresh () =
+  let i = !next_id in
+  incr next_id;
+  i
+
+let comb h k = ((h * 486187739) + k) land max_int
+
+(* --- metadata tables (weak keys, physical equality) ------------------- *)
+
+module HeadTbl = Ephemeron.K1.Make (struct
+  type t = head
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+module NormalTbl = Ephemeron.K1.Make (struct
+  type t = normal
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+module SubTbl = Ephemeron.K1.Make (struct
+  type t = sub
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+module TypTbl = Ephemeron.K1.Make (struct
+  type t = typ
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+module SrtTbl = Ephemeron.K1.Make (struct
+  type t = srt
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+let head_meta : meta HeadTbl.t = HeadTbl.create 1024
+
+let normal_meta : meta NormalTbl.t = NormalTbl.create 4096
+
+let sub_meta : meta SubTbl.t = SubTbl.create 1024
+
+let typ_meta : meta TypTbl.t = TypTbl.create 1024
+
+let srt_meta : meta SrtTbl.t = SrtTbl.create 1024
+
+(* [Empty] is a constant (immediate) constructor: every [Empty] is the
+   same value, so it gets a fixed metadata record instead of a weak-table
+   entry (immediates have no useful weak semantics). *)
+let empty_meta = { m_id = fresh (); m_hash = 0x45; m_mfi = 0 }
+
+(* --- hashing and max-free-index --------------------------------------- *)
+
+(* [hash_*]/[mfi1_*] are one-level: they read the children's *stored*
+   metadata.  [meta_*] memoizes.  Nodes built through [mk_*] while the
+   store is enabled always have their children's metadata present; nodes
+   built while it was disabled get a (deep, one-time) computation on
+   first query, so every accessor below is total.
+
+   mfi soundness notes:
+   - [mfi (Shift n) = ∞]: a delayed substitution rooted in a shift
+     changes under composition with any outer substitution
+     ([MVar (u, ↑⁰)][σ] = [MVar (u, σ)]), so no bound is sound.
+   - [mfi Empty = 0]: [comp Empty σ = Empty] — untouchable.
+   - A closed front can never trigger the [mk_dot] collapse (the
+     collapsed shape [Dot (Obj xₙ, ↑ⁿ)] has a free variable), so
+     substitution under a closed [Dot]-chain is the identity on it. *)
+
+let rec meta_head (h : head) : meta =
+  match HeadTbl.find_opt head_meta h with
+  | Some m -> m
+  | None ->
+      let m = { m_id = fresh (); m_hash = hash_head h; m_mfi = mfi1_head h } in
+      HeadTbl.replace head_meta h m;
+      m
+
+and hash_head = function
+  | Const c -> comb 3 c
+  | BVar i -> comb 5 i
+  | PVar (p, s) -> comb (comb 7 p) (meta_sub s).m_hash
+  | Proj (b, k) -> comb (comb 11 (meta_head b).m_hash) k
+  | MVar (u, s) -> comb (comb 13 u) (meta_sub s).m_hash
+
+and mfi1_head = function
+  | Const _ -> 0
+  | BVar i -> i
+  | PVar (_, s) -> (meta_sub s).m_mfi
+  | Proj (b, _) -> (meta_head b).m_mfi
+  | MVar (_, s) -> (meta_sub s).m_mfi
+
+and meta_normal (n : normal) : meta =
+  match NormalTbl.find_opt normal_meta n with
+  | Some m -> m
+  | None ->
+      let m =
+        { m_id = fresh (); m_hash = hash_normal n; m_mfi = mfi1_normal n }
+      in
+      NormalTbl.replace normal_meta n m;
+      m
+
+and hash_normal = function
+  | Lam (x, b) -> comb (comb 17 (Hashtbl.hash x)) (meta_normal b).m_hash
+  | Root (h, sp) -> comb (comb 19 (meta_head h).m_hash) (fst (spine_meta sp))
+
+and mfi1_normal = function
+  | Lam (_, b) -> dec (meta_normal b).m_mfi
+  | Root (h, sp) -> max (meta_head h).m_mfi (snd (spine_meta sp))
+
+and spine_meta (sp : spine) : int * int =
+  List.fold_left
+    (fun (h, f) n ->
+      let m = meta_normal n in
+      (comb h m.m_hash, max f m.m_mfi))
+    (23, 0) sp
+
+and front_meta : front -> int * int = function
+  | Obj m ->
+      let mm = meta_normal m in
+      (comb 29 mm.m_hash, mm.m_mfi)
+  | Tup t ->
+      let h, f = spine_meta t in
+      (comb 31 h, f)
+  | Undef -> (37, 0)
+
+and meta_sub (s : sub) : meta =
+  match s with
+  | Empty -> empty_meta
+  | _ -> (
+      match SubTbl.find_opt sub_meta s with
+      | Some m -> m
+      | None ->
+          let m = { m_id = fresh (); m_hash = hash_sub s; m_mfi = mfi1_sub s } in
+          SubTbl.replace sub_meta s m;
+          m)
+
+and hash_sub = function
+  | Empty -> empty_meta.m_hash
+  | Shift n -> comb 41 n
+  | Dot (f, s) -> comb (comb 43 (fst (front_meta f))) (meta_sub s).m_hash
+
+and mfi1_sub = function
+  | Empty -> 0
+  | Shift _ -> mfi_infinity
+  | Dot (f, s) -> max (snd (front_meta f)) (meta_sub s).m_mfi
+
+let rec meta_typ (a : typ) : meta =
+  match TypTbl.find_opt typ_meta a with
+  | Some m -> m
+  | None ->
+      let m = { m_id = fresh (); m_hash = hash_typ a; m_mfi = mfi1_typ a } in
+      TypTbl.replace typ_meta a m;
+      m
+
+and hash_typ = function
+  | Atom (a, sp) -> comb (comb 47 a) (fst (spine_meta sp))
+  | Pi (x, a, b) ->
+      comb (comb (comb 53 (Hashtbl.hash x)) (meta_typ a).m_hash) (meta_typ b).m_hash
+
+and mfi1_typ = function
+  | Atom (_, sp) -> snd (spine_meta sp)
+  | Pi (_, a, b) -> max (meta_typ a).m_mfi (dec (meta_typ b).m_mfi)
+
+let rec meta_srt (s : srt) : meta =
+  match SrtTbl.find_opt srt_meta s with
+  | Some m -> m
+  | None ->
+      let m = { m_id = fresh (); m_hash = hash_srt s; m_mfi = mfi1_srt s } in
+      SrtTbl.replace srt_meta s m;
+      m
+
+and hash_srt = function
+  | SAtom (q, sp) -> comb (comb 59 q) (fst (spine_meta sp))
+  | SEmbed (a, sp) -> comb (comb 61 a) (fst (spine_meta sp))
+  | SPi (x, s1, s2) ->
+      comb (comb (comb 67 (Hashtbl.hash x)) (meta_srt s1).m_hash) (meta_srt s2).m_hash
+
+and mfi1_srt = function
+  | SAtom (_, sp) | SEmbed (_, sp) -> snd (spine_meta sp)
+  | SPi (_, s1, s2) -> max (meta_srt s1).m_mfi (dec (meta_srt s2).m_mfi)
+
+(* --- arenas (weak sets of representatives) ---------------------------- *)
+
+let rec eq_spine sp1 sp2 =
+  match (sp1, sp2) with
+  | [], [] -> true
+  | m1 :: r1, m2 :: r2 -> m1 == m2 && eq_spine r1 r2
+  | _ -> false
+
+let eq_front f1 f2 =
+  match (f1, f2) with
+  | Obj m1, Obj m2 -> m1 == m2
+  | Tup t1, Tup t2 -> eq_spine t1 t2
+  | Undef, Undef -> true
+  | _ -> false
+
+module HeadArena = Weak.Make (struct
+  type t = head
+
+  let hash = hash_head
+
+  let equal h1 h2 =
+    match (h1, h2) with
+    | Const a, Const b -> a = b
+    | BVar a, BVar b -> a = b
+    | PVar (p1, s1), PVar (p2, s2) -> p1 = p2 && s1 == s2
+    | Proj (b1, k1), Proj (b2, k2) -> k1 = k2 && b1 == b2
+    | MVar (u1, s1), MVar (u2, s2) -> u1 = u2 && s1 == s2
+    | _ -> false
+end)
+
+module NormalArena = Weak.Make (struct
+  type t = normal
+
+  let hash = hash_normal
+
+  let equal n1 n2 =
+    match (n1, n2) with
+    | Lam (x1, b1), Lam (x2, b2) -> String.equal x1 x2 && b1 == b2
+    | Root (h1, sp1), Root (h2, sp2) -> h1 == h2 && eq_spine sp1 sp2
+    | _ -> false
+end)
+
+module SubArena = Weak.Make (struct
+  type t = sub
+
+  let hash = hash_sub
+
+  let equal s1 s2 =
+    match (s1, s2) with
+    | Empty, Empty -> true
+    | Shift n1, Shift n2 -> n1 = n2
+    | Dot (f1, t1), Dot (f2, t2) -> t1 == t2 && eq_front f1 f2
+    | _ -> false
+end)
+
+module TypArena = Weak.Make (struct
+  type t = typ
+
+  let hash = hash_typ
+
+  let equal a1 a2 =
+    match (a1, a2) with
+    | Atom (c1, sp1), Atom (c2, sp2) -> c1 = c2 && eq_spine sp1 sp2
+    | Pi (x1, a1, b1), Pi (x2, a2, b2) ->
+        String.equal x1 x2 && a1 == a2 && b1 == b2
+    | _ -> false
+end)
+
+module SrtArena = Weak.Make (struct
+  type t = srt
+
+  let hash = hash_srt
+
+  let equal s1 s2 =
+    match (s1, s2) with
+    | SAtom (c1, sp1), SAtom (c2, sp2) -> c1 = c2 && eq_spine sp1 sp2
+    | SEmbed (c1, sp1), SEmbed (c2, sp2) -> c1 = c2 && eq_spine sp1 sp2
+    | SPi (x1, a1, b1), SPi (x2, a2, b2) ->
+        String.equal x1 x2 && a1 == a2 && b1 == b2
+    | _ -> false
+end)
+
+let head_arena = HeadArena.create 1024
+
+let normal_arena = NormalArena.create 4096
+
+let sub_arena = SubArena.create 1024
+
+let typ_arena = TypArena.create 1024
+
+let srt_arena = SrtArena.create 1024
+
+(* --- interning -------------------------------------------------------- *)
+
+let n_interned = ref 0
+
+let n_dedup = ref 0
+
+let intern_head (cand : head) : head =
+  if not !on then cand
+  else
+    let rep = HeadArena.merge head_arena cand in
+    if rep == cand then begin
+      incr n_interned;
+      ignore (meta_head rep)
+    end
+    else incr n_dedup;
+    rep
+
+let intern_normal (cand : normal) : normal =
+  if not !on then cand
+  else
+    let rep = NormalArena.merge normal_arena cand in
+    if rep == cand then begin
+      incr n_interned;
+      ignore (meta_normal rep)
+    end
+    else incr n_dedup;
+    rep
+
+let intern_sub (cand : sub) : sub =
+  if not !on then cand
+  else
+    let rep = SubArena.merge sub_arena cand in
+    if rep == cand then begin
+      incr n_interned;
+      ignore (meta_sub rep)
+    end
+    else incr n_dedup;
+    rep
+
+let intern_typ (cand : typ) : typ =
+  if not !on then cand
+  else
+    let rep = TypArena.merge typ_arena cand in
+    if rep == cand then begin
+      incr n_interned;
+      ignore (meta_typ rep)
+    end
+    else incr n_dedup;
+    rep
+
+let intern_srt (cand : srt) : srt =
+  if not !on then cand
+  else
+    let rep = SrtArena.merge srt_arena cand in
+    if rep == cand then begin
+      incr n_interned;
+      ignore (meta_srt rep)
+    end
+    else incr n_dedup;
+    rep
+
+(* --- smart constructors ----------------------------------------------- *)
+
+let mk_const c = intern_head (Const c)
+
+let mk_bvar i = intern_head (BVar i)
+
+let mk_pvar p s = intern_head (PVar (p, s))
+
+let mk_proj h k = intern_head (Proj (h, k))
+
+let mk_mvar u s = intern_head (MVar (u, s))
+
+let mk_lam x n = intern_normal (Lam (x, n))
+
+let mk_root h sp = intern_normal (Root (h, sp))
+
+let mk_empty = Empty
+
+(* Small shifts are ubiquitous ([Shift 0] is the identity substitution);
+   a preallocated cache makes them physically unique without touching the
+   arena, in both enabled and disabled modes. *)
+let shift_cache = Array.init 64 (fun n -> Shift n)
+
+let mk_shift n =
+  if n >= 0 && n < Array.length shift_cache then shift_cache.(n)
+  else intern_sub (Shift n)
+
+let mk_dot f s =
+  (* keep identity substitutions canonical: Dot (xₙ, ↑ⁿ) = ↑ⁿ⁻¹; applied
+     in both modes — it is semantic canonicalization, not sharing *)
+  match (f, s) with
+  | Obj (Root (BVar k, [])), Shift n when k = n -> mk_shift (n - 1)
+  | _ -> intern_sub (Dot (f, s))
+
+let mk_atom a sp = intern_typ (Atom (a, sp))
+
+let mk_pi x a b = intern_typ (Pi (x, a, b))
+
+let mk_satom q sp = intern_srt (SAtom (q, sp))
+
+let mk_sembed a sp = intern_srt (SEmbed (a, sp))
+
+let mk_spi x s1 s2 = intern_srt (SPi (x, s1, s2))
+
+(* --- control ----------------------------------------------------------- *)
+
+let store_clear () =
+  HeadArena.clear head_arena;
+  NormalArena.clear normal_arena;
+  SubArena.clear sub_arena;
+  TypArena.clear typ_arena;
+  SrtArena.clear srt_arena;
+  HeadTbl.reset head_meta;
+  NormalTbl.reset normal_meta;
+  SubTbl.reset sub_meta;
+  TypTbl.reset typ_meta;
+  SrtTbl.reset srt_meta
+
+(* --- accessors --------------------------------------------------------- *)
+
+let normal_id m = (meta_normal m).m_id
+
+let sub_id s = (meta_sub s).m_id
+
+let head_id h = (meta_head h).m_id
+
+let typ_id a = (meta_typ a).m_id
+
+let srt_id s = (meta_srt s).m_id
+
+let mfi_normal m = (meta_normal m).m_mfi
+
+let mfi_head h = (meta_head h).m_mfi
+
+let mfi_sub s = (meta_sub s).m_mfi
+
+let mfi_typ a = (meta_typ a).m_mfi
+
+let mfi_srt s = (meta_srt s).m_mfi
+
+let mfi_spine sp = snd (spine_meta sp)
+
+let is_rep_normal (m : normal) =
+  match NormalArena.find_opt normal_arena m with
+  | Some r -> r == m
+  | None -> false
+
+(* --- statistics -------------------------------------------------------- *)
+
+type store_stats = {
+  st_live : int;
+  st_interned : int;
+  st_dedup_hits : int;
+}
+
+let store_stats () =
+  {
+    st_live =
+      HeadArena.count head_arena + NormalArena.count normal_arena
+      + SubArena.count sub_arena + TypArena.count typ_arena
+      + SrtArena.count srt_arena;
+    st_interned = !n_interned;
+    st_dedup_hits = !n_dedup;
+  }
+
+let dedup_ratio () =
+  if !n_interned = 0 then 0.0
+  else float_of_int (!n_interned + !n_dedup) /. float_of_int !n_interned
+
+(* Report the store's numbers in --stats / --profile ("store" section of
+   the belr-profile/1 schema; Belr_lf.Hsub contributes its memo-table
+   fields to the same section). *)
+let () =
+  Telemetry.register_section "store" (fun () ->
+      let s = store_stats () in
+      [
+        ("enabled", Json.Bool !on);
+        ("live", Json.Int s.st_live);
+        ("interned", Json.Int s.st_interned);
+        ("dedup_hits", Json.Int s.st_dedup_hits);
+        ("dedup_ratio", Json.Float (dedup_ratio ()));
+      ])

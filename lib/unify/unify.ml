@@ -92,9 +92,9 @@ let sol_msub st : Meta.msub =
             match decl st i with
             | Meta.MDTerm (_, psi, _) ->
                 Meta.MOTerm
-                  (Meta.hat_of_sctx psi, Root (MVar (i, Shift 0), []))
+                  (Meta.hat_of_sctx psi, mk_root (mk_mvar i (mk_shift 0)) [])
             | Meta.MDParam (_, psi, _, _) ->
-                Meta.MOParam (Meta.hat_of_sctx psi, PVar (i, Shift 0))
+                Meta.MOParam (Meta.hat_of_sctx psi, mk_pvar i (mk_shift 0))
             | Meta.MDCtx _ ->
                 Meta.MOCtx
                   {
@@ -103,7 +103,7 @@ let sol_msub st : Meta.msub =
                     Ctxs.s_decls = [];
                   }
             | Meta.MDSub (_, psi1, _) ->
-                Meta.MOSub (Meta.hat_of_sctx psi1, Shift 0)
+                Meta.MOSub (Meta.hat_of_sctx psi1, mk_shift 0)
           in
           Meta.MDot (front, tail)
   in
@@ -197,43 +197,43 @@ let invert_term (s : sub) (m : normal) : normal =
     | Some (entries, tail) ->
         let invert_var j =
           match List.assoc_opt (Pvar j) entries with
-          | Some d -> BVar d
+          | Some d -> mk_bvar d
           | None -> (
               match tail with
               | Some n when j > n ->
                   (* tail shift: range var j came from domain var j - n +
                      (number of explicit entries) *)
-                  BVar (j - n + List.length entries)
+                  mk_bvar (j - n + List.length entries)
               | _ -> fail "variable escapes the pattern substitution")
         in
         let invert_proj j k =
           match List.assoc_opt (Pproj (j, k)) entries with
-          | Some d -> BVar d
+          | Some d -> mk_bvar d
           | None -> (
               match tail with
-              | Some n when j > n -> Proj (BVar (j - n + List.length entries), k)
+              | Some n when j > n -> mk_proj (mk_bvar (j - n + List.length entries)) k
               | _ -> fail "projection escapes the pattern substitution")
         in
         let rec go_head c = function
-          | Const cid -> Const cid
-          | BVar j -> if j <= c then BVar j else shift_entry c (invert_var (j - c))
-          | Proj (BVar j, k) ->
-              if j <= c then Proj (BVar j, k)
-              else shift_entry c (invert_proj (j - c) k)
-          | Proj (b, k) -> Proj (go_head c b, k)
-          | MVar (u, s') -> MVar (u, go_sub c s')
-          | PVar (p, s') -> PVar (p, go_sub c s')
+          | Const _ as h -> h
+          | BVar j as h ->
+              if j <= c then h else shift_entry c (invert_var (j - c))
+          | Proj (BVar j, k) as h ->
+              if j <= c then h else shift_entry c (invert_proj (j - c) k)
+          | Proj (b, k) -> mk_proj (go_head c b) k
+          | MVar (u, s') -> mk_mvar u (go_sub c s')
+          | PVar (p, s') -> mk_pvar p (go_sub c s')
         and shift_entry c h = Shift.shift_head c 0 h
         and go_normal c = function
-          | Lam (x, m) -> Lam (x, go_normal (c + 1) m)
-          | Root (h, sp) -> Root (go_head c h, List.map (go_normal c) sp)
+          | Lam (x, m) -> mk_lam x (go_normal (c + 1) m)
+          | Root (h, sp) -> mk_root (go_head c h) (List.map (go_normal c) sp)
         and go_sub c = function
-          | Empty -> Empty
+          | Empty as s -> s
           | Shift _ ->
               fail "shift under inverted substitution is not supported"
-          | Dot (Obj m, s') -> Dot (Obj (go_normal c m), go_sub c s')
-          | Dot (Tup t, s') -> Dot (Tup (List.map (go_normal c) t), go_sub c s')
-          | Dot (Undef, s') -> Dot (Undef, go_sub c s')
+          | Dot (Obj m, s') -> mk_dot (Obj (go_normal c m)) (go_sub c s')
+          | Dot (Tup t, s') -> mk_dot (Tup (List.map (go_normal c) t)) (go_sub c s')
+          | Dot (Undef, s') -> mk_dot Undef (go_sub c s')
         in
         go_normal 0 m
 
@@ -299,7 +299,7 @@ and solve_pvar st (p : int) (s : sub) (b : head) : unit =
   let b' =
     if is_identity s then b
     else
-      match invert_term s (Root (b, [])) with
+      match invert_term s (mk_root b []) with
       | Root (b', []) -> b'
       | _ -> fail "parameter inversion produced a non-variable"
   in
@@ -548,9 +548,9 @@ let solve (st : state) : Meta.msub * Meta.mctx =
     | Meta.MDTerm (_, psi, _) ->
         Meta.MOTerm
           ( remap_hat (Meta.hat_of_sctx psi),
-            Root (MVar (remap i, Shift 0), []) )
+            mk_root (mk_mvar (remap i) (mk_shift 0)) [] )
     | Meta.MDParam (_, psi, _, _) ->
-        Meta.MOParam (remap_hat (Meta.hat_of_sctx psi), PVar (remap i, Shift 0))
+        Meta.MOParam (remap_hat (Meta.hat_of_sctx psi), mk_pvar (remap i) (mk_shift 0))
     | Meta.MDCtx _ ->
         Meta.MOCtx
           {
@@ -559,7 +559,7 @@ let solve (st : state) : Meta.msub * Meta.mctx =
             Ctxs.s_decls = [];
           }
     | Meta.MDSub (_, psi1, _) ->
-        Meta.MOSub (remap_hat (Meta.hat_of_sctx psi1), Shift 0)
+        Meta.MOSub (remap_hat (Meta.hat_of_sctx psi1), mk_shift 0)
   in
   let dummy =
     Meta.MOCtx { Ctxs.s_var = None; Ctxs.s_promoted = false; Ctxs.s_decls = [] }

@@ -62,16 +62,16 @@ let run_tests =
         let env = Check_lfr.make_env sg [] in
         ignore
           (Check_lfr.check_normal env empty_sctx res
-             (SAtom (u.Ulam.aeq, [ t; t ]))));
+             ((mk_satom u.Ulam.aeq ([ t; t ])))));
     ok "running ceq on (e-trans (e-refl id) (e-sym (e-refl id)))" (fun () ->
         let d = Lazy.force dev in
         let u = d.Equal_dev.ulam in
         let sg = u.Ulam.sg in
         let idt = Ulam.id_tm u in
-        let refl = Root (Const u.Ulam.e_refl, [ idt ]) in
-        let sym = Root (Const u.Ulam.e_sym, [ idt; idt; refl ]) in
+        let refl = (mk_root ((mk_const u.Ulam.e_refl)) ([ idt ])) in
+        let sym = (mk_root ((mk_const u.Ulam.e_sym)) ([ idt; idt; refl ])) in
         let dtrans =
-          Root (Const u.Ulam.e_trans, [ idt; idt; idt; refl; sym ])
+          (mk_root ((mk_const u.Ulam.e_trans)) ([ idt; idt; idt; refl; sym ]))
         in
         let call =
           Comp.App
@@ -93,7 +93,7 @@ let run_tests =
         let env = Check_lfr.make_env sg [] in
         ignore
           (Check_lfr.check_normal env empty_sctx res
-             (SAtom (u.Ulam.aeq, [ idt; idt ]))));
+             ((mk_satom u.Ulam.aeq ([ idt; idt ])))));
     ok "running ceq through a binder (e-lam with e-sym under it)" (fun () ->
         let d = Lazy.force dev in
         let u = d.Equal_dev.ulam in
@@ -101,19 +101,13 @@ let run_tests =
         (* deq (lam \x.x) (lam \x.x) via e-lam, whose body uses e-sym on
            the variable's equality assumption: exercises context
            extension, promotion, and the parameter-variable case *)
-        let idf = Lam ("x", Root (BVar 1, [])) in
+        let idf = (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) in
         let body =
           (* λx.λu. e-sym x x u *)
-          Lam
-            ( "x",
-              Lam
-                ( "u",
-                  Root
-                    ( Const u.Ulam.e_sym,
-                      [ Root (BVar 2, []); Root (BVar 2, []);
-                        Root (BVar 1, []) ] ) ) )
+          (mk_lam "x" ((mk_lam "u" ((mk_root ((mk_const u.Ulam.e_sym)) ([ (mk_root ((mk_bvar 2)) []); (mk_root ((mk_bvar 2)) []);
+                        (mk_root ((mk_bvar 1)) []) ]))))))
         in
-        let dlam = Root (Const u.Ulam.e_lam, [ idf; idf; body ]) in
+        let dlam = (mk_root ((mk_const u.Ulam.e_lam)) ([ idf; idf; body ])) in
         let idt = Ulam.id_tm u in
         let call =
           Comp.App
@@ -135,7 +129,7 @@ let run_tests =
         let env = Check_lfr.make_env sg [] in
         ignore
           (Check_lfr.check_normal env empty_sctx res
-             (SAtom (u.Ulam.aeq, [ idt; idt ]))));
+             ((mk_satom u.Ulam.aeq ([ idt; idt ])))));
     ok "running aeq-sym in a non-empty context" (fun () ->
         let d = Lazy.force dev in
         let u = d.Equal_dev.ulam in
@@ -143,8 +137,8 @@ let run_tests =
         (* Ψ = b : xeW; run aeq-sym on [Ψ ⊢ b.2] *)
         let psi1 = Ulam.xa_sctx u 1 in
         let h = Meta.hat_of_sctx psi1 in
-        let b1 = Root (Proj (BVar 1, 1), []) in
-        let b2 = Root (Proj (BVar 1, 2), []) in
+        let b1 = (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) in
+        let b2 = (mk_root ((mk_proj ((mk_bvar 1)) 2)) []) in
         let call =
           Comp.App
             ( mapps
@@ -165,7 +159,7 @@ let run_tests =
         let env = Check_lfr.make_env sg [] in
         ignore
           (Check_lfr.check_normal env psi1 res
-             (SAtom (u.Ulam.aeq, [ b1; b1 ]))));
+             ((mk_satom u.Ulam.aeq ([ b1; b1 ])))));
     fails "ill-sorted bodies are rejected by the comp checker" (fun () ->
         let d = Lazy.force dev in
         let u = d.Equal_dev.ulam in
@@ -173,12 +167,12 @@ let run_tests =
         (* claim [· ⊢ aeq id id] by boxing an e-refl derivation: e-refl
            has no aeq sort, so this must fail *)
         let idt = Ulam.id_tm u in
-        let bad = Root (Const u.Ulam.e_refl, [ idt ]) in
+        let bad = (mk_root ((mk_const u.Ulam.e_refl)) ([ idt ])) in
         let env = Check_comp.make_env sg [] [] in
         Check_comp.check_exp env
           (Comp.Box (Meta.MOTerm (hat_empty, bad)))
           (Comp.CBox
-             (Meta.MSTerm (empty_sctx, SAtom (u.Ulam.aeq, [ idt; idt ])))));
+             (Meta.MSTerm (empty_sctx, (mk_satom u.Ulam.aeq ([ idt; idt ]))))));
     ok "apps helper is exercised" (fun () -> ignore apps);
   ]
 

@@ -23,11 +23,11 @@ let tests =
       (fun () ->
         let c = Lazy.force conv in
         let sg = c.Conventional.sg in
-        let idt = Root (Const c.Conventional.lam, [ Lam ("x", Root (BVar 1, [])) ]) in
-        let refl = Root (Const c.Conventional.de_refl, [ idt ]) in
-        let sym = Root (Const c.Conventional.de_sym, [ idt; idt; refl ]) in
+        let idt = (mk_root ((mk_const c.Conventional.lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) ])) in
+        let refl = (mk_root ((mk_const c.Conventional.de_refl)) ([ idt ])) in
+        let sym = (mk_root ((mk_const c.Conventional.de_sym)) ([ idt; idt; refl ])) in
         let dtrans =
-          Root (Const c.Conventional.de_trans, [ idt; idt; idt; refl; sym ])
+          (mk_root ((mk_const c.Conventional.de_trans)) ([ idt; idt; idt; refl; sym ]))
         in
         let call =
           Comp.App
@@ -49,19 +49,17 @@ let tests =
         let env = Check_lfr.make_env sg [] in
         ignore
           (Check_lfr.check_normal env Ctxs.empty_sctx res
-             (SEmbed (c.Conventional.aeq, [ idt; idt ]))));
+             ((mk_sembed c.Conventional.aeq ([ idt; idt ])))));
     ok "conventional soundness runs (not free, unlike the refinement)"
       (fun () ->
         let c = Lazy.force conv in
         let sg = c.Conventional.sg in
-        let idt = Root (Const c.Conventional.lam, [ Lam ("x", Root (BVar 1, [])) ]) in
+        let idt = (mk_root ((mk_const c.Conventional.lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) ])) in
         (* an aeq derivation: ae-lam with the variable case *)
-        let idf = Lam ("x", Root (BVar 1, [])) in
+        let idf = (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) in
         let d =
-          Root
-            ( Const c.Conventional.ae_lam,
-              [ idf; idf;
-                Lam ("x", Lam ("u", Lam ("v", Root (BVar 2, [])))) ] )
+          (mk_root ((mk_const c.Conventional.ae_lam)) ([ idf; idf;
+                (mk_lam "x" ((mk_lam "u" ((mk_lam "v" ((mk_root ((mk_bvar 2)) []))))))) ]))
         in
         let call =
           Comp.App
@@ -83,7 +81,7 @@ let tests =
         let env = Check_lfr.make_env sg [] in
         ignore
           (Check_lfr.check_normal env Ctxs.empty_sctx res
-             (SEmbed (c.Conventional.deq, [ idt; idt ]))));
+             ((mk_sembed c.Conventional.deq ([ idt; idt ])))));
   ]
 
 let suites = [ ("conventional", tests) ]

@@ -162,8 +162,8 @@ let resource_tests =
         with_max_depth 500 (fun () ->
             let open Belr_syntax.Lf in
             (* [self/x](x x) where self = λx. x x: diverges *)
-            let self = Lam ("x", Root (BVar 1, [ Root (BVar 1, []) ])) in
-            let body = Root (BVar 1, [ Root (BVar 1, []) ]) in
+            let self = (mk_lam "x" ((mk_root ((mk_bvar 1)) ([ (mk_root ((mk_bvar 1)) []) ])))) in
+            let body = (mk_root ((mk_bvar 1)) ([ (mk_root ((mk_bvar 1)) []) ])) in
             match Belr_lf.Hsub.inst_normal body self with
             | _ -> Alcotest.fail "expected Limit_exceeded"
             | exception Limits.Limit_exceeded ("hereditary substitution", _)

@@ -14,7 +14,7 @@ let check_tm = Alcotest.testable (Pp.pp_normal (Pp.env ())) Equal.normal
 
 let check_ty = Alcotest.testable (Pp.pp_typ (Pp.env ())) Equal.typ
 
-let v i : normal = Root (BVar i, [])
+let v i : normal = (mk_root ((mk_bvar i)) [])
 
 let fails name thunk =
   Alcotest.test_case name `Quick (fun () ->
@@ -32,57 +32,55 @@ let hsub_tests =
   [
     ok "paper example: [(λy.y)/x](x z) = z" (fun () ->
         (* context [x : nat -> nat]; substitute the identity *)
-        let m = Root (BVar 1, [ Fixtures.zero f ]) in
-        let s = Dot (Obj (Lam ("y", v 1)), Shift 0) in
+        let m = (mk_root ((mk_bvar 1)) ([ Fixtures.zero f ])) in
+        let s = (mk_dot (Obj ((mk_lam "y" (v 1)))) ((mk_shift 0))) in
         Alcotest.check check_tm "reduced" (Fixtures.zero f)
           (Hsub.sub_normal s m));
     ok "identity substitution is a no-op" (fun () ->
         let m = Fixtures.succ f (Fixtures.succ f (Fixtures.zero f)) in
-        Alcotest.check check_tm "id" m (Hsub.sub_normal (Shift 0) m));
+        Alcotest.check check_tm "id" m (Hsub.sub_normal ((mk_shift 0)) m));
     ok "shift moves free variables" (fun () ->
-        let m = Root (Const f.Fixtures.s, [ v 1 ]) in
+        let m = (mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])) in
         Alcotest.check check_tm "shifted"
-          (Root (Const f.Fixtures.s, [ v 3 ]))
-          (Hsub.sub_normal (Shift 2) m));
+          ((mk_root ((mk_const f.Fixtures.s)) ([ v 3 ])))
+          (Hsub.sub_normal ((mk_shift 2)) m));
     ok "nested β-reduction under binder" (fun () ->
         (* [λy. s y / g] (λw. g w)  =  λw. s w *)
-        let m = Lam ("w", Root (BVar 2, [ v 1 ])) in
+        let m = (mk_lam "w" ((mk_root ((mk_bvar 2)) ([ v 1 ])))) in
         let s =
-          Dot (Obj (Lam ("y", Root (Const f.Fixtures.s, [ v 1 ]))), Shift 0)
+          (mk_dot (Obj ((mk_lam "y" ((mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])))))) ((mk_shift 0)))
         in
         Alcotest.check check_tm "reduced"
-          (Lam ("w", Root (Const f.Fixtures.s, [ v 1 ])))
+          ((mk_lam "w" ((mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])))))
           (Hsub.sub_normal s m));
     ok "tuple front resolves projection" (fun () ->
         (* [⟨z, s z⟩ / b] (b.2) = s z *)
-        let m = Root (Proj (BVar 1, 2), []) in
+        let m = (mk_root ((mk_proj ((mk_bvar 1)) 2)) []) in
         let s =
-          Dot
-            ( Tup [ Fixtures.zero f; Fixtures.succ f (Fixtures.zero f) ],
-              Shift 0 )
+          (mk_dot (Tup [ Fixtures.zero f; Fixtures.succ f (Fixtures.zero f) ]) ((mk_shift 0)))
         in
         Alcotest.check check_tm "projected"
           (Fixtures.succ f (Fixtures.zero f))
           (Hsub.sub_normal s m));
     ok "composition law on sample terms" (fun () ->
-        let m = Root (Const f.Fixtures.s, [ Root (BVar 1, [ v 2 ]) ]) in
-        let s1 = Dot (Obj (Lam ("y", Root (Const f.Fixtures.s, [ v 1 ]))), Shift 0) in
-        let s2 = Dot (Obj (Fixtures.zero f), Empty) in
+        let m = (mk_root ((mk_const f.Fixtures.s)) ([ (mk_root ((mk_bvar 1)) ([ v 2 ])) ])) in
+        let s1 = (mk_dot (Obj ((mk_lam "y" ((mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])))))) ((mk_shift 0))) in
+        let s2 = (mk_dot (Obj (Fixtures.zero f)) mk_empty) in
         let lhs = Hsub.sub_normal (Hsub.comp s1 s2) m in
         let rhs = Hsub.sub_normal s2 (Hsub.sub_normal s1 m) in
         Alcotest.check check_tm "comp" rhs lhs);
     ok "MVar under substitution delays composition" (fun () ->
-        let m = Root (MVar (1, Shift 0), []) in
-        match Hsub.sub_normal (Shift 3) m with
+        let m = (mk_root ((mk_mvar 1 ((mk_shift 0)))) []) in
+        match Hsub.sub_normal ((mk_shift 3)) m with
         | Root (MVar (1, Shift 3), []) -> ()
         | m' ->
             Alcotest.failf "unexpected %a" (Pp.pp_normal (Pp.env ())) m');
     fails "projection of non-tuple substitution entry fails" (fun () ->
-        let m = Root (Proj (BVar 1, 1), []) in
-        let s = Dot (Obj (Fixtures.succ f (Fixtures.zero f)), Shift 0) in
+        let m = (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) in
+        let s = (mk_dot (Obj (Fixtures.succ f (Fixtures.zero f))) ((mk_shift 0))) in
         Hsub.sub_normal s m);
     fails "variable under Empty substitution fails" (fun () ->
-        Hsub.sub_normal Empty (v 1));
+        Hsub.sub_normal mk_empty (v 1));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -94,26 +92,23 @@ let eta_tests =
         Alcotest.check check_tm "atom" (v 3)
           (Eta.expand_var_typ (Fixtures.nat_t f) 3));
     ok "functional η-expansion" (fun () ->
-        let t = Pi ("x", Fixtures.nat_t f, Fixtures.nat_t f) in
+        let t = (mk_pi "x" (Fixtures.nat_t f) (Fixtures.nat_t f)) in
         Alcotest.check check_tm "fn"
-          (Lam ("x", Root (BVar 3, [ v 1 ])))
+          ((mk_lam "x" ((mk_root ((mk_bvar 3)) ([ v 1 ])))))
           (Eta.expand_var_typ t 2));
     ok "second-order η-expansion" (fun () ->
         (* y : (nat -> nat) -> nat *)
         let t =
-          Pi
-            ( "g",
-              Pi ("x", Fixtures.nat_t f, Fixtures.nat_t f),
-              Fixtures.nat_t f )
+          (mk_pi "g" ((mk_pi "x" (Fixtures.nat_t f) (Fixtures.nat_t f))) (Fixtures.nat_t f))
         in
         Alcotest.check check_tm "fn2"
-          (Lam ("g", Root (BVar 2, [ Lam ("x", Root (BVar 2, [ v 1 ])) ])))
+          ((mk_lam "g" ((mk_root ((mk_bvar 2)) ([ (mk_lam "x" ((mk_root ((mk_bvar 2)) ([ v 1 ])))) ])))))
           (Eta.expand_var_typ t 1));
     ok "is_eta_of recognizes expansion" (fun () ->
         let t = Eta.Aarr (Eta.Aatom, Eta.Aatom) in
         Alcotest.(check bool)
           "yes" true
-          (Eta.is_eta_of t (BVar 5) (Lam ("x", Root (BVar 6, [ v 1 ])))));
+          (Eta.is_eta_of t ((mk_bvar 5)) ((mk_lam "x" ((mk_root ((mk_bvar 6)) ([ v 1 ])))))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -147,39 +142,39 @@ let typing_tests =
     ok "e-refl applied: deq (lam \\x.x) (lam \\x.x)" (fun () ->
         let idt = Fixtures.id_tm f in
         Check_lf.check_normal env Ctxs.empty_ctx
-          (Root (Const f.Fixtures.e_refl, [ idt ]))
-          (Atom (f.Fixtures.deq, [ idt; idt ])));
+          ((mk_root ((mk_const f.Fixtures.e_refl)) ([ idt ])))
+          ((mk_atom f.Fixtures.deq ([ idt; idt ]))));
     ok "infer e-refl spine" (fun () ->
         let idt = Fixtures.id_tm f in
         let a =
           Check_lf.infer_neutral env Ctxs.empty_ctx
-            (Root (Const f.Fixtures.e_refl, [ idt ]))
+            ((mk_root ((mk_const f.Fixtures.e_refl)) ([ idt ])))
         in
         Alcotest.check check_ty "deq id id"
-          (Atom (f.Fixtures.deq, [ idt; idt ]))
+          ((mk_atom f.Fixtures.deq ([ idt; idt ])))
           a);
     fails "z : tm fails" (fun () ->
         Check_lf.check_normal env Ctxs.empty_ctx (Fixtures.zero f)
           (Fixtures.tm_t f));
     fails "under-applied constant is not η-long" (fun () ->
         Check_lf.check_normal env Ctxs.empty_ctx
-          (Root (Const f.Fixtures.s, []))
-          (Pi ("x", Fixtures.nat_t f, Fixtures.nat_t f)));
+          ((mk_root ((mk_const f.Fixtures.s)) []))
+          ((mk_pi "x" (Fixtures.nat_t f) (Fixtures.nat_t f))));
     fails "over-applied constant fails" (fun () ->
         Check_lf.check_normal env Ctxs.empty_ctx
-          (Root (Const f.Fixtures.z, [ Fixtures.zero f ]))
+          ((mk_root ((mk_const f.Fixtures.z)) ([ Fixtures.zero f ])))
           (Fixtures.nat_t f));
     fails "unbound variable fails" (fun () ->
         Check_lf.check_normal env (nat_ctx 1) (v 2) (Fixtures.nat_t f));
     ok "deq is a well-formed type family applied" (fun () ->
         Check_lf.check_typ env Ctxs.empty_ctx
-          (Atom (f.Fixtures.deq, [ Fixtures.id_tm f; Fixtures.id_tm f ])));
+          ((mk_atom f.Fixtures.deq ([ Fixtures.id_tm f; Fixtures.id_tm f ]))));
     fails "deq applied to nat arguments fails" (fun () ->
         Check_lf.check_typ env Ctxs.empty_ctx
-          (Atom (f.Fixtures.deq, [ Fixtures.zero f; Fixtures.zero f ])));
+          ((mk_atom f.Fixtures.deq ([ Fixtures.zero f; Fixtures.zero f ]))));
     fails "deq under-applied fails" (fun () ->
         Check_lf.check_typ env Ctxs.empty_ctx
-          (Atom (f.Fixtures.deq, [ Fixtures.id_tm f ])));
+          ((mk_atom f.Fixtures.deq ([ Fixtures.id_tm f ]))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -192,20 +187,20 @@ let block_tests =
         Alcotest.check check_ty "tm" (Fixtures.tm_t f)
           (Ctxops.typ_of_proj g2 1 1));
     ok "projection .2 of a block has type deq b.1 b.1" (fun () ->
-        let b1 = Root (Proj (BVar 1, 1), []) in
+        let b1 = (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) in
         Alcotest.check check_ty "deq"
-          (Atom (f.Fixtures.deq, [ b1; b1 ]))
+          ((mk_atom f.Fixtures.deq ([ b1; b1 ])))
           (Ctxops.typ_of_proj g2 1 2));
     ok "outer block projections are shifted" (fun () ->
-        let b1 = Root (Proj (BVar 2, 1), []) in
+        let b1 = (mk_root ((mk_proj ((mk_bvar 2)) 1)) []) in
         Alcotest.check check_ty "deq"
-          (Atom (f.Fixtures.deq, [ b1; b1 ]))
+          ((mk_atom f.Fixtures.deq ([ b1; b1 ])))
           (Ctxops.typ_of_proj g2 2 2));
     ok "neutral projection checks" (fun () ->
-        let b1 = Root (Proj (BVar 1, 1), []) in
+        let b1 = (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) in
         Check_lf.check_normal env g2
-          (Root (Proj (BVar 1, 2), []))
-          (Atom (f.Fixtures.deq, [ b1; b1 ])));
+          ((mk_root ((mk_proj ((mk_bvar 1)) 2)) []))
+          ((mk_atom f.Fixtures.deq ([ b1; b1 ]))));
     ok "context with blocks is well-formed" (fun () ->
         Check_lf.check_ctx env g2);
     ok "context checks against schema xdG" (fun () ->
@@ -241,35 +236,35 @@ let sub_tests =
   let g2 = Fixtures.xd_ctx f 2 in
   [
     ok "identity substitution checks" (fun () ->
-        Check_lf.check_sub env g2 (Shift 0) g2);
+        Check_lf.check_sub env g2 ((mk_shift 0)) g2);
     ok "weakening by one block checks" (fun () ->
-        Check_lf.check_sub env g2 (Shift 1) (Fixtures.xd_ctx f 1));
+        Check_lf.check_sub env g2 ((mk_shift 1)) (Fixtures.xd_ctx f 1));
     ok "empty substitution into any context" (fun () ->
-        Check_lf.check_sub env g2 Empty Ctxs.empty_ctx);
+        Check_lf.check_sub env g2 mk_empty Ctxs.empty_ctx);
     ok "tuple substitution for a block variable" (fun () ->
         (* σ = (shift 1, ⟨b.1, b.2⟩) : (b:xeW) → Γ₂, mapping the inner
            block of the domain to the outer block of Γ₂ *)
-        let t = Tup [ Root (Proj (BVar 1, 1), []); Root (Proj (BVar 1, 2), []) ] in
+        let t = Tup [ (mk_root ((mk_proj ((mk_bvar 1)) 1)) []); (mk_root ((mk_proj ((mk_bvar 1)) 2)) []) ] in
         Check_lf.check_sub env g2
-          (Dot (t, Shift 2))
+          ((mk_dot t ((mk_shift 2))))
           (Fixtures.xd_ctx f 1));
     fails "swapped tuple components fail" (fun () ->
-        let t = Tup [ Root (Proj (BVar 1, 2), []); Root (Proj (BVar 1, 1), []) ] in
-        Check_lf.check_sub env g2 (Dot (t, Shift 2)) (Fixtures.xd_ctx f 1));
+        let t = Tup [ (mk_root ((mk_proj ((mk_bvar 1)) 2)) []); (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) ] in
+        Check_lf.check_sub env g2 ((mk_dot t ((mk_shift 2)))) (Fixtures.xd_ctx f 1));
     ok "whole-block renaming checks" (fun () ->
         Check_lf.check_sub env g2
-          (Dot (Obj (Root (BVar 2, [])), Shift 2))
+          ((mk_dot (Obj ((mk_root ((mk_bvar 2)) []))) ((mk_shift 2))))
           (Fixtures.xd_ctx f 1));
     fails "substitution longer than domain fails" (fun () ->
         Check_lf.check_sub env g2
-          (Dot (Obj (Fixtures.zero f), Shift 0))
+          ((mk_dot (Obj (Fixtures.zero f)) ((mk_shift 0))))
           Ctxs.empty_ctx);
     ok "term substitution for an ordinary variable" (fun () ->
         let dom =
           Ctxs.ctx_push Ctxs.empty_ctx (Ctxs.CDecl ("n", Fixtures.nat_t f))
         in
         Check_lf.check_sub env Ctxs.empty_ctx
-          (Dot (Obj (Fixtures.church_nat f 3), Empty))
+          ((mk_dot (Obj (Fixtures.church_nat f 3)) mk_empty))
           dom);
     ok "mvar with checked substitution infers" (fun () ->
         (* Δ = u : (x:nat . nat); infer u[z/x] in the empty context *)
@@ -285,7 +280,7 @@ let sub_tests =
         let env' = Check_lf.make_env f.Fixtures.sg delta in
         let a =
           Check_lf.infer_neutral env' Ctxs.empty_ctx
-            (Root (MVar (1, Dot (Obj (Fixtures.zero f), Empty)), []))
+            ((mk_root ((mk_mvar 1 ((mk_dot (Obj (Fixtures.zero f)) mk_empty)))) []))
         in
         Alcotest.check check_ty "nat" (Fixtures.nat_t f) a);
   ]

@@ -18,7 +18,7 @@ let check_ty = Alcotest.testable (Pp.pp_typ (Pp.env ())) Equal.typ
 
 let check_srt = Alcotest.testable (Pp.pp_srt (Pp.env ())) Equal.srt
 
-let v i : normal = Root (BVar i, [])
+let v i : normal = (mk_root ((mk_bvar i)) [])
 
 let fails name thunk =
   Alcotest.test_case name `Quick (fun () ->
@@ -35,28 +35,23 @@ let id_tm = Fixtures.id_tm f
 
 (* aeq (lam \x.x) (lam \x.x) by e-lam, with the variable case closing it *)
 let d_id =
-  Root
-    ( Const f.Fixtures.e_lam,
-      [ Lam ("x", v 1); Lam ("x", v 1); Lam ("x", Lam ("u", v 1)) ] )
+  (mk_root ((mk_const f.Fixtures.e_lam)) ([ (mk_lam "x" (v 1)); (mk_lam "x" (v 1)); (mk_lam "x" ((mk_lam "u" (v 1)))) ]))
 
-let aeq_id_id = SAtom (f.Fixtures.aeq, [ id_tm; id_tm ])
+let aeq_id_id = (mk_satom f.Fixtures.aeq ([ id_tm; id_tm ]))
 
-let deq_id_id_emb = SEmbed (f.Fixtures.deq, [ id_tm; id_tm ])
+let deq_id_id_emb = (mk_sembed f.Fixtures.deq ([ id_tm; id_tm ]))
 
-let deq_id_id_typ = Atom (f.Fixtures.deq, [ id_tm; id_tm ])
+let deq_id_id_typ = (mk_atom f.Fixtures.deq ([ id_tm; id_tm ]))
 
 (* aeq (app id id) (app id id) via e-app *)
 let app_id = Fixtures.app_tm f id_tm id_tm
 
 let d_app =
-  Root
-    (Const f.Fixtures.e_app, [ id_tm; id_tm; id_tm; id_tm; d_id; d_id ])
+  (mk_root ((mk_const f.Fixtures.e_app)) ([ id_tm; id_tm; id_tm; id_tm; d_id; d_id ]))
 
 (* a deq-only derivation: e-sym id id (e-refl id) *)
 let d_sym =
-  Root
-    ( Const f.Fixtures.e_sym,
-      [ id_tm; id_tm; Root (Const f.Fixtures.e_refl, [ id_tm ]) ] )
+  (mk_root ((mk_const f.Fixtures.e_sym)) ([ id_tm; id_tm; (mk_root ((mk_const f.Fixtures.e_refl)) ([ id_tm ])) ]))
 
 (* ------------------------------------------------------------------ *)
 
@@ -70,23 +65,17 @@ let wf_tests =
         Alcotest.check check_ty "refines" deq_id_id_typ a);
     fails "aeq applied to ill-typed arguments fails" (fun () ->
         Check_lfr.wf_srt env Ctxs.empty_sctx
-          (SAtom (f.Fixtures.aeq, [ Fixtures.zero f; Fixtures.zero f ])));
+          ((mk_satom f.Fixtures.aeq ([ Fixtures.zero f; Fixtures.zero f ]))));
     fails "aeq under-applied fails" (fun () ->
         Check_lfr.wf_srt env Ctxs.empty_sctx
-          (SAtom (f.Fixtures.aeq, [ id_tm ])));
+          ((mk_satom f.Fixtures.aeq ([ id_tm ]))));
     ok "sort-Pi is well-formed and erases to type-Pi" (fun () ->
         let s =
-          SPi
-            ( "x",
-              SEmbed (f.Fixtures.tm, []),
-              SAtom (f.Fixtures.aeq, [ v 1; v 1 ]) )
+          (mk_spi "x" ((mk_sembed f.Fixtures.tm [])) ((mk_satom f.Fixtures.aeq ([ v 1; v 1 ]))))
         in
         let a = Check_lfr.wf_srt env Ctxs.empty_sctx s in
         Alcotest.check check_ty "pi"
-          (Pi
-             ( "x",
-               Atom (f.Fixtures.tm, []),
-               Atom (f.Fixtures.deq, [ v 1; v 1 ]) ))
+          ((mk_pi "x" ((mk_atom f.Fixtures.tm [])) ((mk_atom f.Fixtures.deq ([ v 1; v 1 ])))))
           a);
   ]
 
@@ -101,11 +90,11 @@ let sorting_tests =
     ok "e-app derivation checks at sort aeq" (fun () ->
         ignore
           (Check_lfr.check_normal env Ctxs.empty_sctx d_app
-             (SAtom (f.Fixtures.aeq, [ app_id; app_id ]))));
+             ((mk_satom f.Fixtures.aeq ([ app_id; app_id ])))));
     fails "e-refl derivation is rejected at sort aeq (key refinement)"
       (fun () ->
         Check_lfr.check_normal env Ctxs.empty_sctx
-          (Root (Const f.Fixtures.e_refl, [ id_tm ]))
+          ((mk_root ((mk_const f.Fixtures.e_refl)) ([ id_tm ])))
           aeq_id_id);
     fails "e-sym derivation is rejected at sort aeq" (fun () ->
         Check_lfr.check_normal env Ctxs.empty_sctx d_sym aeq_id_id);
@@ -132,7 +121,7 @@ let sorting_tests =
       (fun () ->
         let a = Check_lfr.check_normal env Ctxs.empty_sctx d_id aeq_id_id in
         Check_lf.check_normal lf_env Ctxs.empty_ctx d_id a;
-        let s_app = SAtom (f.Fixtures.aeq, [ app_id; app_id ]) in
+        let s_app = (mk_satom f.Fixtures.aeq ([ app_id; app_id ])) in
         let a2 = Check_lfr.check_normal env Ctxs.empty_sctx d_app s_app in
         Check_lf.check_normal lf_env Ctxs.empty_ctx d_app a2);
   ]
@@ -143,45 +132,45 @@ let sorting_tests =
 let promo_tests =
   let psi1 = Fixtures.xa_sctx f 1 in
   let psi1_top = Ctxs.promote psi1 in
-  let b1 = Root (Proj (BVar 1, 1), []) in
+  let b1 = (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) in
   [
     ok "b.2 has sort aeq b.1 b.1 in Ψ" (fun () ->
         Alcotest.check check_srt "aeq"
-          (SAtom (f.Fixtures.aeq, [ b1; b1 ]))
+          ((mk_satom f.Fixtures.aeq ([ b1; b1 ])))
           (Sctxops.srt_of_proj f.Fixtures.sg psi1 1 2));
     ok "b.2 has sort ⌊deq b.1 b.1⌋ in Ψ⊤ (promotion)" (fun () ->
         Alcotest.check check_srt "deq"
-          (SEmbed (f.Fixtures.deq, [ b1; b1 ]))
+          ((mk_sembed f.Fixtures.deq ([ b1; b1 ])))
           (Sctxops.srt_of_proj f.Fixtures.sg psi1_top 1 2));
     ok "b.2 checks at aeq b.1 b.1 in Ψ" (fun () ->
         ignore
           (Check_lfr.check_normal env psi1
-             (Root (Proj (BVar 1, 2), []))
-             (SAtom (f.Fixtures.aeq, [ b1; b1 ]))));
+             ((mk_root ((mk_proj ((mk_bvar 1)) 2)) []))
+             ((mk_satom f.Fixtures.aeq ([ b1; b1 ])))));
     ok "b.2 checks at ⌊deq b.1 b.1⌋ in Ψ⊤" (fun () ->
         ignore
           (Check_lfr.check_normal env psi1_top
-             (Root (Proj (BVar 1, 2), []))
-             (SEmbed (f.Fixtures.deq, [ b1; b1 ]))));
+             ((mk_root ((mk_proj ((mk_bvar 1)) 2)) []))
+             ((mk_sembed f.Fixtures.deq ([ b1; b1 ])))));
     ok "b.2 also checks at ⌊deq⌋ in Ψ by subsumption" (fun () ->
         ignore
           (Check_lfr.check_normal env psi1
-             (Root (Proj (BVar 1, 2), []))
-             (SEmbed (f.Fixtures.deq, [ b1; b1 ]))));
+             ((mk_root ((mk_proj ((mk_bvar 1)) 2)) []))
+             ((mk_sembed f.Fixtures.deq ([ b1; b1 ])))));
     fails "b.2 does not check at aeq in Ψ⊤ (promotion loses refinement)"
       (fun () ->
         Check_lfr.check_normal env psi1_top
-          (Root (Proj (BVar 1, 2), []))
-          (SAtom (f.Fixtures.aeq, [ b1; b1 ])));
+          ((mk_root ((mk_proj ((mk_bvar 1)) 2)) []))
+          ((mk_satom f.Fixtures.aeq ([ b1; b1 ]))));
     ok "sort context is well-formed and erases to the xdG context"
       (fun () ->
         let g = Check_lfr.wf_sctx env (Fixtures.xa_sctx f 2) in
         Check_lf.check_ctx lf_env g;
         Check_lf.check_ctx_schema lf_env g f.Fixtures.xdg);
     ok "identity substitution from Ψ into Ψ⊤ is allowed" (fun () ->
-        Check_lfr.check_sub env psi1_top (Shift 0) psi1);
+        Check_lfr.check_sub env psi1_top ((mk_shift 0)) psi1);
     fails "identity substitution from Ψ⊤ into Ψ is rejected" (fun () ->
-        Check_lfr.check_sub env psi1 (Shift 0) psi1_top);
+        Check_lfr.check_sub env psi1 ((mk_shift 0)) psi1_top);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -196,7 +185,7 @@ let schema_tests =
         let bad =
           {
             f.Fixtures.xa_selem with
-            Ctxs.f_block = [ ("x", SEmbed (f.Fixtures.nat, [])) ];
+            Ctxs.f_block = [ ("x", (mk_sembed f.Fixtures.nat [])) ];
           }
         in
         Check_lfr.check_sschema_refines env [ bad ] [ f.Fixtures.xd_elem ]);

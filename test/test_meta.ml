@@ -14,7 +14,7 @@ let sg = f.Fixtures.sg
 
 let check_tm = Alcotest.testable (Pp.pp_normal (Pp.env ())) Equal.normal
 
-let v i : normal = Root (BVar i, [])
+let v i : normal = (mk_root ((mk_bvar i)) [])
 
 let fails name thunk =
   Alcotest.test_case name `Quick (fun () ->
@@ -25,7 +25,7 @@ let fails name thunk =
 
 let ok name thunk = Alcotest.test_case name `Quick thunk
 
-let nat_s = SEmbed (f.Fixtures.nat, [])
+let nat_s = (mk_sembed f.Fixtures.nat [])
 
 (* Ω = u : (x:nat . ⌊nat⌋) *)
 let psi_x_nat =
@@ -41,20 +41,20 @@ let msub_tests =
           Meta.MDot
             ( Meta.MOTerm
                 ( Meta.hat_of_sctx psi_x_nat,
-                  Root (Const f.Fixtures.s, [ v 1 ]) ),
+                  (mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])) ),
               Meta.MShift 0 )
         in
-        let t = Root (MVar (1, Dot (Obj (Fixtures.zero f), Empty)), []) in
+        let t = (mk_root ((mk_mvar 1 ((mk_dot (Obj (Fixtures.zero f)) mk_empty)))) []) in
         Alcotest.check check_tm "s z"
           (Fixtures.succ f (Fixtures.zero f))
           (Msub.normal 0 theta t));
     ok "meta-shift renumbers meta-variables" (fun () ->
-        let t = Root (MVar (1, Shift 0), []) in
+        let t = (mk_root ((mk_mvar 1 ((mk_shift 0)))) []) in
         match Msub.normal 0 (Meta.MShift 2) t with
         | Root (MVar (3, Shift 0), []) -> ()
         | t' -> Alcotest.failf "got %a" (Pp.pp_normal (Pp.env ())) t');
     ok "cutoff protects locally bound meta-variables" (fun () ->
-        let t = Root (MVar (1, Shift 0), []) in
+        let t = (mk_root ((mk_mvar 1 ((mk_shift 0)))) []) in
         Alcotest.check check_tm "unchanged" t (Msub.normal 1 (Meta.MShift 2) t));
     ok "context variable instantiation splices entries" (fun () ->
         (* Ψ = ψ, x : ⌊nat⌋ with ψ := (b : xeW-block) *)
@@ -80,10 +80,10 @@ let msub_tests =
           Meta.MDot
             ( Meta.MOTerm
                 ( Meta.hat_of_sctx psi_x_nat,
-                  Root (Const f.Fixtures.s, [ v 1 ]) ),
+                  (mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])) ),
               Meta.MShift 0 )
         in
-        let t = Root (MVar (1, Shift 0), []) in
+        let t = (mk_root ((mk_mvar 1 ((mk_shift 0)))) []) in
         (* θ1 sends u₁ to u₂; θ2 has a dot for u₁ only, so composite sends
            u₁ ↦ u₂ shifted through θ2's tail *)
         Alcotest.check check_tm "compose"
@@ -102,13 +102,13 @@ let sorting_tests =
     ok "boxed term checks: (x . s x) : (x:nat . nat)" (fun () ->
         Check_meta.check_mobj env
           (Meta.MOTerm
-             (Meta.hat_of_sctx psi_x_nat, Root (Const f.Fixtures.s, [ v 1 ])))
+             (Meta.hat_of_sctx psi_x_nat, (mk_root ((mk_const f.Fixtures.s)) ([ v 1 ]))))
           (Meta.MSTerm (psi_x_nat, nat_s)));
     fails "boxed term with mismatched hat fails" (fun () ->
         Check_meta.check_mobj env
           (Meta.MOTerm
              ( { Meta.hat_var = None; Meta.hat_names = [] },
-               Root (Const f.Fixtures.s, [ v 1 ]) ))
+               (mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])) ))
           (Meta.MSTerm (psi_x_nat, nat_s)));
     ok "context object checks against its refinement schema" (fun () ->
         Check_meta.check_mobj env
@@ -125,13 +125,13 @@ let sorting_tests =
         let psi1 = Fixtures.xa_sctx f 1 in
         let env1 = Check_lfr.make_env sg [] in
         Check_meta.check_mobj env1
-          (Meta.MOParam (Meta.hat_of_sctx psi1, BVar 1))
+          (Meta.MOParam (Meta.hat_of_sctx psi1, (mk_bvar 1)))
           (Meta.MSParam (psi1, f.Fixtures.xa_selem, [])));
     ok "meta-level conservativity: erased objects check at erased types"
       (fun () ->
         let mo =
           Meta.MOTerm
-            (Meta.hat_of_sctx psi_x_nat, Root (Const f.Fixtures.s, [ v 1 ]))
+            (Meta.hat_of_sctx psi_x_nat, (mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])))
         in
         let ms = Meta.MSTerm (psi_x_nat, nat_s) in
         Check_meta.check_mobj env mo ms;
@@ -143,7 +143,7 @@ let sorting_tests =
           Meta.MDot
             ( Meta.MOTerm
                 ( Meta.hat_of_sctx psi_x_nat,
-                  Root (Const f.Fixtures.s, [ v 1 ]) ),
+                  (mk_root ((mk_const f.Fixtures.s)) ([ v 1 ])) ),
               Meta.MShift 0 )
         in
         (* θ : (Ω, u) valid in Ω itself *)

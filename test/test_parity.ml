@@ -31,7 +31,7 @@ let find_s sg n =
 
 let church sg k =
   let z = find_c sg "z" and s = find_c sg "s" in
-  let rec go k = if k = 0 then Root (Const z, []) else Root (Const s, [ go (k - 1) ]) in
+  let rec go k = if k = 0 then (mk_root ((mk_const z)) []) else (mk_root ((mk_const s)) ([ go (k - 1) ])) in
   go k
 
 let tests =
@@ -52,15 +52,15 @@ let tests =
         let env = Check_lfr.make_env sg [] in
         ignore
           (Check_lfr.check_normal env Ctxs.empty_sctx (church sg 4)
-             (SAtom (find_s sg "even", [])));
+             ((mk_satom (find_s sg "even") [])));
         ignore
           (Check_lfr.check_normal env Ctxs.empty_sctx (church sg 3)
-             (SAtom (find_s sg "odd", []))));
+             ((mk_satom (find_s sg "odd") []))));
     fails "3 is not even" (fun () ->
         let sg = Lazy.force psg in
         Check_lfr.check_normal (Check_lfr.make_env sg []) Ctxs.empty_sctx
           (church sg 3)
-          (SAtom (find_s sg "even", [])));
+          ((mk_satom (find_s sg "even") [])));
     ok "half 6 = 3 (runs)" (fun () ->
         let sg = Lazy.force psg in
         let half =
@@ -93,7 +93,7 @@ let tests =
         let env = Check_lfr.make_env sg [] in
         let a =
           Check_lfr.check_normal env Ctxs.empty_sctx (church sg 8)
-            (SAtom (find_s sg "even", []))
+            ((mk_satom (find_s sg "even") []))
         in
         Check_lf.check_normal (Check_lf.make_env sg []) Ctxs.empty_ctx
           (church sg 8) a);

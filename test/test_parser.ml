@@ -131,10 +131,10 @@ let run_tests =
           | _ -> Alcotest.failf "%s not found" name
         in
         let build s lam_c e_refl_c e_sym_c e_trans_c =
-          let idt = Root (Const lam_c, [ Lam ("x", Root (BVar 1, [])) ]) in
-          let refl = Root (Const e_refl_c, [ idt ]) in
-          let sym = Root (Const e_sym_c, [ idt; idt; refl ]) in
-          (idt, Root (Const e_trans_c, [ idt; idt; idt; refl; sym ]), s)
+          let idt = (mk_root ((mk_const lam_c)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) ])) in
+          let refl = (mk_root ((mk_const e_refl_c)) ([ idt ])) in
+          let sym = (mk_root ((mk_const e_sym_c)) ([ idt; idt; refl ])) in
+          (idt, (mk_root ((mk_const e_trans_c)) ([ idt; idt; idt; refl; sym ])), s)
         in
         let find_c s n =
           match Sign.lookup_name s n with
@@ -192,8 +192,8 @@ let run_tests =
           | Some (Sign.Sym_const c) -> c
           | _ -> Alcotest.fail "app not found"
         in
-        let b1 = Root (Proj (BVar 1, 1), []) in
-        let m = Root (Const app_c, [ b1; b1 ]) in
+        let b1 = (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) in
+        let m = (mk_root ((mk_const app_c)) ([ b1; b1 ])) in
         let h = Meta.hat_of_sctx psi1 in
         let call =
           mapps (Comp.RecConst refl)
@@ -211,7 +211,7 @@ let run_tests =
         in
         ignore
           (Check_lfr.check_normal (Check_lfr.make_env sg []) psi1 res
-             (SAtom (aeq_s, [ m; m ]))));
+             ((mk_satom aeq_s ([ m; m ])))));
   ]
 
 let suites =

@@ -34,7 +34,7 @@ let gen_tm : normal QCheck.Gen.t =
               map
                 (fun m ->
                   (* lam \x. (shifted m) — keep it closed *)
-                  Root (Const f.Ulam.lam, [ Lam ("x", Shift.shift_normal 1 0 m) ]))
+                  (mk_root ((mk_const f.Ulam.lam)) ([ (mk_lam "x" (Shift.shift_normal 1 0 m)) ])))
                 (self (n - 1)) );
           ])
 
@@ -48,7 +48,7 @@ let gen_nat_open (nvars : int) : normal QCheck.Gen.t =
           frequency
             [
               (1, return (Ulam.zero f));
-              (2, map (fun i -> Root (BVar (1 + (i mod nvars)), [])) small_nat);
+              (2, map (fun i -> (mk_root ((mk_bvar (1 + (i mod nvars)))) [])) small_nat);
             ]
       else
         frequency
@@ -61,10 +61,8 @@ let gen_nat_open (nvars : int) : normal QCheck.Gen.t =
 let gen_aeq_drv : (normal * srt) QCheck.Gen.t =
   let open QCheck.Gen in
   let d_id =
-    Root
-      ( Const f.Ulam.e_lam,
-        [ Lam ("x", Root (BVar 1, [])); Lam ("x", Root (BVar 1, []));
-          Lam ("x", Lam ("u", Root (BVar 1, []))) ] )
+    (mk_root ((mk_const f.Ulam.e_lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))); (mk_lam "x" ((mk_root ((mk_bvar 1)) [])));
+          (mk_lam "x" ((mk_lam "u" ((mk_root ((mk_bvar 1)) []))))) ]))
   in
   let rec go n =
     if n <= 0 then return (d_id, Ulam.id_tm f)
@@ -76,18 +74,18 @@ let gen_aeq_drv : (normal * srt) QCheck.Gen.t =
             go (n / 2) >>= fun (d1, t1) ->
             go (n / 2) >>= fun (d2, t2) ->
             return
-              ( Root (Const f.Ulam.e_app, [ t1; t1; t2; t2; d1; d2 ]),
+              ( (mk_root ((mk_const f.Ulam.e_app)) ([ t1; t1; t2; t2; d1; d2 ])),
                 Ulam.app_tm f t1 t2 ) );
         ]
   in
-  sized go >>= fun (d, t) -> return (d, SAtom (f.Ulam.aeq, [ t; t ]))
+  sized go >>= fun (d, t) -> return (d, (mk_satom f.Ulam.aeq ([ t; t ])))
 
 (* --- properties --------------------------------------------------------- *)
 
 let prop_id_subst =
   QCheck.Test.make ~count:200 ~name:"[id]m = m"
     (QCheck.make gen_tm)
-    (fun m -> Equal.normal (Hsub.sub_normal (Shift 0) m) m)
+    (fun m -> Equal.normal (Hsub.sub_normal ((mk_shift 0)) m) m)
 
 let prop_comp_subst =
   (* over a 2-variable nat context: [σ2]([σ1]m) = [comp σ1 σ2]m *)
@@ -100,8 +98,8 @@ let prop_comp_subst =
     (fun (m, s1_body, s2_body) ->
       (* σ1 : (x,y) → (z) replaces x by s1_body (over 1 var) and keeps y↦z;
          σ2 : (z) → · replaces z by the closed s2_body *)
-      let s1 = Dot (Obj s1_body, Shift 0) in
-      let s2 = Dot (Obj s2_body, Empty) in
+      let s1 = (mk_dot (Obj s1_body) ((mk_shift 0))) in
+      let s2 = (mk_dot (Obj s2_body) mk_empty) in
       Equal.normal
         (Hsub.sub_normal s2 (Hsub.sub_normal s1 m))
         (Hsub.sub_normal (Hsub.comp s1 s2) m))
@@ -111,8 +109,8 @@ let prop_shift_tower =
     (QCheck.make QCheck.Gen.(triple (gen_nat_open 1) (int_bound 5) (int_bound 5)))
     (fun (m, n1, n2) ->
       Equal.normal
-        (Hsub.sub_normal (Shift n2) (Hsub.sub_normal (Shift n1) m))
-        (Hsub.sub_normal (Shift (n1 + n2)) m))
+        (Hsub.sub_normal ((mk_shift n2)) (Hsub.sub_normal ((mk_shift n1)) m))
+        (Hsub.sub_normal ((mk_shift (n1 + n2))) m))
 
 let prop_conservativity =
   QCheck.Test.make ~count:100
@@ -130,9 +128,9 @@ let prop_refinement_strict =
     ~name:"refinement strictness: e-refl wrecks sorting but not typing"
     (QCheck.make gen_tm)
     (fun t ->
-      let d = Root (Const f.Ulam.e_refl, [ t ]) in
-      let s = SAtom (f.Ulam.aeq, [ t; t ]) in
-      let a = Atom (f.Ulam.deq, [ t; t ]) in
+      let d = (mk_root ((mk_const f.Ulam.e_refl)) ([ t ])) in
+      let s = (mk_satom f.Ulam.aeq ([ t; t ])) in
+      let a = (mk_atom f.Ulam.deq ([ t; t ])) in
       Check_lf.check_normal lf_env Ctxs.empty_ctx d a;
       match Check_lfr.check_normal lfr_env Ctxs.empty_sctx d s with
       | _ -> false
@@ -142,7 +140,7 @@ let prop_embedding_erasure =
   QCheck.Test.make ~count:200 ~name:"erase ∘ embed = id on types"
     (QCheck.make gen_tm)
     (fun t ->
-      let a = Atom (f.Ulam.deq, [ t; t ]) in
+      let a = (mk_atom f.Ulam.deq ([ t; t ])) in
       Equal.typ (Erase.srt sg (Embed.typ a)) a)
 
 let prop_erase_commutes_subst =
@@ -152,12 +150,12 @@ let prop_erase_commutes_subst =
     (fun (body, arg) ->
       (* a sort with a dependency: aeq-style over nat spines is ill-kinded,
          so use a Π-sort over ⌊nat⌋ with a dependent spine *)
-      let s = SEmbed (f.Ulam.nat, [ body ]) in
+      let s = (mk_sembed f.Ulam.nat ([ body ])) in
       ignore s;
       (* commutes on the spine itself *)
-      let s1 = Hsub.sub_srt (Dot (Obj arg, Empty)) (SEmbed (f.Ulam.nat, [ body ])) in
+      let s1 = Hsub.sub_srt ((mk_dot (Obj arg) mk_empty)) ((mk_sembed f.Ulam.nat ([ body ]))) in
       let a1 =
-        Hsub.sub_typ (Dot (Obj arg, Empty)) (Atom (f.Ulam.nat, [ body ]))
+        Hsub.sub_typ ((mk_dot (Obj arg) mk_empty)) ((mk_atom f.Ulam.nat ([ body ])))
       in
       Equal.typ (Erase.srt sg s1) a1)
 
@@ -166,13 +164,13 @@ let prop_unify_ground =
     (QCheck.make gen_tm)
     (fun t ->
       let omega =
-        [ Meta.MDTerm ("M", Ctxs.empty_sctx, SEmbed (f.Ulam.tm, [])) ]
+        [ Meta.MDTerm ("M", Ctxs.empty_sctx, (mk_sembed f.Ulam.tm [])) ]
       in
       let st = Unify.make ~sg ~omega ~flex:(fun _ -> true) in
-      Unify.unify_normal st (Root (MVar (1, Shift 0), [])) t;
+      Unify.unify_normal st ((mk_root ((mk_mvar 1 ((mk_shift 0)))) [])) t;
       let rho, omega' = Unify.solve st in
       omega' = []
-      && Equal.normal (Belr_meta.Msub.normal 0 rho (Root (MVar (1, Shift 0), []))) t)
+      && Equal.normal (Belr_meta.Msub.normal 0 rho ((mk_root ((mk_mvar 1 ((mk_shift 0)))) []))) t)
 
 let prop_eta_wellformed =
   QCheck.Test.make ~count:100 ~name:"η-expansion checks at its type"
@@ -180,8 +178,8 @@ let prop_eta_wellformed =
     (fun n ->
       (* x : tm → … → tm (n arrows); η-expand and check *)
       let rec ty k =
-        if k = 0 then Atom (f.Ulam.tm, [])
-        else Pi ("x", Atom (f.Ulam.tm, []), ty (k - 1))
+        if k = 0 then (mk_atom f.Ulam.tm [])
+        else (mk_pi "x" ((mk_atom f.Ulam.tm [])) (ty (k - 1)))
       in
       let a = ty n in
       let g = Ctxs.ctx_push Ctxs.empty_ctx (Ctxs.CDecl ("h", a)) in

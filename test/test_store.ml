@@ -1,0 +1,275 @@
+(** The hash-consed term store (PR 4, DESIGN.md §S21): interning
+    invariants (identical builds are physically equal; physical equality
+    implies deep [Equal]), agreement of the memoized and unmemoized
+    hereditary substitution (property-level and over the shipped
+    examples), the always-on kernel counters, and the Shift-vs-
+    Dot-expansion regression at context boundaries. *)
+
+open Belr_support
+open Belr_syntax
+open Belr_lf
+open Belr_kits
+open Lf
+
+let test name f = Alcotest.test_case name `Quick f
+
+let f = Ulam.make ()
+
+(** Run [k] with the store disabled, restoring the mode afterwards. *)
+let without_store k =
+  set_store_enabled false;
+  Fun.protect ~finally:(fun () -> set_store_enabled true) k
+
+(* --- generators (over the §2 signature, as in test_props) --------------- *)
+
+(** Random closed λ-terms (tm). *)
+let gen_tm : normal QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then return (Ulam.id_tm f)
+         else
+           frequency
+             [
+               (1, return (Ulam.id_tm f));
+               (2, map2 (Ulam.app_tm f) (self (n / 2)) (self (n / 2)));
+               ( 1,
+                 map
+                   (fun m ->
+                     mk_root (mk_const f.Ulam.lam)
+                       [ mk_lam "x" (Shift.shift_normal 1 0 m) ])
+                   (self (n - 1)) );
+             ])
+
+(** Random terms over a context of [n] nat-variables. *)
+let gen_nat_open (nvars : int) : normal QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self sz ->
+         if sz <= 0 then
+           if nvars = 0 then return (Ulam.zero f)
+           else
+             frequency
+               [
+                 (1, return (Ulam.zero f));
+                 ( 2,
+                   map
+                     (fun i -> mk_root (mk_bvar (1 + (i mod nvars))) [])
+                     small_nat );
+               ]
+         else frequency [ (1, map (Ulam.succ f) (self (sz - 1))); (1, self 0) ])
+
+(* --- rebuilding through the smart constructors --------------------------- *)
+
+(** Rebuild a term node by node through the [mk_*] constructors, keeping
+    binder names.  With the store on, the result must be the same
+    physical node (interning is deterministic and total). *)
+let rec rebuild_normal (m : normal) : normal =
+  match m with
+  | Lam (x, b) -> mk_lam x (rebuild_normal b)
+  | Root (h, sp) -> mk_root (rebuild_head h) (List.map rebuild_normal sp)
+
+and rebuild_head (h : head) : head =
+  match h with
+  | Const c -> mk_const c
+  | BVar i -> mk_bvar i
+  | PVar (p, s) -> mk_pvar p (rebuild_sub s)
+  | MVar (u, s) -> mk_mvar u (rebuild_sub s)
+  | Proj (b, k) -> mk_proj (rebuild_head b) k
+
+and rebuild_sub (s : sub) : sub =
+  match s with
+  | Empty -> mk_empty
+  | Shift n -> mk_shift n
+  | Dot (fr, s') ->
+      let fr' =
+        match fr with
+        | Obj m -> Obj (rebuild_normal m)
+        | Tup t -> Tup (List.map rebuild_normal t)
+        | Undef -> Undef
+      in
+      mk_dot fr' (rebuild_sub s')
+
+(* --- interning properties ------------------------------------------------ *)
+
+let prop_intern_phys =
+  QCheck.Test.make ~count:200
+    ~name:"interning is canonical: rebuilding a term yields the same node"
+    (QCheck.make gen_tm)
+    (fun m -> rebuild_normal m == m)
+
+let prop_phys_implies_deep =
+  QCheck.Test.make ~count:200
+    ~name:"phys-eq implies deep Equal (and the fast path agrees with it)"
+    (QCheck.make (QCheck.Gen.pair gen_tm gen_tm))
+    (fun (m1, m2) ->
+      (* the rebuilt copy is phys-eq and must be deep-equal *)
+      Equal.deep_normal m1 (rebuild_normal m1)
+      (* on arbitrary pairs the phys-shortcut equality and the pure
+         structural spec always agree *)
+      && Equal.normal m1 m2 = Equal.deep_normal m1 m2)
+
+let prop_uninterned_copy_equal =
+  QCheck.Test.make ~count:200
+    ~name:"a store-off copy is deep-equal but physically fresh"
+    (QCheck.make gen_tm)
+    (fun m ->
+      let copy = without_store (fun () -> rebuild_normal m) in
+      Equal.deep_normal m copy
+      && Equal.normal m copy
+      && ((not (copy == m)) || match m with Root (_, []) -> true | _ -> false))
+
+(* --- substitution: memoized vs unmemoized -------------------------------- *)
+
+let prop_memo_agrees =
+  (* the same substitution applied with the store (mfi skips + memo) and
+     without (plain traversal) gives deep-equal results *)
+  let gen = QCheck.Gen.(pair (gen_nat_open 2) (gen_nat_open 1)) in
+  QCheck.Test.make ~count:200
+    ~name:"memoized and unmemoized hereditary substitution agree"
+    (QCheck.make gen)
+    (fun (m, body) ->
+      let s = mk_dot (Obj body) (mk_shift 0) in
+      let r_on = Hsub.sub_normal s m in
+      let r_off =
+        without_store (fun () ->
+            let m' = rebuild_normal m in
+            let s' = mk_dot (Obj (rebuild_normal body)) (mk_shift 0) in
+            Hsub.sub_normal s' m')
+      in
+      Equal.deep_normal r_on r_off)
+
+let prop_dot_collapse_semantics =
+  (* the mk_dot normalization (↑ⁿ for its η-expansion) is semantics-
+     preserving: substituting with the expanded spelling behaves exactly
+     like the shift it denotes *)
+  let gen = QCheck.Gen.(pair (gen_nat_open 2) (int_bound 3)) in
+  QCheck.Test.make ~count:200
+    ~name:"sub normalization is semantics-preserving under Hsub"
+    (QCheck.make gen)
+    (fun (m, n) ->
+      let expanded = mk_dot (Obj (bvar (n + 1))) (mk_shift (n + 1)) in
+      Equal.deep_normal
+        (Hsub.sub_normal expanded m)
+        (Hsub.sub_normal (mk_shift n) m))
+
+(* --- shipped examples in both modes -------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_src src =
+  let sink = Diagnostics.sink () in
+  let _sg = Belr_parser.Driver.check_sources sink [ ("test.bel", src) ] in
+  Diagnostics.exit_code sink
+
+let example_tests =
+  let both_modes name path =
+    test (name ^ " checks identically with the store on and off") (fun () ->
+        let src = read_file path in
+        Alcotest.(check int) "store on" 0 (check_src src);
+        Alcotest.(check int) "store off" 0
+          (without_store (fun () -> check_src src)))
+  in
+  [
+    both_modes "examples/quickstart.blr" "../examples/quickstart.blr";
+    both_modes "examples/equal.bel" "../examples/equal.bel";
+  ]
+
+(* --- Shift vs Dot-expansion at context boundaries (the PR 4 bugfix) ------ *)
+
+let boundary_tests =
+  [
+    test "the Dot-expanded identity equals the identity" (fun () ->
+        (* the original bug: crossing a context boundary spells id as
+           (1 . ↑¹), which must be equal to ↑⁰ *)
+        let expanded = mk_dot (Obj (bvar 1)) (mk_shift 1) in
+        Alcotest.(check bool) "Equal.sub" true (Equal.sub expanded (mk_shift 0));
+        Alcotest.(check bool) "deep_sub" true
+          (Equal.deep_sub expanded (mk_shift 0)));
+    test "↑ⁿ equals its Dot-expansion (n+1 . ↑ⁿ⁺¹) for every n" (fun () ->
+        List.iter
+          (fun n ->
+            let expanded = mk_dot (Obj (bvar (n + 1))) (mk_shift (n + 1)) in
+            Alcotest.(check bool)
+              (Fmt.str "shift %d" n)
+              true
+              (Equal.sub expanded (mk_shift n)
+              && Equal.deep_sub expanded (mk_shift n)))
+          [ 0; 1; 2; 5; 11 ]);
+    test "the expanded spelling substitutes like the shift" (fun () ->
+        List.iter
+          (fun n ->
+            let expanded = mk_dot (Obj (bvar (n + 1))) (mk_shift (n + 1)) in
+            List.iter
+              (fun i ->
+                Alcotest.(check bool)
+                  (Fmt.str "[(%d+1 . ↑%d+2)]%d" n n i)
+                  true
+                  (Equal.normal
+                     (Hsub.sub_normal expanded (bvar i))
+                     (bvar (i + n))))
+              [ 1; 2; 3; 7 ])
+          [ 0; 1; 3 ]);
+    test "a genuinely non-shift sub stays distinct from every shift" (fun () ->
+        (* (2 . ↑²) IS ↑¹ and collapses at construction; (3 . ↑¹) is not
+           the expansion of any shift and must stay distinct *)
+        Alcotest.(check bool) "(2 . ↑²) collapses" true
+          (Equal.sub (mk_dot (Obj (bvar 2)) (mk_shift 2)) (mk_shift 1));
+        let s = mk_dot (Obj (bvar 3)) (mk_shift 1) in
+        Alcotest.(check bool) "≠ ↑⁰" false (Equal.sub s (mk_shift 0));
+        Alcotest.(check bool) "≠ ↑¹" false (Equal.sub s (mk_shift 1));
+        Alcotest.(check bool) "≠ ↑²" false (Equal.sub s (mk_shift 2));
+        (* dot1 ↑⁰ short-circuits to the identity *)
+        Alcotest.(check bool) "dot1 id = id" true
+          (Equal.sub (Hsub.dot1 (mk_shift 0)) (mk_shift 0)));
+  ]
+
+(* --- always-on counters --------------------------------------------------- *)
+
+let counter_tests =
+  [
+    test "store stats: dedup ratio ≥ 1 and live ≤ interned" (fun () ->
+        (* force some construction traffic first *)
+        for i = 1 to 50 do
+          ignore (Ulam.app_tm f (Ulam.id_tm f) (bvar i))
+        done;
+        let st = store_stats () in
+        Alcotest.(check bool) "interned > 0" true (st.st_interned > 0);
+        Alcotest.(check bool) "live ≤ interned" true
+          (st.st_live <= st.st_interned);
+        Alcotest.(check bool) "dedup ratio ≥ 1" true (dedup_ratio () >= 1.0));
+    test "repeating a substitution hits the memo" (fun () ->
+        let m = Ulam.succ f (Ulam.succ f (bvar 1)) in
+        let s = mk_dot (Obj (Ulam.zero f)) (mk_shift 0) in
+        let r1 = Hsub.sub_normal s m in
+        let before = Hsub.memo_stats () in
+        let r2 = Hsub.sub_normal s m in
+        let after = Hsub.memo_stats () in
+        Alcotest.(check bool) "same node" true (r1 == r2);
+        Alcotest.(check bool) "hit counted" true
+          (after.Hsub.ms_hits > before.Hsub.ms_hits));
+    test "equality counts its phys-eq shortcuts" (fun () ->
+        let m = Ulam.app_tm f (Ulam.id_tm f) (Ulam.id_tm f) in
+        let before = (Equal.phys_stats ()).Equal.ps_hits in
+        Alcotest.(check bool) "equal" true (Equal.normal m (rebuild_normal m));
+        let after = (Equal.phys_stats ()).Equal.ps_hits in
+        Alcotest.(check bool) "hit counted" true (after > before));
+  ]
+
+let suites =
+  [
+    ( "store",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_intern_phys;
+          prop_phys_implies_deep;
+          prop_uninterned_copy_equal;
+          prop_memo_agrees;
+          prop_dot_collapse_semantics;
+        ]
+      @ example_tests @ boundary_tests @ counter_tests );
+  ]

@@ -296,7 +296,7 @@ let renderer_tests =
             let open Belr_syntax.Lf in
             ignore
               (Belr_lf.Eta.expand_var_typ
-                 (Pi ("x", Atom (0, []), Atom (0, [])))
+                 ((mk_pi "x" ((mk_atom 0 [])) ((mk_atom 0 []))))
                  1);
             match List.assoc_opt "eta-expansion" (Limits.peaks ()) with
             | Some peak -> Alcotest.(check bool) "peak >= 1" true (peak >= 1)

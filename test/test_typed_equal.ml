@@ -36,9 +36,9 @@ let tests =
           | Some (Belr_parser.Elab.Wsort f) -> f
           | _ -> Alcotest.fail "xeW not found"
         in
-        let i = Root (Const (find_c sg "i"), []) in
+        let i = (mk_root ((mk_const (find_c sg "i"))) []) in
         let arr =
-          Root (Const (find_c sg "arr"), [ i; i ])
+          (mk_root ((mk_const (find_c sg "arr"))) ([ i; i ]))
         in
         let psi =
           Ctxs.sctx_push
@@ -69,7 +69,7 @@ let tests =
           | Some (Belr_parser.Elab.Wsort f) -> f
           | _ -> Alcotest.fail "xeW not found"
         in
-        let i = Root (Const (find_c sg "i"), []) in
+        let i = (mk_root ((mk_const (find_c sg "i"))) []) in
         let psi =
           Ctxs.sctx_push Ctxs.empty_sctx (Ctxs.SCBlock ("b", xeW, [ i ]))
         in
@@ -79,8 +79,8 @@ let tests =
           | _ -> Alcotest.fail "aeq-sym not found"
         in
         let h = Meta.hat_of_sctx psi in
-        let b1 = Root (Proj (BVar 1, 1), []) in
-        let b2 = Root (Proj (BVar 1, 2), []) in
+        let b1 = (mk_root ((mk_proj ((mk_bvar 1)) 1)) []) in
+        let b2 = (mk_root ((mk_proj ((mk_bvar 1)) 2)) []) in
         let mapps f args =
           List.fold_left (fun e a -> Comp.MApp (e, a)) f args
         in
@@ -107,7 +107,7 @@ let tests =
         in
         ignore
           (Check_lfr.check_normal (Check_lfr.make_env sg []) psi res
-             (SAtom (aeq, [ b1; b1; Shift.shift_normal 1 0 i ]))));
+             ((mk_satom aeq ([ b1; b1; Shift.shift_normal 1 0 i ])))));
     ok "typed aeq-sym is guarded and covered" (fun () ->
         let sg = Lazy.force tsg in
         let sym =

@@ -13,7 +13,7 @@ let sg = f.Fixtures.sg
 
 let check_tm = Alcotest.testable (Pp.pp_normal (Pp.env ())) Equal.normal
 
-let v i : normal = Root (BVar i, [])
+let v i : normal = (mk_root ((mk_bvar i)) [])
 
 let fails name thunk =
   Alcotest.test_case name `Quick (fun () ->
@@ -23,7 +23,7 @@ let fails name thunk =
 
 let ok name thunk = Alcotest.test_case name `Quick thunk
 
-let tm_s = SEmbed (f.Fixtures.tm, [])
+let tm_s = (mk_sembed f.Fixtures.tm [])
 
 (* In a declaration stored at meta-index [i], the context variable ψ is
    referenced by its distance from that declaration (indices are relative
@@ -46,9 +46,9 @@ let omega_ceq : Meta.mctx =
     Meta.MDCtx ("psi", f.Fixtures.xag);
   ]
 
-let mvar i : normal = Root (MVar (i, Shift 0), [])
+let mvar i : normal = (mk_root ((mk_mvar i ((mk_shift 0)))) [])
 
-let lam_of i : normal = Root (Const f.Fixtures.lam, [ Lam ("x", mvar i) ])
+let lam_of i : normal = (mk_root ((mk_const f.Fixtures.lam)) ([ (mk_lam "x" (mvar i)) ]))
 
 let all_flex _ = true
 
@@ -72,8 +72,8 @@ let unify_tests =
     ok "the ceq e-lam case: both M and N solved consistently" (fun () ->
         let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
         (* deq M N ≐ deq (lam M') (lam N') as sorts with subsumption *)
-        let s_scrut = SEmbed (f.Fixtures.deq, [ mvar 4; mvar 3 ]) in
-        let s_pat = SEmbed (f.Fixtures.deq, [ lam_of 2; lam_of 1 ]) in
+        let s_scrut = (mk_sembed f.Fixtures.deq ([ mvar 4; mvar 3 ])) in
+        let s_pat = (mk_sembed f.Fixtures.deq ([ lam_of 2; lam_of 1 ])) in
         Unify.unify_srt st s_pat s_scrut;
         let rho, omega' = Unify.solve st in
         Alcotest.(check int) "3 unsolved" 3 (List.length omega');
@@ -82,27 +82,27 @@ let unify_tests =
         Alcotest.(check bool) "instances agree" true (Equal.srt s' s''));
     ok "subsumption-aware sort unification (aeq ≤ ⌊deq⌋)" (fun () ->
         let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
-        let got = SAtom (f.Fixtures.aeq, [ mvar 4; mvar 4 ]) in
-        let want = SEmbed (f.Fixtures.deq, [ mvar 4; mvar 4 ]) in
+        let got = (mk_satom f.Fixtures.aeq ([ mvar 4; mvar 4 ])) in
+        let want = (mk_sembed f.Fixtures.deq ([ mvar 4; mvar 4 ])) in
         Unify.unify_srt ~leq:true st got want);
     fails "subsumption is rejected without ~leq" (fun () ->
         let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
         Unify.unify_srt st
-          (SAtom (f.Fixtures.aeq, [ mvar 4; mvar 4 ]))
-          (SEmbed (f.Fixtures.deq, [ mvar 4; mvar 4 ])));
+          ((mk_satom f.Fixtures.aeq ([ mvar 4; mvar 4 ])))
+          ((mk_sembed f.Fixtures.deq ([ mvar 4; mvar 4 ]))));
     ok "rigid-rigid success" (fun () ->
         let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
         Unify.unify_normal st (lam_of 2) (lam_of 2));
     fails "rigid-rigid constant clash" (fun () ->
         let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
         Unify.unify_normal st
-          (Root (Const f.Fixtures.lam, [ Lam ("x", v 1) ]))
-          (Root (Const f.Fixtures.app, [ mvar 4; mvar 3 ])));
+          ((mk_root ((mk_const f.Fixtures.lam)) ([ (mk_lam "x" (v 1)) ])))
+          ((mk_root ((mk_const f.Fixtures.app)) ([ mvar 4; mvar 3 ]))));
     fails "occurs check" (fun () ->
         let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
         (* M ≐ app M M *)
         Unify.unify_normal st (mvar 4)
-          (Root (Const f.Fixtures.app, [ mvar 4; mvar 4 ])));
+          ((mk_root ((mk_const f.Fixtures.app)) ([ mvar 4; mvar 4 ]))));
     ok "matching mode: only pattern variables solvable" (fun () ->
         let st = Unify.make ~sg ~omega:omega_ceq ~flex:(pattern_flex 2) in
         (* pattern M'(2) against rigid ground term: M' := lam \x.x,
@@ -125,15 +125,15 @@ let unify_tests =
         in
         let omega = [ Meta.MDTerm ("u", psi_u, tm_s) ] in
         let st = Unify.make ~sg ~omega ~flex:all_flex in
-        let sigma = Dot (Obj (v 2), Shift 3) in
-        let t1 = Root (MVar (1, sigma), []) in
-        let t2 = Root (Const f.Fixtures.app, [ v 2; v 2 ]) in
+        let sigma = (mk_dot (Obj (v 2)) ((mk_shift 3))) in
+        let t1 = (mk_root ((mk_mvar 1 sigma)) []) in
+        let t2 = (mk_root ((mk_const f.Fixtures.app)) ([ v 2; v 2 ])) in
         Unify.unify_normal st t1 t2;
         let rho, _ = Unify.solve st in
         (* read back the solution by applying ρ to u[id] *)
         let sol = Msub.normal 0 rho (mvar 1) in
         Alcotest.check check_tm "app x x"
-          (Root (Const f.Fixtures.app, [ v 1; v 1 ]))
+          ((mk_root ((mk_const f.Fixtures.app)) ([ v 1; v 1 ])))
           sol);
     fails "inversion fails when a variable escapes" (fun () ->
         let psi_u =
@@ -141,10 +141,10 @@ let unify_tests =
         in
         let omega = [ Meta.MDTerm ("u", psi_u, tm_s) ] in
         let st = Unify.make ~sg ~omega ~flex:all_flex in
-        let sigma = Dot (Obj (v 2), Shift 3) in
-        let t1 = Root (MVar (1, sigma), []) in
+        let sigma = (mk_dot (Obj (v 2)) ((mk_shift 3))) in
+        let t1 = (mk_root ((mk_mvar 1 sigma)) []) in
         (* y₁ is not in the image of σ *)
-        let t2 = Root (Const f.Fixtures.app, [ v 1; v 2 ]) in
+        let t2 = (mk_root ((mk_const f.Fixtures.app)) ([ v 1; v 2 ])) in
         Unify.unify_normal st t1 t2);
     ok "parameter variable solving (#b ≐ concrete block)" (fun () ->
         let psi1 = Fixtures.xa_sctx f 1 in
@@ -153,11 +153,11 @@ let unify_tests =
         in
         let st = Unify.make ~sg ~omega ~flex:all_flex in
         Unify.unify_normal st
-          (Root (Proj (PVar (1, Shift 0), 2), []))
-          (Root (Proj (BVar 1, 2), []));
+          ((mk_root ((mk_proj ((mk_pvar 1 ((mk_shift 0)))) 2)) []))
+          ((mk_root ((mk_proj ((mk_bvar 1)) 2)) []));
         let rho, omega' = Unify.solve st in
         Alcotest.(check int) "all solved" 0 (List.length omega');
-        match Msub.normal 0 rho (Root (Proj (PVar (1, Shift 0), 2), [])) with
+        match Msub.normal 0 rho ((mk_root ((mk_proj ((mk_pvar 1 ((mk_shift 0)))) 2)) [])) with
         | Root (Proj (BVar 1, 2), []) -> ()
         | t -> Alcotest.failf "unexpected %a" (Pp.pp_normal (Pp.env ())) t);
     fails "parameter projections with different indices clash" (fun () ->
@@ -165,8 +165,8 @@ let unify_tests =
         let omega = [ Meta.MDParam ("b", psi1, f.Fixtures.xa_selem, []) ] in
         let st = Unify.make ~sg ~omega ~flex:all_flex in
         Unify.unify_normal st
-          (Root (Proj (PVar (1, Shift 0), 2), []))
-          (Root (Proj (BVar 1, 1), [])));
+          ((mk_root ((mk_proj ((mk_pvar 1 ((mk_shift 0)))) 2)) []))
+          ((mk_root ((mk_proj ((mk_bvar 1)) 1)) [])));
     ok "residual context is topologically ordered" (fun () ->
         let st = Unify.make ~sg ~omega:omega_ceq ~flex:all_flex in
         Unify.unify_normal st (mvar 4) (lam_of 2);

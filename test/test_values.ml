@@ -48,14 +48,14 @@ let tests =
         let sg = Lazy.force vsg in
         let lam = find_c sg "lam" and app = find_c sg "app" in
         let vs = find_s sg "val" in
-        let idt = Root (Const lam, [ Lam ("x", Root (BVar 1, [])) ]) in
+        let idt = (mk_root ((mk_const lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) ])) in
         let env = Check_lfr.make_env sg [] in
-        ignore (Check_lfr.check_normal env Ctxs.empty_sctx idt (SAtom (vs, [])));
+        ignore (Check_lfr.check_normal env Ctxs.empty_sctx idt ((mk_satom vs [])));
         match
           Error.protect (fun () ->
               Check_lfr.check_normal env Ctxs.empty_sctx
-                (Root (Const app, [ idt; idt ]))
-                (SAtom (vs, [])))
+                ((mk_root ((mk_const app)) ([ idt; idt ])))
+                ((mk_satom vs [])))
         with
         | Ok _ -> Alcotest.fail "app should not be a value"
         | Error _ -> ());
@@ -72,14 +72,14 @@ let tests =
         and app = find_c sg "app"
         and ev_lam = find_c sg "ev-lam"
         and ev_app = find_c sg "ev-app" in
-        let idf = Lam ("x", Root (BVar 1, [])) in
-        let idt = Root (Const lam, [ idf ]) in
-        let appt = Root (Const app, [ idt; idt ]) in
+        let idf = (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) in
+        let idt = (mk_root ((mk_const lam)) ([ idf ])) in
+        let appt = (mk_root ((mk_const app)) ([ idt; idt ])) in
         (* eval (app id id) id: D1 = ev-lam, D2 = ev-lam, D3 = ev-lam for
            the body (x[id/x] = id) *)
-        let ev_id = Root (Const ev_lam, [ idf ]) in
+        let ev_id = (mk_root ((mk_const ev_lam)) ([ idf ])) in
         let d =
-          Root (Const ev_app, [ idt; idf; idt; idt; idt; ev_id; ev_id; ev_id ])
+          (mk_root ((mk_const ev_app)) ([ idt; idf; idt; idt; idt; ev_id; ev_id; ev_id ]))
         in
         let env = Check_lfr.make_env sg [] in
         let eval_a =
@@ -89,7 +89,7 @@ let tests =
         in
         ignore
           (Check_lfr.check_normal env Ctxs.empty_sctx d
-             (SEmbed (eval_a, [ appt; idt ])));
+             ((mk_sembed eval_a ([ appt; idt ]))));
         (* conventional: isval V *)
         let rv = find_r sg "result-val" in
         let call1 =
@@ -120,7 +120,7 @@ let tests =
         let evalv = find_s sg "evalv" in
         ignore
           (Check_lfr.check_normal env Ctxs.empty_sctx res
-             (SAtom (evalv, [ appt; idt ]))));
+             ((mk_satom evalv ([ appt; idt ])))));
     ok "the refinement statement is smaller than the predicate one"
       (fun () ->
         let sg = Lazy.force vsg in
@@ -136,11 +136,11 @@ let tests =
         let evalv = find_s sg "evalv" in
         let app = find_c sg "app" in
         let lam = find_c sg "lam" in
-        let idt = Root (Const lam, [ Lam ("x", Root (BVar 1, [])) ]) in
-        let appt = Root (Const app, [ idt; idt ]) in
+        let idt = (mk_root ((mk_const lam)) ([ (mk_lam "x" ((mk_root ((mk_bvar 1)) []))) ])) in
+        let appt = (mk_root ((mk_const app)) ([ idt; idt ])) in
         (* evalv _ (app …): the second index must be a value *)
         Check_lfr.wf_srt (Check_lfr.make_env sg []) Ctxs.empty_sctx
-          (SAtom (evalv, [ idt; appt ])));
+          ((mk_satom evalv ([ idt; appt ]))));
   ]
 
 let suites = [ ("values", tests) ]

@@ -2,10 +2,12 @@
     JSON, and recognized shapes get structural checks — a Chrome trace
     must carry a non-empty [traceEvents] array of complete/metadata
     events, a [belr-profile/1] report its [phases] and [counters]
-    sections, and a [belr-lint/1] report a well-formed [findings] array
-    (code + severity per entry) and a [summary].  Exit 0 iff every file
-    passes; the [@smoke] and [@lint] dune aliases fail the build
-    otherwise. *)
+    sections plus the hash-consing [store] section (DESIGN.md §S21), a
+    [belr-lint/1] report a well-formed [findings] array (code + severity
+    per entry) and a [summary], and a [belr-bench/1] report a non-empty
+    [experiments] object of per-experiment objects.  Exit 0 iff every
+    file passes; the [@smoke], [@lint], and [@bench-json] dune aliases
+    fail the build otherwise. *)
 
 module J = Belr_support.Json
 
@@ -31,12 +33,52 @@ let check_structure (j : J.t) : string option =
       | _ -> Some "\"traceEvents\" is not a non-empty array")
   | None -> (
       match J.member "schema" j with
-      | Some (J.String "belr-profile/1") ->
+      | Some (J.String "belr-profile/1") -> (
           if J.member "phases" j = None then
             Some "profile report lacks \"phases\""
           else if J.member "counters" j = None then
             Some "profile report lacks \"counters\""
-          else None
+          else
+            match J.member "store" j with
+            | Some (J.Obj _ as st) -> (
+                let required =
+                  [
+                    "enabled";
+                    "live";
+                    "interned";
+                    "dedup_hits";
+                    "dedup_ratio";
+                    "memo_hits";
+                    "memo_misses";
+                    "memo_hit_rate";
+                    "mfi_skips";
+                    "equal_phys_hits";
+                    "equal_phys_misses";
+                  ]
+                in
+                match
+                  List.find_opt (fun k -> J.member k st = None) required
+                with
+                | Some k ->
+                    Some
+                      (Printf.sprintf
+                         "profile \"store\" section lacks %S" k)
+                | None -> None)
+            | _ -> Some "profile report lacks its \"store\" object")
+      | Some (J.String "belr-bench/1") -> (
+          if J.member "depths" j = None then
+            Some "bench report lacks \"depths\""
+          else
+            match J.member "experiments" j with
+            | Some (J.Obj (_ :: _ as exps)) ->
+                if
+                  List.exists
+                    (fun (_, v) ->
+                      match v with J.Obj _ -> false | _ -> true)
+                    exps
+                then Some "an experiments entry is not an object"
+                else None
+            | _ -> Some "bench report lacks a non-empty \"experiments\" object")
       | Some (J.String "belr-lint/1") -> (
           match Option.bind (J.member "findings" j) J.to_list with
           | None -> Some "lint report lacks a \"findings\" array"
