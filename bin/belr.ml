@@ -75,6 +75,66 @@ let print_lint_results sg (lr : Belr_analysis.Lint.result) =
     lr.Belr_analysis.Lint.lr_passes;
   Fmt.pr "%a" (Belr_analysis.Subord.pp sg) lr.Belr_analysis.Lint.lr_subord
 
+let term_label (f : Belr_comp.Totality.fn_verdict) =
+  match f.Belr_comp.Totality.fv_term with
+  | Belr_comp.Totality.TTotal -> "terminating"
+  | Belr_comp.Totality.TDiverging _ -> "possibly diverging"
+  | Belr_comp.Totality.TGaveUp -> "termination unknown (budget)"
+  | Belr_comp.Totality.TUnknown -> "termination unknown (analysis failed)"
+
+let print_total_results (tr : Belr_comp.Totality.result) =
+  Fmt.pr "callgraph: %d function(s), %d call site(s), %d SCC(s), %d composed \
+          graph(s)@."
+    (List.length tr.Belr_comp.Totality.tr_fns)
+    tr.Belr_comp.Totality.tr_sites tr.Belr_comp.Totality.tr_sccs
+    tr.Belr_comp.Totality.tr_composed;
+  List.iter
+    (fun (f : Belr_comp.Totality.fn_verdict) ->
+      Fmt.pr "total %s : %s, %s (%d case(s))%s@." f.Belr_comp.Totality.fv_name
+        (term_label f)
+        (if Belr_comp.Totality.covered f then "covered" else "non-exhaustive")
+        f.Belr_comp.Totality.fv_cases
+        (match f.Belr_comp.Totality.fv_group with
+        | [ _ ] -> ""
+        | g -> "  [group: " ^ String.concat ", " g ^ "]"))
+    tr.Belr_comp.Totality.tr_fns
+
+let run_total files verbose json depth budget max_errors max_depth werror
+    stats trace profile kernel_stats =
+  Limits.set_max_depth max_depth;
+  let telemetry = stats || trace <> None || profile <> None in
+  if telemetry then begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  end;
+  let sink = Diagnostics.sink ~max_errors ~werror () in
+  let sg = Belr_parser.Driver.check_files sink files in
+  let tr = Belr_parser.Driver.total ~depth ~budget sink sg in
+  if telemetry then begin
+    Telemetry.set_enabled false;
+    Option.iter (fun f -> write_report sink f (Telemetry.trace_json ())) trace;
+    Option.iter
+      (fun f -> write_report sink f (Telemetry.profile_json ()))
+      profile
+  end;
+  (* written on every exit path: a report full of findings is the point *)
+  Option.iter
+    (fun f ->
+      write_report sink f (Belr_comp.Totality.report_json ~files sink tr))
+    json;
+  Diagnostics.dump Fmt.stderr sink;
+  if stats then Fmt.epr "%a@?" Telemetry.pp_stats ();
+  if kernel_stats then print_kernel_stats ();
+  match Diagnostics.exit_code sink with
+  | 0 ->
+      Fmt.pr "%d file(s) totality-checked: %a.@." (List.length files)
+        Diagnostics.pp_summary sink;
+      if verbose then print_total_results tr;
+      0
+  | code ->
+      Fmt.epr "total failed: %a.@." Diagnostics.pp_summary sink;
+      code
+
 let run_check files verbose total lint max_errors max_depth werror stats
     trace profile kernel_stats =
   Limits.set_max_depth max_depth;
@@ -114,7 +174,7 @@ let run_check files verbose total lint max_errors max_depth werror stats
       Fmt.epr "check failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_lint files verbose json max_errors max_depth werror stats trace
+let run_lint files verbose total json max_errors max_depth werror stats trace
     profile kernel_stats =
   Limits.set_max_depth max_depth;
   let telemetry = stats || trace <> None || profile <> None in
@@ -125,6 +185,7 @@ let run_lint files verbose json max_errors max_depth werror stats trace
   let sink = Diagnostics.sink ~max_errors ~werror () in
   let sg = Belr_parser.Driver.check_files sink files in
   let lr = Belr_parser.Driver.lint sink sg in
+  if total then ignore (Belr_parser.Driver.total sink sg);
   if telemetry then begin
     Telemetry.set_enabled false;
     Option.iter (fun f -> write_report sink f (Telemetry.trace_json ())) trace;
@@ -163,9 +224,37 @@ let total_arg =
     value & flag
     & info [ "total" ]
         ~doc:
-          "also run the optional coverage and structural-termination \
-           analyses (the paper's §6.1 extensions) and report warnings \
-           (codes W0601/W0602) on stderr")
+          "also run the totality analyzer (the paper's §6.1 extensions): \
+           size-change termination over the call graph and depth-bounded \
+           coverage, reported on stderr with stable codes (E0710 \
+           non-terminating cycle, W0711 missing cases, W0712 gave up)")
+
+let total_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "write the machine-readable totality report (schema \
+           belr-total/1: per-function verdicts, call-graph statistics, \
+           every diagnostic with code and location, summary, exit code) \
+           to $(docv)")
+
+let split_depth_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "split-depth" ] ~docv:"N"
+        ~doc:
+          "maximum nesting depth of coverage splitting; deeper patterns \
+           make the analysis give up with W0712 rather than guess")
+
+let sct_budget_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "sct-budget" ] ~docv:"N"
+        ~doc:
+          "maximum number of distinct composed size-change graphs per \
+           recursion component; exceeding it makes the analysis give up \
+           with W0712 rather than loop")
 
 let lint_flag_arg =
   Arg.(
@@ -260,22 +349,43 @@ let check_cmd =
 let lint_cmd =
   let doc =
     "check source files, then run the signature analyses (subordination, \
-     adequacy, dead sorts, unused declarations, shadowing)"
+     adequacy, dead sorts, unused declarations, shadowing); add \
+     $(b,--total) to fold the totality analyzer into the same stream"
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
-      const (fun files v js me md we st tr pr ks ->
-          run_lint files v js me md we st tr pr ks)
-      $ files_arg $ verbose_arg $ lint_json_arg $ max_errors_arg
+      const (fun files v t js me md we st tr pr ks ->
+          run_lint files v t js me md we st tr pr ks)
+      $ files_arg $ verbose_arg $ total_arg $ lint_json_arg $ max_errors_arg
       $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg
       $ kernel_stats_arg)
+
+let total_cmd =
+  let doc =
+    "check source files, then run the totality analyzer: size-change \
+     termination (Lee-Jones-Ben-Amram closure over the call graph, \
+     accepting mutual recursion and lexicographic descent) and \
+     depth-bounded refinement-aware coverage; verdicts carry stable \
+     codes (E0710, W0711, W0712) and $(b,--json) writes the belr-total/1 \
+     report"
+  in
+  Cmd.v
+    (Cmd.info "total" ~doc)
+    Term.(
+      const (fun files v js sd sb me md we st tr pr ks ->
+          run_total files v js sd sb me md we st tr pr ks)
+      $ files_arg $ verbose_arg $ total_json_arg $ split_depth_arg
+      $ sct_budget_arg $ max_errors_arg $ max_depth_arg $ werror_arg
+      $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
 
 let main =
   let doc =
     "a proof environment with contextual refinement types (Gaulin & \
      Pientka reproduction)"
   in
-  Cmd.group (Cmd.info "belr" ~version:"1.0.0" ~doc) [ check_cmd; lint_cmd ]
+  Cmd.group
+    (Cmd.info "belr" ~version:"1.0.0" ~doc)
+    [ check_cmd; lint_cmd; total_cmd ]
 
 let () = exit (Cmd.eval' main)

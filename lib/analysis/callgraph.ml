@@ -1,0 +1,370 @@
+(** Call-graph extraction with per-call-site size-change information —
+    the front half of the totality analyzer (DESIGN.md §S22).
+
+    For every declared [rec] with a checked body we collect each call to
+    a declared [rec] (same group or not) as a {!site} carrying a set of
+    size-change {!edge}s: [(i, Lt, j)] when the [j]-th actual argument of
+    the call is a {e strict} subterm of the caller's [i]-th formal
+    argument, [(i, Le, j)] when it is (an instance of) the formal itself.
+    Argument positions index {e all} argument positions of the declared
+    comp sort, [CPi] and [CArr] alike, in application order — the §2
+    proofs scrutinize computation-level (boxed) hypotheses, so restricting
+    to meta-positions would blind the analysis to every real descent.
+
+    Size information flows through {e origins}: walking a body we know,
+    for each meta- and comp-binder in scope, whether its value is bounded
+    by some formal argument ([Arg (i, rel)]) or unknown ([Opaque]).  The
+    leading [mlam]/[fn] prefix seeds formals at [Le]; a [case] branch
+    composes the scrutinee's origin with the position of each pattern
+    variable inside the branch pattern (at the pattern's head modulo
+    λ-abstraction: [Le]; properly inside: [Lt]); [let box] propagates the
+    origin of variable-like right-hand sides.  Meta-variable occurrences
+    count only under {e variable-like} substitutions (shifts and dots of
+    variables, projections, and tuples thereof — e.g. the §2 calls
+    [M'[.., b.1]]): under an arbitrary substitution the instantiation of
+    [u] need not be a subterm of [u[σ]] once hereditary substitution
+    reduces, so such occurrences yield no edge.
+
+    Everything here is conservative: a missing edge can only make the
+    size-change analysis ({!Belr_comp.Sct}, which consumes this graph)
+    reject a terminating function, never accept a diverging one. *)
+
+open Belr_syntax
+open Belr_lf
+
+(** Size relation of an actual argument to a formal: strictly smaller, or
+    no larger. *)
+type rel = Lt | Le
+
+type edge = { e_src : int; e_rel : rel; e_dst : int }
+
+(** One syntactic call site [caller → callee]. *)
+type site = {
+  cs_caller : Lf.cid_rec;
+  cs_callee : Lf.cid_rec;
+  cs_index : int;  (** ordinal of this site within the caller's body *)
+  cs_edges : edge list;  (** normalized: sorted, strongest relation kept *)
+}
+
+type t = {
+  cg_recs : (Lf.cid_rec * string) list;  (** analyzed functions, by id *)
+  cg_sites : site list;  (** in (caller id, site ordinal) order *)
+}
+
+let rel_compose r1 r2 = if r1 = Lt || r2 = Lt then Lt else Le
+
+(* --- normalized edge sets -------------------------------------------- *)
+
+(** Sort and deduplicate, keeping the strongest relation per (src, dst)
+    pair — [Lt] sorts before [Le] (declaration order), so the first of a
+    run wins. *)
+let normalize_edges (es : edge list) : edge list =
+  let sorted =
+    List.sort
+      (fun a b -> compare (a.e_src, a.e_dst, a.e_rel) (b.e_src, b.e_dst, b.e_rel))
+      es
+  in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when a.e_src = b.e_src && a.e_dst = b.e_dst ->
+        dedup (a :: List.tl rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+(* --- variable-like LF objects ---------------------------------------- *)
+
+(** A substitution is variable-like when it maps variables to (η-expanded
+    applications of) variables, projections, or tuples of such — then
+    [|u[σ]| ≥ |u|] for any instantiation of [u], so subterm relations
+    survive it. *)
+let rec var_like_head : Lf.head -> bool = function
+  | Lf.BVar _ -> true
+  | Lf.Proj (h, _) -> var_like_head h
+  | Lf.PVar (_, s) -> var_like_sub s
+  | Lf.MVar _ | Lf.Const _ -> false
+
+and var_like_normal : Lf.normal -> bool = function
+  | Lf.Lam (_, m) -> var_like_normal m
+  | Lf.Root (h, sp) -> var_like_head h && List.for_all var_like_normal sp
+
+and var_like_front : Lf.front -> bool = function
+  | Lf.Obj m -> var_like_normal m
+  | Lf.Tup ms -> List.for_all var_like_normal ms
+  | Lf.Undef -> false
+
+and var_like_sub : Lf.sub -> bool = function
+  | Lf.Empty -> true
+  | Lf.Shift _ -> true
+  | Lf.Dot (f, s) -> var_like_front f && var_like_sub s
+
+(* --- pattern structure ----------------------------------------------- *)
+
+(** Relate each meta-variable of a branch pattern to the whole pattern:
+    [u ↦ Le] when the pattern {e is} [u] (modulo λ-abstraction,
+    η-expansion, and a variable-like substitution), [u ↦ Lt] when [u]
+    occurs properly inside; [Lt] wins over [Le] on multiple occurrences
+    (matching forces the same value, and the strict occurrence bounds
+    it).  Only [MVar]s count: parameter variables name whole context
+    blocks, which are not subterms of their own projections. *)
+let pattern_rels (pat : Lf.normal) : (int, rel) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  let note u r =
+    match Hashtbl.find_opt tbl u with
+    | Some Lt -> ()
+    | _ -> Hashtbl.replace tbl u r
+  in
+  let rec strict_normal : Lf.normal -> unit = function
+    | Lf.Lam (_, m) -> strict_normal m
+    | Lf.Root (h, sp) ->
+        strict_head h;
+        List.iter strict_normal sp
+  and strict_head : Lf.head -> unit = function
+    | Lf.MVar (u, s) -> if var_like_sub s then note u Lt
+    | Lf.Proj (h, _) -> strict_head h
+    | Lf.BVar _ | Lf.PVar _ | Lf.Const _ -> ()
+  in
+  let rec top : Lf.normal -> unit = function
+    | Lf.Lam (_, m) -> top m
+    | Lf.Root (Lf.MVar (u, s), sp) when var_like_sub s ->
+        (* [λx⃗. u[σ] x⃗]: the pattern is [u] itself (η) *)
+        if List.for_all var_like_normal sp then note u Le
+        else (
+          note u Le;
+          List.iter strict_normal sp)
+    | Lf.Root (h, sp) ->
+        strict_head h;
+        List.iter strict_normal sp
+  in
+  top pat;
+  tbl
+
+(* --- origins ---------------------------------------------------------- *)
+
+(** What a binder's value is known to be bounded by: the caller's formal
+    argument [i] (strictly below it for [Arg (i, Lt)]), or nothing. *)
+type origin = Arg of int * rel | Opaque
+
+type env = {
+  mscope : origin list;  (** meta-binders, innermost first (index 1 = head) *)
+  cscope : origin list;  (** comp-binders, innermost first *)
+}
+
+let lookup scope i =
+  match List.nth_opt scope (i - 1) with Some o -> o | None -> Opaque
+
+(** Origin of a contextual object: an (η- and substitution-moderated)
+    occurrence of a meta-variable in scope, or a bare context variable. *)
+let mobj_origin (env : env) (mo : Meta.mobj) : origin =
+  match mo with
+  | Meta.MOTerm (_, m) -> (
+      let rec strip = function Lf.Lam (_, m) -> strip m | m -> m in
+      match strip m with
+      | Lf.Root (Lf.MVar (u, s), sp)
+        when var_like_sub s && List.for_all var_like_normal sp ->
+          lookup env.mscope u
+      | _ -> Opaque)
+  | Meta.MOCtx psi when psi.Ctxs.s_decls = [] -> (
+      (* a bare context variable (possibly promoted, [ψ^]: same context) *)
+      match psi.Ctxs.s_var with
+      | Some i -> lookup env.mscope i
+      | None -> Opaque)
+  | Meta.MOParam (_, Lf.PVar (p, s)) when var_like_sub s -> lookup env.mscope p
+  | _ -> Opaque
+
+let exp_origin (env : env) (e : Comp.exp) : origin =
+  match e with
+  | Comp.Var i -> lookup env.cscope i
+  | Comp.Box mo -> mobj_origin env mo
+  | _ -> Opaque
+
+(* --- body walk -------------------------------------------------------- *)
+
+type call_arg = CAMeta of Meta.mobj | CAComp of Comp.exp
+
+(** Decompose an application chain into head and arguments in application
+    order. *)
+let rec chain (e : Comp.exp) (acc : call_arg list) : Comp.exp * call_arg list =
+  match e with
+  | Comp.App (e1, Comp.Box mo) -> chain e1 (CAMeta mo :: acc)
+  | Comp.App (e1, a) -> chain e1 (CAComp a :: acc)
+  | Comp.MApp (e1, mo) -> chain e1 (CAMeta mo :: acc)
+  | _ -> (e, acc)
+
+let sites_of_body ~(is_rec : Lf.cid_rec -> bool) ~(arity : Lf.cid_rec -> int)
+    (caller : Lf.cid_rec) (caller_arity : int) (body : Comp.exp) : site list =
+  let sites = ref [] in
+  let n_sites = ref 0 in
+  let record env callee (args : call_arg list) =
+    let edges = ref [] in
+    List.iteri
+      (fun j arg ->
+        if j < arity callee then
+          let o =
+            match arg with
+            | CAMeta mo -> mobj_origin env mo
+            | CAComp e -> exp_origin env e
+          in
+          match o with
+          | Arg (i, r) when i < caller_arity ->
+              edges := { e_src = i; e_rel = r; e_dst = j } :: !edges
+          | _ -> ())
+      args;
+    let idx = !n_sites in
+    incr n_sites;
+    sites :=
+      {
+        cs_caller = caller;
+        cs_callee = callee;
+        cs_index = idx;
+        cs_edges = normalize_edges !edges;
+      }
+      :: !sites
+  in
+  let rec go (env : env) ~(in_chain : bool) (e : Comp.exp) : unit =
+    (match e with
+    | (Comp.App _ | Comp.MApp _) when not in_chain -> (
+        match chain e [] with
+        | Comp.RecConst g, args when is_rec g -> record env g args
+        | _ -> ())
+    | Comp.RecConst g when is_rec g && not in_chain ->
+        (* a bare reference (higher-order use): a possible call about
+           which we know nothing — an edge-free site, so any cycle
+           through it is conservatively rejected *)
+        record env g []
+    | _ -> ());
+    match e with
+    | Comp.Var _ | Comp.RecConst _ | Comp.Box _ -> ()
+    | Comp.Fn (_, _, e) -> go { env with cscope = Opaque :: env.cscope } ~in_chain:false e
+    | Comp.MLam (_, e) -> go { env with mscope = Opaque :: env.mscope } ~in_chain:false e
+    | Comp.App (e1, e2) ->
+        go env ~in_chain:true e1;
+        go env ~in_chain:false e2
+    | Comp.MApp (e1, _) -> go env ~in_chain:true e1
+    | Comp.LetBox (_, e1, e2) ->
+        go env ~in_chain:false e1;
+        let o = exp_origin env e1 in
+        go { env with mscope = o :: env.mscope } ~in_chain:false e2
+    | Comp.Case (_, scrut, brs) ->
+        go env ~in_chain:false scrut;
+        let o = exp_origin env scrut in
+        List.iter
+          (fun (b : Comp.branch) ->
+            let n0 = List.length b.Comp.br_mctx in
+            let rels =
+              match b.Comp.br_pat with
+              | Meta.MOTerm (_, m) -> pattern_rels m
+              | _ -> Hashtbl.create 1
+            in
+            let entry u =
+              match (Hashtbl.find_opt rels u, o) with
+              | Some r, Arg (i, r0) -> Arg (i, rel_compose r0 r)
+              | _ -> Opaque
+            in
+            let env' =
+              { env with mscope = List.init n0 (fun k -> entry (k + 1)) @ env.mscope }
+            in
+            go env' ~in_chain:false b.Comp.br_body)
+          brs
+  in
+  (* seed the formal parameters from the λ-prefix; an argument position
+     whose binder is taken by an inner (non-prefix) abstraction never
+     becomes a formal *)
+  let rec prefix k env e =
+    if k >= caller_arity then go env ~in_chain:false e
+    else
+      match e with
+      | Comp.MLam (_, e') ->
+          prefix (k + 1) { env with mscope = Arg (k, Le) :: env.mscope } e'
+      | Comp.Fn (_, _, e') ->
+          prefix (k + 1) { env with cscope = Arg (k, Le) :: env.cscope } e'
+      | _ -> go env ~in_chain:false e
+  in
+  prefix 0 { mscope = []; cscope = [] } body;
+  List.rev !sites
+
+(* --- whole-signature analysis ----------------------------------------- *)
+
+let analyze (sg : Sign.t) : t =
+  let recs =
+    List.sort compare
+      (List.filter_map
+         (fun (id, (e : Sign.rec_entry)) ->
+           match e.Sign.r_body with Some _ -> Some (id, e) | None -> None)
+         (Sign.all_recs sg))
+  in
+  let arities = Hashtbl.create 16 in
+  List.iter
+    (fun (id, (e : Sign.rec_entry)) ->
+      Hashtbl.replace arities id (Comp.ctyp_arity e.Sign.r_styp))
+    recs;
+  let is_rec id = Hashtbl.mem arities id in
+  let arity id = match Hashtbl.find_opt arities id with Some n -> n | None -> 0 in
+  let sites =
+    List.concat_map
+      (fun (id, (e : Sign.rec_entry)) ->
+        match e.Sign.r_body with
+        | Some body -> sites_of_body ~is_rec ~arity id (arity id) body
+        | None -> [])
+      recs
+  in
+  {
+    cg_recs = List.map (fun (id, (e : Sign.rec_entry)) -> (id, e.Sign.r_name)) recs;
+    cg_sites = sites;
+  }
+
+let sites_of (cg : t) (f : Lf.cid_rec) : site list =
+  List.filter (fun s -> s.cs_caller = f) cg.cg_sites
+
+(* --- strongly connected components ------------------------------------ *)
+
+(** Tarjan's SCC algorithm over the call graph, returned in reverse
+    topological order (callees before callers); each component's members
+    are in ascending id order.  Deterministic for a fixed signature. *)
+let sccs (cg : t) : Lf.cid_rec list list =
+  let nodes = List.map fst cg.cg_recs in
+  let succs = Hashtbl.create 16 in
+  List.iter
+    (fun (s : site) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt succs s.cs_caller) in
+      if not (List.mem s.cs_callee cur) then
+        Hashtbl.replace succs s.cs_caller (s.cs_callee :: cur))
+    cg.cg_sites;
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then (
+          strong w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w)))
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (List.filter
+         (fun w -> List.mem_assoc w cg.cg_recs)
+         (Option.value ~default:[] (Hashtbl.find_opt succs v)));
+    if Hashtbl.find lowlink v = Hashtbl.find index v then
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let comp = pop [] in
+      out := List.sort compare comp :: !out
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) nodes;
+  List.rev !out

@@ -190,6 +190,255 @@ let check (sg : Sign.t) (omega : Meta.mctx) (ms : Meta.msrt)
       | ms -> Uncovered ms)
   | _ -> Covered (* only boxed-term scrutinees are analyzed *)
 
+(* ===== depth-bounded nested splitting ================================== *)
+
+(** The totality analyzer's deep engine (DESIGN.md §S22).  Where {!check}
+    compares pattern {e heads} one level deep — unsound in both
+    directions for nested patterns ([z] + [s z] "covers" [nat]) — this is
+    a Maranget-style usefulness computation: a case is covered iff no
+    value vector is useful (matches no branch), where candidate values
+    are enumerated per hole from the same refinement-aware candidate sets
+    as {!check} (constants of the hole's sort family minus rigid-clash
+    impossibilities, variables and projections licensed by the context's
+    schema) and constant candidates open sub-holes for their argument
+    sorts down to a {e depth bound}.
+
+    Pruning keeps the enumeration honest to refinements: a candidate
+    whose result spine rigidly clashes with the hole's sort is skipped
+    (clashes are stable under substitution, so no instance can match),
+    and a hole whose candidate set is {e empty} is uninhabitable, so any
+    vector through it is impossible.  At the depth bound the analysis
+    gives up ({!DGaveUp}, surfaced as W0712) rather than guess — the
+    bound caps the {e skeleton} depth, so only patterns nested deeper
+    than [depth] constructors are affected. *)
+
+type deep = DCovered | DUncovered of string list | DGaveUp
+
+exception Gave_up
+
+(** A matrix entry: a term pattern, or a wildcard (anything matches). *)
+type pat = PFlex | PTerm of normal
+
+(** Missing-case witness skeletons. *)
+type skel = KWild | KConst of string * skel list | KVar of string
+
+let rec render_skel = function
+  | KWild -> "_"
+  | KVar v -> v
+  | KConst (c, []) -> c
+  | KConst (c, args) ->
+      "(" ^ String.concat " " (c :: List.map render_skel args) ^ ")"
+
+let c_split = Belr_support.Telemetry.counter "total.split_candidates"
+let c_pruned = Belr_support.Telemetry.counter "total.pruned_cases"
+
+(** Witnesses reported per case are truncated at this many — coverage is
+    already decided by the first one. *)
+let max_witnesses = 16
+
+let rec strip_lams = function Lam (_, m) -> strip_lams m | m -> m
+
+let pat_is_flex = function
+  | PFlex -> true
+  | PTerm m -> ( match strip_lams m with Root (MVar _, _) -> true | _ -> false)
+
+let rec split_at n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: tl ->
+        let a, b = split_at (n - 1) tl in
+        (x :: a, b)
+
+(** Projection index of a variable candidate string (the [".k"] suffix
+    convention of {!variable_candidates}). *)
+let proj_index (cand : string) : int option =
+  match String.rindex_opt cand '.' with
+  | Some i ->
+      int_of_string_opt (String.sub cand (i + 1) (String.length cand - i - 1))
+  | None -> None
+
+(** Deep coverage of one case.  [omega] is the ambient meta-context (for
+    schema lookup of context variables); candidates of nested holes are
+    taken relative to the scrutinee's context [psi] — argument holes of
+    first-order constants live in the same context, and the binders of
+    higher-order arguments are handled by head-class matching. *)
+let deep_check ?(depth = 3) (sg : Sign.t) (omega : Meta.mctx)
+    (ms : Meta.msrt) (branches : Comp.branch list) : deep =
+  match ms with
+  | Meta.MSTerm (psi, q0) -> (
+      let rows0 =
+        List.map
+          (fun (b : Comp.branch) ->
+            match b.Comp.br_pat with
+            | Meta.MOTerm (_, m) -> [ PTerm m ]
+            | _ -> [ PFlex ])
+          branches
+      in
+      let const_name c = (Sign.const_entry sg c).Sign.c_name in
+      (* argument sorts of candidate [c] at hole sort [hq] *)
+      let arg_srts c hq =
+        match hq with
+        | SAtom (s_fam, _) -> (
+            match Sign.csort sg ~const:c ~family:s_fam with
+            | Some (s, _) ->
+                let rec doms = function SPi (_, a, b) -> a :: doms b | _ -> [] in
+                doms s
+            | None -> [])
+        | SEmbed _ ->
+            let rec doms = function
+              | Pi (_, a, b) -> Embed.typ a :: doms b
+              | Atom _ -> []
+            in
+            doms (Sign.const_entry sg c).Sign.c_typ
+        | SPi _ -> []
+      in
+      (* [useful holes rows] = all (truncated) value-vector skeletons
+         matching no row; [] means the matrix covers the holes *)
+      let rec useful (holes : (srt * int) list) (rows : pat list list) :
+          skel list list =
+        match holes with
+        | [] -> if rows = [] then [ [] ] else []
+        | (SPi (_, _, b), d) :: rest ->
+            (* λ-abstraction is forced, not a split: strip the binder *)
+            let rows' =
+              List.map
+                (function
+                  | PTerm (Lam (_, m)) :: tl -> PTerm m :: tl
+                  | (p :: tl) when pat_is_flex p -> PFlex :: tl
+                  | row -> row)
+                rows
+            in
+            useful ((b, d) :: rest) rows'
+        | (hq, d) :: rest -> (
+            let q_spine =
+              match hq with SAtom (_, sp) | SEmbed (_, sp) -> sp | SPi _ -> []
+            in
+            let consts =
+              List.filter
+                (fun c ->
+                  match result_spine sg c ~target:hq with
+                  | Some sp when spine_clashes sp q_spine ->
+                      Belr_support.Telemetry.bump c_pruned;
+                      false
+                  | _ -> true)
+                (constant_candidates sg hq)
+            in
+            let vars = variable_candidates sg omega psi hq in
+            Belr_support.Telemetry.add c_split
+              (List.length consts + List.length vars);
+            if consts = [] && vars = [] then (
+              (* uninhabitable hole: no vector passes through it *)
+              Belr_support.Telemetry.bump c_pruned;
+              [])
+            else if
+              not
+                (List.exists
+                   (fun row ->
+                     match row with p :: _ -> not (pat_is_flex p) | [] -> false)
+                   rows)
+            then
+              (* no rigid first pattern: any (existing) value works *)
+              List.map (fun w -> KWild :: w) (useful rest (List.map List.tl rows))
+            else if d <= 0 then
+              if List.exists (List.for_all pat_is_flex) rows then []
+              else raise Gave_up
+            else
+              let missing = ref [] in
+              let push w = if List.length !missing < max_witnesses then missing := w :: !missing in
+              List.iter
+                (fun c ->
+                  let args = arg_srts c hq in
+                  let n = List.length args in
+                  let rows' =
+                    List.filter_map
+                      (fun row ->
+                        match row with
+                        | p :: tl when pat_is_flex p ->
+                            Some (List.init n (fun _ -> PFlex) @ tl)
+                        | PTerm (Root (Const c', sp)) :: tl when c' = c ->
+                            if List.length sp = n then
+                              Some (List.map (fun a -> PTerm a) sp @ tl)
+                            else Some (List.init n (fun _ -> PFlex) @ tl)
+                        | _ -> None)
+                      rows
+                  in
+                  let holes' = List.map (fun a -> (a, d - 1)) args @ rest in
+                  List.iter
+                    (fun w ->
+                      let wa, wrest = split_at n w in
+                      push (KConst (const_name c, wa) :: wrest))
+                    (useful holes' rows'))
+                consts;
+              List.iter
+                (fun cand ->
+                  let k = proj_index cand in
+                  let rows' =
+                    List.filter_map
+                      (fun row ->
+                        match row with
+                        | p :: tl when pat_is_flex p -> Some tl
+                        | PTerm m :: tl -> (
+                            match strip_lams m with
+                            | Root (Proj (_, k'), _) ->
+                                if k = Some k' then Some tl else None
+                            | Root ((BVar _ | PVar _), _) -> Some tl
+                            | _ -> None)
+                        | _ -> None)
+                      rows
+                  in
+                  List.iter (fun w -> push (KVar cand :: w)) (useful rest rows'))
+                vars;
+              List.rev !missing)
+      in
+      match useful [ (q0, depth) ] rows0 with
+      | [] -> DCovered
+      | ws ->
+          DUncovered
+            (List.filter_map
+               (function [ w ] -> Some (render_skel w) | _ -> None)
+               ws)
+      | exception Gave_up -> DGaveUp)
+  | _ -> DCovered (* only boxed-term scrutinees are analyzed *)
+
+(** Deep-coverage-check a declared function: one verdict per [case]
+    expression in its body, in traversal order. *)
+let deep_check_rec ?(depth = 3) (sg : Sign.t) (id : cid_rec) : deep list =
+  match (Sign.rec_entry sg id).Sign.r_body with
+  | None -> []
+  | Some body ->
+      let rec prefix omega (t : Comp.ctyp) (e : Comp.exp) =
+        match (t, e) with
+        | Comp.CPi (x, _, ms, t'), Comp.MLam (_, e') ->
+            prefix (Check_comp.mdecl_of_msrt x ms :: omega) t' e'
+        | Comp.CArr (_, t'), Comp.Fn (_, _, e') -> prefix omega t' e'
+        | _, _ ->
+            let out = ref [] in
+            let rec walk omega (e : Comp.exp) =
+              match e with
+              | Comp.Var _ | Comp.RecConst _ | Comp.Box _ -> ()
+              | Comp.Fn (_, _, e) | Comp.MLam (_, e) | Comp.MApp (e, _) ->
+                  walk omega e
+              | Comp.App (a, b) ->
+                  walk omega a;
+                  walk omega b
+              | Comp.LetBox (_, a, b) ->
+                  walk omega a;
+                  walk omega b
+              | Comp.Case (inv, scrut, brs) ->
+                  walk omega scrut;
+                  List.iter
+                    (fun (b : Comp.branch) ->
+                      walk (b.Comp.br_mctx @ omega) b.Comp.br_body)
+                    brs;
+                  out := deep_check ~depth sg omega inv.Comp.inv_msrt brs :: !out
+            in
+            walk omega e;
+            List.rev !out
+      in
+      prefix [] (Sign.rec_entry sg id).Sign.r_styp body
+
 (** Coverage-check a declared function. *)
 let check_rec (sg : Sign.t) (id : cid_rec) : (string list * int) list =
   match (Sign.rec_entry sg id).Sign.r_body with

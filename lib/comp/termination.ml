@@ -5,22 +5,32 @@
 
     A Beluga proof is a total function; the paper leaves termination
     checking out of its formal system and so does our checker proper.
-    This optional analysis accepts a function when every {e self}-call is
-    {e guarded}: at least one of its boxed arguments is headed by a
-    pattern variable — a meta-variable bound by an enclosing [case]
-    branch, hence a strict subterm of something matched.  Calls to
-    previously defined functions (lemmas) are ignored; mutual recursion
-    is not analyzed (declare the functions separately, as the paper's
-    examples do).
+    This optional analysis accepts a function when every {e recursive}
+    call — a call to any member of its [rec … and …;] group, including
+    itself — is {e guarded}: at least one of its boxed arguments is
+    headed by a pattern variable — a meta-variable bound by an enclosing
+    [case] branch, hence a strict subterm of something matched.  Calls to
+    previously defined functions (lemmas) are ignored.
 
     This validates all developments in this repository (the §2 proofs,
     the conventional baseline, [half], [strengthen]) and rejects the
-    obvious cycles ([rec loop = fn d => loop d]). *)
+    obvious cycles ([rec loop = fn d => loop d]).  It remains
+    deliberately weaker than {!Sct}: it has no notion of {e which}
+    argument decreases, so argument-swapping mutual recursion and
+    lexicographic orders are rejected (or worse, a diverging swap
+    accepted) — the size-change analysis subsumes it. *)
 
 open Belr_syntax
 open Belr_lf
 
 type verdict = Guarded | Issues of string list
+
+(** One argument position of a recursive call, in application order.
+    Every position is recorded — a call [f e [X]] contributes
+    [[AComp e; AMeta X]] — so analyses over argument {e positions}
+    (size-change graphs) see computation-level arguments too, instead of
+    silently dropping them. *)
+type call_arg = AMeta of Meta.mobj | AComp of Comp.exp
 
 (** During the walk we track, innermost first, whether each meta-binder in
     scope was bound by a case branch (a pattern variable). *)
@@ -41,38 +51,58 @@ let mobj_pattern_headed (scope : scope) (mo : Meta.mobj) : bool =
       | None -> false)
   | _ -> false
 
-(** Collect the arguments of an application chain headed by [RecConst f];
-    returns [None] when the head is something else. *)
-let rec call_args (f : Lf.cid_rec) (e : Comp.exp) (acc : Meta.mobj list) :
-    Meta.mobj list option =
+(** Collect the arguments of an application chain whose head is a
+    [RecConst] satisfying [in_group]; returns [None] when the head is
+    something else.  All argument positions are kept, in application
+    order: meta-applications and boxed computation arguments as [AMeta],
+    any other computation-level argument as [AComp]. *)
+let rec call_args (in_group : Lf.cid_rec -> bool) (e : Comp.exp)
+    (acc : call_arg list) : call_arg list option =
   match e with
-  | Comp.RecConst g when g = f -> Some acc
-  | Comp.App (e1, Comp.Box mo) -> call_args f e1 (mo :: acc)
-  | Comp.App (e1, _) -> call_args f e1 acc
-  | Comp.MApp (e1, mo) -> call_args f e1 (mo :: acc)
+  | Comp.RecConst g when in_group g -> Some acc
+  | Comp.App (e1, Comp.Box mo) -> call_args in_group e1 (AMeta mo :: acc)
+  | Comp.App (e1, a) -> call_args in_group e1 (AComp a :: acc)
+  | Comp.MApp (e1, mo) -> call_args in_group e1 (AMeta mo :: acc)
   | _ -> None
 
 let check_body (sg : Sign.t) (f : Lf.cid_rec) (body : Comp.exp) : verdict =
   let issues = ref [] in
-  let name = (Sign.rec_entry sg f).Sign.r_name in
+  let group = Sign.rec_group sg f in
+  let in_group g = List.mem g group in
+  let callee_name g = (Sign.rec_entry sg g).Sign.r_name in
+  let arg_guarded scope = function
+    | AMeta mo -> mobj_pattern_headed scope mo
+    | AComp _ -> false
+  in
   (* [in_chain] marks that the parent node already belongs to an
      application chain whose head will be analyzed at its outermost node *)
   let rec go (scope : scope) ~(in_chain : bool) (e : Comp.exp) : unit =
     (match e with
     | (Comp.App _ | Comp.MApp _) when not in_chain -> (
-        match call_args f e [] with
+        match call_args in_group e [] with
         | Some args ->
-            if not (List.exists (mobj_pattern_headed scope) args) then
+            if not (List.exists (arg_guarded scope) args) then
+              let rec head = function
+                | Comp.App (e1, _) | Comp.MApp (e1, _) -> head e1
+                | e -> e
+              in
+              let callee =
+                match head e with
+                | Comp.RecConst g -> callee_name g
+                | _ -> callee_name f
+              in
               issues :=
                 Fmt.str
                   "a recursive call to %s passes no boxed argument headed by \
                    a pattern variable"
-                  name
+                  callee
                 :: !issues
         | None -> ())
-    | Comp.RecConst g when g = f && not in_chain ->
+    | Comp.RecConst g when in_group g && not in_chain ->
         issues :=
-          Fmt.str "%s refers to itself without applying it" name :: !issues
+          Fmt.str "%s refers to %s without applying it" (callee_name f)
+            (callee_name g)
+          :: !issues
     | _ -> ());
     match e with
     | Comp.Var _ | Comp.RecConst _ | Comp.Box _ -> ()

@@ -153,6 +153,14 @@ and synth_exp (e : env) (f : Comp.exp) : Comp.ctyp =
       | t ->
           Error.raise_msg "meta-application of a non-Π function of sort %a"
             (pp_ctyp e) t)
+  | Comp.Box (Meta.MOTerm ({ Meta.hat_var = None; Meta.hat_names = [] }, m)) ->
+      (* a closed boxed neutral synthesizes its principal sort, so
+         [let \[K\] = \[ |- M\] in …] needs no annotation *)
+      let psi =
+        { Ctxs.s_var = None; Ctxs.s_promoted = false; Ctxs.s_decls = [] }
+      in
+      let s, _ = Check_lfr.synth_neutral (lfr_env e) psi m in
+      Comp.CBox (Meta.MSTerm (psi, s))
   | Comp.Box _ | Comp.Fn _ | Comp.MLam _ | Comp.LetBox _ | Comp.Case _ ->
       Error.raise_msg
         "cannot synthesize a sort for this expression; add an annotation"

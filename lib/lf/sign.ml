@@ -62,6 +62,10 @@ type rec_entry = {
   r_typ : Comp.ctyp_t;  (** its erasure τ (conservativity output) *)
   mutable r_body : Comp.exp option;
       (** filled after the body is checked, enabling recursion *)
+  mutable r_group : Lf.cid_rec list;
+      (** the mutual-recursion group this function was declared in
+          ([rec f … and g …;]), in declaration order; [[]] until recorded
+          (read it through {!rec_group}, which defaults to the singleton) *)
 }
 
 type sym =
@@ -208,7 +212,8 @@ let add_sschema sg ~name ~refines ~elems : Lf.cid_sschema =
 
 let add_rec sg ~name ~styp ~typ : Lf.cid_rec =
   let id = next sg in
-  Hashtbl.replace sg.recs id { r_name = name; r_styp = styp; r_typ = typ; r_body = None };
+  Hashtbl.replace sg.recs id
+    { r_name = name; r_styp = styp; r_typ = typ; r_body = None; r_group = [] };
   bind_name sg name (Sym_rec id);
   id
 
@@ -216,6 +221,23 @@ let set_rec_body sg id body =
   match Hashtbl.find_opt sg.recs id with
   | Some e -> e.r_body <- Some body
   | None -> Error.violation "set_rec_body: unknown function"
+
+(** Record that [ids] (in declaration order) form one [rec … and …;]
+    group; every member gets the full list. *)
+let set_rec_group sg (ids : Lf.cid_rec list) =
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt sg.recs id with
+      | Some e -> e.r_group <- ids
+      | None -> Error.violation "set_rec_group: unknown function")
+    ids
+
+(** The mutual-recursion group of [id], defaulting to the singleton for
+    functions declared alone (or predating group tracking). *)
+let rec_group sg (id : Lf.cid_rec) : Lf.cid_rec list =
+  match Hashtbl.find_opt sg.recs id with
+  | Some { r_group = _ :: _ as g; _ } -> g
+  | _ -> [ id ]
 
 (* --- lookup ---------------------------------------------------------- *)
 

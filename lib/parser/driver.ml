@@ -70,36 +70,24 @@ let lint (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
         Belr_analysis.Lint.lr_subord = Belr_analysis.Subord.analyze sg;
       }
 
-(** The optional [--total] analyses (the paper's §6.1 future work):
-    coverage and structural termination, reported as [W0601]/[W0602]
-    warnings through the sink — never on stdout, so they cannot corrupt
-    the machine-readable summary.  Each function is analyzed under
-    recovery: an analysis crash is a reported bug, not a lost run. *)
-let analyze (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) : unit =
-  Telemetry.with_span "analyze" @@ fun () ->
+(** The totality analyses behind [belr total] and [check --total] (the
+    paper's §6.1 future work): size-change termination and deep coverage
+    over the whole signature, reported through the {e same} sink as
+    checking — E0710 errors and W0711/W0712 warnings via the diagnostics
+    registry, never on stdout, so they cannot corrupt the
+    machine-readable summary.  Every SCC and every function is analyzed
+    under recovery: an analysis crash on a partially checked signature is
+    a reported bug, not a lost run. *)
+let total ?depth ?budget (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
+    Belr_comp.Totality.result =
+  let result = ref None in
   Diagnostics.with_stop sink (fun () ->
-      List.iter
-        (fun (id, (r : Belr_lf.Sign.rec_entry)) ->
-          ignore
-            (Diagnostics.recover sink ~code:"E0201" (fun () ->
-                 (match Belr_comp.Coverage.check_rec sg id with
-                 | [] -> ()
-                 | issues ->
-                     List.iter
-                       (fun (missing, _) ->
-                         Diagnostics.emit sink
-                           (Diagnostics.make ~code:"W0601" Diagnostics.Warning
-                              "%s has a non-exhaustive match (missing %s)"
-                              r.Belr_lf.Sign.r_name
-                              (String.concat ", " missing)))
-                       issues);
-                 match Belr_comp.Termination.check_rec sg id with
-                 | Belr_comp.Termination.Guarded -> ()
-                 | Belr_comp.Termination.Issues is ->
-                     List.iter
-                       (fun m ->
-                         Diagnostics.emit sink
-                           (Diagnostics.make ~code:"W0602" Diagnostics.Warning
-                              "%s" m))
-                       is)))
-        (List.sort compare (Belr_lf.Sign.all_recs sg)))
+      result := Some (Belr_comp.Totality.run ?depth ?budget sink sg));
+  match !result with
+  | Some r -> r
+  | None -> Belr_comp.Totality.empty_result
+
+(** Back-compatible alias: the [--total] flag of [belr check] runs the
+    full totality analyzer for its diagnostics only. *)
+let analyze (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) : unit =
+  ignore (total sink sg)

@@ -785,6 +785,18 @@ and elab_csynth e (x : Ext.cexp) : Comp.exp * Comp.ctyp =
           (Comp.MApp (f', mo), Msub.ctyp 0 (Msub.inst1 mo) t)
       | Comp.CArr (t1, t2) -> (Comp.App (f', elab_cexp e a t1), t2)
       | _ -> err loc "application of a non-function")
+  | Ext.EBox (loc, ctx, t) ->
+      (* a closed boxed neutral synthesizes its principal sort, so it can
+         be bound directly: [let \[K\] = \[ |- M\] in …].  Open boxes stay
+         checking-only — the kernel re-synthesizes from the erased context
+         and only the empty one determines the variables' sorts. *)
+      let mo, ms = synth_box e ctx t in
+      (match ms with
+      | Meta.MSTerm (psi, _)
+        when psi.Ctxs.s_var = None && psi.Ctxs.s_decls = [] ->
+          ()
+      | _ -> err loc "only a closed box synthesizes a sort here");
+      (Comp.Box mo, Comp.CBox ms)
   | _ -> err (cexp_loc x) "cannot synthesize a sort for this expression"
 
 (** A meta-object argument checked against its expected contextual sort. *)

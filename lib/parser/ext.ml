@@ -104,7 +104,12 @@ type decl =
       s_refines : string option;
       s_worlds : world list;
     }
-  | Drec of { r_loc : Loc.t; r_name : string; r_sort : csort; r_body : cexp }
+  | Drec of rec_def list
+      (** [rec f : ζ = e;] — the list has one element per member of a
+          [rec … and …;] mutual-recursion group (usually a singleton);
+          all headers are declared before any body is processed *)
+
+and rec_def = { r_loc : Loc.t; r_name : string; r_sort : csort; r_body : cexp }
 
 type program = decl list
 
@@ -115,7 +120,8 @@ let decl_loc : decl -> Loc.t = function
   | Dmutual (d :: _) -> d.d_loc
   | Dmutual [] -> Loc.ghost
   | Dschema { s_loc; _ } -> s_loc
-  | Drec { r_loc; _ } -> r_loc
+  | Drec (d :: _) -> d.r_loc
+  | Drec [] -> Loc.ghost
 
 let typ_decl_names (d : typ_decl) : string list =
   (* a refinement's "constructors" name existing constants of the refined
@@ -132,4 +138,4 @@ let declared_names : decl -> string list = function
   | Dtyp d -> typ_decl_names d
   | Dmutual ds -> List.concat_map typ_decl_names ds
   | Dschema { s_name; _ } -> [ s_name; s_name ^ "^" ]
-  | Drec { r_name; _ } -> [ r_name ]
+  | Drec ds -> List.map (fun d -> d.r_name) ds

@@ -537,15 +537,23 @@ let parse_decl st : Ext.decl option =
            { s_loc = loc; s_name = name; s_refines = refines;
              s_worlds = List.rev !worlds })
   | KW_REC ->
-      let loc = cur_loc st in
       advance st;
-      let name = expect_ident st in
-      expect st COLON;
-      let sort = parse_csort st in
-      expect st EQUAL;
-      let body = parse_cexp st in
+      let parse_def () =
+        let loc = cur_loc st in
+        let name = expect_ident st in
+        expect st COLON;
+        let sort = parse_csort st in
+        expect st EQUAL;
+        let body = parse_cexp st in
+        { Ext.r_loc = loc; r_name = name; r_sort = sort; r_body = body }
+      in
+      let defs = ref [ parse_def () ] in
+      while cur_tok st = KW_AND do
+        advance st;
+        defs := parse_def () :: !defs
+      done;
       expect st SEMI;
-      Some (Ext.Drec { r_loc = loc; r_name = name; r_sort = sort; r_body = body })
+      Some (Ext.Drec (List.rev !defs))
   | _ -> fail st "expected a declaration (LF, LFR, schema, or rec)"
 
 let parse_program ?name (src : string) : Ext.program =

@@ -173,26 +173,43 @@ let process_decl_inner (sg : Sign.t) (d : Ext.decl) : unit =
           Check_lfr.check_sschema_refines (Check_lfr.make_env sg []) selems
             g_elems);
       ignore (Sign.add_sschema sg ~name:s_name ~refines:g ~elems:selems)
-  | Ext.Drec { r_loc; r_name; r_sort; r_body } ->
-      let styp = span "elaborate" (fun () -> Elab.elab_csort e r_sort) in
-      let typ = Erase.ctyp sg styp in
-      span "check-comp" (fun () ->
-          ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) styp));
-      let id = Sign.add_rec sg ~name:r_name ~styp ~typ in
-      let e_body =
-        { e with Elab.recs = (r_name, (id, styp)) :: e.Elab.recs }
+  | Ext.Drec defs ->
+      (* two-phase, like [Dmutual]: declare every header first so the
+         bodies of a [rec … and …;] group can call any member *)
+      let headers =
+        List.map
+          (fun (def : Ext.rec_def) ->
+            let styp =
+              span "elaborate" (fun () -> Elab.elab_csort e def.Ext.r_sort)
+            in
+            let typ = Erase.ctyp sg styp in
+            span "check-comp" (fun () ->
+                ignore (Check_comp.wf_ctyp (Check_comp.make_env sg [] []) styp));
+            let id = Sign.add_rec sg ~name:def.Ext.r_name ~styp ~typ in
+            (def, id, styp, typ))
+          defs
       in
-      let body = span "elaborate" (fun () -> Elab.elab_cexp e_body r_body styp) in
-      span "check-comp" (fun () ->
-          try Check_comp.check_exp (Check_comp.make_env sg [] []) body styp
-          with Error.Belr_error (loc, msg) ->
-            let loc = if Loc.is_ghost loc then r_loc else loc in
-            Error.raise_at loc "in the body of %s: %s" r_name msg);
-      (* conservativity: the erasure checks through the type-level
-         (embedded) fragment *)
-      span "conservativity" (fun () ->
-          Embed_t.check_exp_t sg [] [] (Erase.exp sg body) typ);
-      Sign.set_rec_body sg id body
+      Sign.set_rec_group sg (List.map (fun (_, id, _, _) -> id) headers);
+      let recs_env =
+        List.map (fun (def, id, styp, _) -> (def.Ext.r_name, (id, styp))) headers
+      in
+      List.iter
+        (fun ((def : Ext.rec_def), id, styp, typ) ->
+          let e_body = { e with Elab.recs = recs_env @ e.Elab.recs } in
+          let body =
+            span "elaborate" (fun () -> Elab.elab_cexp e_body def.Ext.r_body styp)
+          in
+          span "check-comp" (fun () ->
+              try Check_comp.check_exp (Check_comp.make_env sg [] []) body styp
+              with Error.Belr_error (loc, msg) ->
+                let loc = if Loc.is_ghost loc then def.Ext.r_loc else loc in
+                Error.raise_at loc "in the body of %s: %s" def.Ext.r_name msg);
+          (* conservativity: the erasure checks through the type-level
+             (embedded) fragment *)
+          span "conservativity" (fun () ->
+              Embed_t.check_exp_t sg [] [] (Erase.exp sg body) typ);
+          Sign.set_rec_body sg id body)
+        headers
 
 (** Process one declaration, under a "decl" telemetry span carrying the
     first declared name (so traces show which declaration each phase
@@ -216,7 +233,12 @@ let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
   (match d with
   | Ext.Dtyp td -> typ_decl_locs td
   | Ext.Dmutual tds -> List.iter typ_decl_locs tds
-  | Ext.Dschema _ | Ext.Drec _ -> ());
+  | Ext.Drec defs ->
+      List.iter
+        (fun (def : Ext.rec_def) ->
+          Sign.set_decl_loc sg def.Ext.r_name def.Ext.r_loc)
+        defs
+  | Ext.Dschema _ -> ());
   if Telemetry.enabled () then
     let arg =
       match Ext.declared_names d with name :: _ -> name | [] -> ""

@@ -83,8 +83,11 @@ let registry : code_class list =
     cc "E0801" Note "recovery: depends on a failed declaration";
     cc "E0901" Error "resource limit: depth or stack exhausted";
     cc "E0902" Error "resource limit: out of memory";
-    cc "W0601" Warning "totality: non-exhaustive coverage";
-    cc "W0602" Warning "totality: unproven termination";
+    cc "W0601" Warning "totality: non-exhaustive coverage (retired: shallow)";
+    cc "W0602" Warning "totality: unproven termination (retired: guardedness)";
+    cc "E0710" Error "totality: possibly non-terminating recursion cycle";
+    cc "W0711" Warning "totality: non-exhaustive match with missing cases";
+    cc "W0712" Warning "totality: analysis gave up at a resource bound";
     cc "W0701" Warning "lint: vacuous Pi-dependency";
     cc "W0702" Warning "lint: constant leaves the second-order HOAS fragment";
     cc "W0703" Warning "lint: empty refinement sort";

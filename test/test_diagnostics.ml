@@ -198,7 +198,7 @@ let analysis_tests =
         Driver.analyze sink sg;
         Alcotest.(check int) "no errors" 0 (Diagnostics.error_count sink);
         Alcotest.(check bool) "coverage warnings" true
-          (List.mem "W0601" (codes_of Diagnostics.Warning sink));
+          (List.mem "W0711" (codes_of Diagnostics.Warning sink));
         Alcotest.(check int) "exit stays 0" 0 (Diagnostics.exit_code sink));
     test "--total with --werror fails the run" (fun () ->
         let sink = Diagnostics.sink ~werror:true () in
@@ -238,17 +238,17 @@ let registry_tests =
             in
             Alcotest.(check bool) "names the code" true
               (contains "E0201" msg));
-    test "every code emitted by the pipeline and lint is registered"
+    test "every code emitted by the pipeline, lint, and total is registered"
       (fun () ->
-        (* codes referenced in this test file + the lint pass codes *)
+        (* codes referenced in this test file + the analysis pass codes *)
         List.iter
           (fun c ->
             Alcotest.(check bool) (c ^ " registered") true
               (Diagnostics.code_class c <> None))
           [
             "E0001"; "E0002"; "E0101"; "E0201"; "E0701"; "E0702"; "E0801";
-            "E0901"; "E0902"; "W0601"; "W0602"; "W0701"; "W0702"; "W0703";
-            "W0704"; "W0705"; "B0001"; "B0002";
+            "E0901"; "E0902"; "W0601"; "W0602"; "E0710"; "W0711"; "W0712";
+            "W0701"; "W0702"; "W0703"; "W0704"; "W0705"; "B0001"; "B0002";
           ]);
     test "registry severities match the lint exit-code contract" (fun () ->
         (* E0702 must be an Error (findings fail the run); W07xx must be
@@ -260,11 +260,15 @@ let registry_tests =
         in
         Alcotest.(check bool) "E0702 is an error" true
           (sev "E0702" = Diagnostics.Error);
+        (* a non-terminating cycle must fail the run; coverage gaps and
+           resource-bound giveups must stay warnings unless --werror *)
+        Alcotest.(check bool) "E0710 is an error" true
+          (sev "E0710" = Diagnostics.Error);
         List.iter
           (fun c ->
             Alcotest.(check bool) (c ^ " is a warning") true
               (sev c = Diagnostics.Warning))
-          [ "W0701"; "W0702"; "W0703"; "W0704"; "W0705" ]);
+          [ "W0701"; "W0702"; "W0703"; "W0704"; "W0705"; "W0711"; "W0712" ]);
   ]
 
 let dump_tests =

@@ -50,17 +50,18 @@ let mutate r n src =
   let rec go n src = if n = 0 then src else go (n - 1) (mutate_once r src) in
   go n src
 
-(** Check a mutant end to end — then lint whatever signature survived —
-    and fail on any escaped exception or any diagnostic that fails to
-    render.  Lint runs over partially-recovered signatures here, so this
-    also fuzzes the analysis passes' defensiveness (a crashing pass must
-    surface as a B0002 bug diagnostic via {!Diagnostics.recover}, which
-    this test then rejects). *)
+(** Check a mutant end to end — then lint and totality-check whatever
+    signature survived — and fail on any escaped exception or any
+    diagnostic that fails to render.  The analyses run over
+    partially-recovered signatures here, so this also fuzzes their
+    defensiveness (a crashing pass must surface as a B0002 bug diagnostic
+    via {!Diagnostics.recover}, which this test then rejects). *)
 let never_crashes i (src : string) : unit =
   let sink = Diagnostics.sink ~max_errors:100 () in
   match
     let sg = Driver.check_sources sink [ ("fuzz.bel", src) ] in
-    ignore (Driver.lint sink sg)
+    ignore (Driver.lint sink sg);
+    ignore (Driver.total sink sg)
   with
   | () ->
       let rendered = Fmt.str "%a" (fun ppf s -> Diagnostics.dump ppf s) sink in

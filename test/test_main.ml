@@ -5,4 +5,5 @@ let () =
    @ Test_props.suites @ Test_coverage.suites @ Test_values.suites
    @ Test_parity.suites @ Test_termination.suites @ Test_errors.suites
    @ Test_typed_equal.suites @ Test_diagnostics.suites @ Test_telemetry.suites
-   @ Test_store.suites @ Test_analysis.suites @ Test_fuzz.suites)
+   @ Test_store.suites @ Test_analysis.suites @ Test_totality.suites
+   @ Test_fuzz.suites)

@@ -51,7 +51,15 @@ let parse_tests =
         Alcotest.(check int) "decls" 5 (List.length p));
     ok "parses a rec with branches" (fun () ->
         match Parse.parse_program Surface.ceq_src with
-        | [ Ext.Drec { r_body = Ext.EMlam _; _ } ] -> ()
+        | [ Ext.Drec [ { r_body = Ext.EMlam _; _ } ] ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    ok "parses a mutual rec group" (fun () ->
+        match
+          Parse.parse_program
+            "rec f : [ |- nat] -> [ |- nat] = fn d => g d\n\
+             and g : [ |- nat] -> [ |- nat] = fn d => f d;"
+        with
+        | [ Ext.Drec [ { r_name = "f"; _ }; { r_name = "g"; _ } ] ] -> ()
         | _ -> Alcotest.fail "unexpected parse");
     fails "rejects unbalanced brackets" (fun () ->
         Parse.parse_program "LF t : type = | c : (t -> t;");

@@ -67,6 +67,71 @@ mlam N => case [ |- N] of
 |bel}
         in
         Alcotest.(check bool) "down" true (guarded sg "down"));
+    ok "call_args records computation-level argument positions too"
+      (fun () ->
+        (* regression: [f e [X]] must contribute both positions, in
+           application order — analyses over argument positions (the
+           size-change graphs) index into this list *)
+        let sg =
+          Belr_parser.Process.program
+            {bel|
+LF nat : type = | z : nat | s : nat -> nat;
+rec f : [ |- nat] -> {N : [ |- nat]} [ |- nat] =
+fn d => mlam N => d;
+|bel}
+        in
+        let f = find_rec sg "f" in
+        let mo =
+          Belr_syntax.Meta.MOCtx
+            {
+              Belr_syntax.Ctxs.s_var = None;
+              Belr_syntax.Ctxs.s_promoted = false;
+              Belr_syntax.Ctxs.s_decls = [];
+            }
+        in
+        let e =
+          Belr_syntax.Comp.MApp
+            ( Belr_syntax.Comp.App
+                (Belr_syntax.Comp.RecConst f, Belr_syntax.Comp.Var 1),
+              mo )
+        in
+        match Termination.call_args (fun g -> g = f) e [] with
+        | Some [ Termination.AComp (Belr_syntax.Comp.Var 1);
+                 Termination.AMeta _ ] -> ()
+        | Some args ->
+            Alcotest.failf "expected both positions, got %d"
+              (List.length args)
+        | None -> Alcotest.fail "head not recognized");
+    ok "guardedness is group-aware: the swapped mutual call is analyzed"
+      (fun () ->
+        let sg =
+          Belr_parser.Process.program
+            {bel|
+LF nat : type = | z : nat | s : nat -> nat;
+rec flip : {M : [ |- nat]} {N : [ |- nat]} [ |- nat] =
+mlam M => mlam N => case [ |- M] of
+| [ |- z] => [ |- N]
+| {M' : [ |- nat]}
+  [ |- s M'] => flop [ |- N] [ |- M']
+and flop : {M : [ |- nat]} {N : [ |- nat]} [ |- nat] =
+mlam M => mlam N => flip [ |- M] [ |- N];
+|bel}
+        in
+        (* flip's call passes the pattern subterm M'; flop's call passes
+           only its own mlam binders, which guard nothing *)
+        Alcotest.(check bool) "flip" true (guarded sg "flip");
+        match Termination.check_rec sg (find_rec sg "flop") with
+        | Termination.Issues [ msg ] ->
+            Alcotest.(check bool) "names the callee" true
+              (let affix = "flip" in
+               let n = String.length affix and m = String.length msg in
+               let rec go i =
+                 i + n <= m && (String.sub msg i n = affix || go (i + 1))
+               in
+               go 0)
+        | Termination.Issues _ -> Alcotest.fail "expected one issue"
+        | Termination.Guarded ->
+            Alcotest.fail "cross-function call went unanalyzed");
   ]
 
 let suites = [ ("termination", tests) ]

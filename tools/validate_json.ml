@@ -4,10 +4,12 @@
     events, a [belr-profile/1] report its [phases] and [counters]
     sections plus the hash-consing [store] section (DESIGN.md §S21), a
     [belr-lint/1] report a well-formed [findings] array (code + severity
-    per entry) and a [summary], and a [belr-bench/1] report a non-empty
-    [experiments] object of per-experiment objects.  Exit 0 iff every
-    file passes; the [@smoke], [@lint], and [@bench-json] dune aliases
-    fail the build otherwise. *)
+    per entry) and a [summary], a [belr-total/1] report its [functions]
+    array (name + terminating + covered per entry) plus the [callgraph],
+    [findings], and [summary] sections, and a [belr-bench/1] report a
+    non-empty [experiments] object of per-experiment objects.  Exit 0 iff
+    every file passes; the [@smoke], [@lint], [@total], and [@bench-json]
+    dune aliases fail the build otherwise. *)
 
 module J = Belr_support.Json
 
@@ -95,6 +97,45 @@ let check_structure (j : J.t) : string option =
               else if J.member "summary" j = None then
                 Some "lint report lacks \"summary\""
               else None)
+      | Some (J.String "belr-total/1") -> (
+          match Option.bind (J.member "functions" j) J.to_list with
+          | None -> Some "total report lacks a \"functions\" array"
+          | Some fns -> (
+              let bad_fn f =
+                match
+                  ( J.member "name" f,
+                    J.member "terminating" f,
+                    J.member "covered" f )
+                with
+                | Some (J.String _), Some (J.Bool _), Some (J.Bool _) ->
+                    false
+                | _ -> true
+              in
+              if List.exists bad_fn fns then
+                Some
+                  "a functions entry is missing its \"name\" string or \
+                   \"terminating\"/\"covered\" booleans"
+              else
+                match J.member "callgraph" j with
+                | Some (J.Obj _) -> (
+                    match Option.bind (J.member "findings" j) J.to_list with
+                    | None -> Some "total report lacks a \"findings\" array"
+                    | Some findings ->
+                        let bad_finding f =
+                          match
+                            (J.member "code" f, J.member "severity" f)
+                          with
+                          | Some (J.String _), Some (J.String _) -> false
+                          | _ -> true
+                        in
+                        if List.exists bad_finding findings then
+                          Some
+                            "a findings entry is missing its \"code\" or \
+                             \"severity\" string"
+                        else if J.member "summary" j = None then
+                          Some "total report lacks \"summary\""
+                        else None)
+                | _ -> Some "total report lacks its \"callgraph\" object"))
       | _ -> None (* generic JSON (e.g. a bench report): parsing sufficed *))
 
 let () =
