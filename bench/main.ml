@@ -501,6 +501,83 @@ let e7 () =
   set_store_enabled saved
 
 (* ------------------------------------------------------------------ *)
+(* E8 — warm vs cold re-check in the belr serve engine (PR 6)           *)
+
+(** A chained synthetic signature: [f0 : type] and
+    [fi = | ci : f(i-1) -> fi], so each family references (and is a
+    subordination successor of) its predecessor.  Editing the {e last}
+    declaration therefore invalidates exactly itself — the warm path of
+    the incremental checker re-checks 1 of [n] declarations. *)
+let e8_chain ?(variant = 0) n =
+  String.concat "\n"
+    (List.init n (fun i ->
+         if i = 0 then "LF f0 : type = | c0 : f0;"
+         else if i = n - 1 && variant = 1 then
+           Fmt.str "LF f%d : type = | c%d : f%d -> f%d | d%d : f%d;" i i
+             (i - 1) i i i
+         else Fmt.str "LF f%d : type = | c%d : f%d -> f%d;" i i (i - 1) i))
+
+let e8_request ~id src =
+  J.to_string ~compact:true
+    (J.Obj
+       [
+         ("id", J.Int id);
+         ("method", J.String "check");
+         ("session", J.String "bench");
+         ("source", J.String src);
+       ])
+
+let e8_round server line =
+  match Belr_parser.Serve.handle_line server line with
+  | Some _ -> ()
+  | None -> failwith "e8: serve returned no reply"
+
+let e8 () =
+  let n = 60 in
+  Fmt.pr
+    "@.== E8: warm vs cold re-check — belr serve incremental engine \
+     (%d-decl@.   chained signature; warm runs re-check exactly one \
+     edited declaration) ==@."
+    n;
+  let variants = [| e8_chain n; e8_chain ~variant:1 n |] in
+  (* warm: one long-lived server; each run toggles the last declaration,
+     so the engine diffs, reuses n-1 entries, and re-checks one *)
+  let warm_server = Belr_parser.Serve.create () in
+  e8_round warm_server (e8_request ~id:0 variants.(0));
+  let flip = ref 0 in
+  let tests =
+    [
+      Test.make
+        ~name:(Fmt.str "cold/%d-decls" n)
+        (Staged.stage (fun () ->
+             let server = Belr_parser.Serve.create () in
+             e8_round server (e8_request ~id:1 variants.(0))));
+      Test.make
+        ~name:(Fmt.str "warm/%d-decls" n)
+        (Staged.stage (fun () ->
+             flip := 1 - !flip;
+             e8_round warm_server (e8_request ~id:2 variants.(!flip))));
+    ]
+  in
+  let rows =
+    print_results "cold (fresh session, full check) vs warm (one edit):"
+      (run_tests (Test.make_grouped ~name:"e8" tests))
+  in
+  let get lbl =
+    try List.assoc (Fmt.str "e8/%s/%d-decls" lbl n) rows
+    with Not_found -> nan
+  in
+  let speedup = get "cold" /. get "warm" in
+  Fmt.pr "  warm speedup over cold = %.1fx (acceptance floor: 5x)@." speedup;
+  record "e8"
+    (J.Obj
+       [
+         ("times_ns", json_rows rows);
+         ("decls", J.Int n);
+         ("cold_over_warm", J.Float speedup);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Fmt.pr "belr benchmark harness (see DESIGN.md §3 and EXPERIMENTS.md)@.";
@@ -512,6 +589,7 @@ let () =
   e5 ();
   e6 ();
   e7 ();
+  e8 ();
   (match json_file with
   | None -> ()
   | Some path ->

@@ -211,6 +211,14 @@ let run_lint files verbose total json max_errors max_depth werror stats trace
       Fmt.epr "lint failed: %a.@." Diagnostics.pp_summary sink;
       code
 
+let run_serve deadline_ms max_live_nodes max_errors max_depth =
+  let t =
+    Belr_parser.Serve.create ?deadline_ms ~max_depth ~max_errors
+      ?watermark:max_live_nodes ()
+  in
+  Belr_parser.Serve.run t stdin stdout;
+  0
+
 let files_arg =
   Arg.(
     non_empty & pos_all string []
@@ -379,6 +387,42 @@ let total_cmd =
       $ sct_budget_arg $ max_errors_arg $ max_depth_arg $ werror_arg
       $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
 
+let deadline_ms_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "default wall-clock deadline per request in milliseconds \
+           (overridable per request with \"deadline_ms\"); exceeding it \
+           degrades the reply to a partial result with the stable E0903 \
+           diagnostic instead of hanging the server")
+
+let max_live_nodes_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-live-nodes" ] ~docv:"N"
+        ~doc:
+          "session memory watermark: when a request leaves more than \
+           $(docv) live nodes in a session's term store, the store and \
+           memo tables are cleared (reported as W0901); only sharing is \
+           lost — subsequent requests rebuild terms on demand")
+
+let serve_cmd =
+  let doc =
+    "run the long-lived JSON-line server (schema belr-serve/1): one \
+     request object per stdin line (methods check, lint, total, stats, \
+     reset), one reply object per stdout line; sessions are isolated \
+     worlds, checking is incremental per declaration, and every request \
+     is crash-only — malformed input, kernel faults, and blown deadlines \
+     produce structured error replies, never a dead server"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun dl wm me md -> run_serve dl wm me md)
+      $ deadline_ms_arg $ max_live_nodes_arg $ max_errors_arg
+      $ max_depth_arg)
+
 let main =
   let doc =
     "a proof environment with contextual refinement types (Gaulin & \
@@ -386,6 +430,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "belr" ~version:"1.0.0" ~doc)
-    [ check_cmd; lint_cmd; total_cmd ]
+    [ check_cmd; lint_cmd; total_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

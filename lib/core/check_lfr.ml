@@ -110,6 +110,9 @@ and check_spine_skind e psi (sp : spine) (l : skind) : unit =
 
 (** [Ω; Ψ ⊢ M ⇐ S ⊑ A]; returns the refined type [A]. *)
 and check_normal e psi (m : normal) (s : srt) : typ =
+  (* a guarded step per node: makes sort checking itself interruptible by
+     the serve deadline/step budget, not only its hsub/unify calls *)
+  Limits.poll ();
   match (m, s) with
   | Lam (x, body), SPi (_, s1, s2) ->
       let a1 = Erase.srt e.sg s1 in

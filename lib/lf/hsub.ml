@@ -60,33 +60,60 @@ let memo_bits = 14
 
 let memo_size = 1 lsl memo_bits
 
-let memo : (int * int * normal) option array = Array.make memo_size None
+(** The memo world: three direct-mapped caches and their hit counters.
+    Per-session in the daemon ({!use_tables}, installed in lock-step with
+    the {!Belr_syntax.Store} state by [Belr_lf.Session]) so one session's
+    cached substitution results and statistics can never leak into
+    another; batch runs live in the boot tables and never notice. *)
+type tables = {
+  tb_normal : (int * int * normal) option array;
+  tb_typ : (int * int * typ) option array;
+      (* types and sorts are instantiated by the checkers at least as
+         often as terms (every dependent application), so they get their
+         own caches *)
+  tb_srt : (int * int * srt) option array;
+  mutable tb_hits : int;
+  mutable tb_misses : int;
+  mutable tb_mfi_skips : int;
+}
 
-(* Types and sorts are instantiated by the checkers at least as often as
-   terms (every dependent application), so they get their own tables. *)
-let memo_typ : (int * int * typ) option array = Array.make memo_size None
+let fresh_tables () =
+  {
+    tb_normal = Array.make memo_size None;
+    tb_typ = Array.make memo_size None;
+    tb_srt = Array.make memo_size None;
+    tb_hits = 0;
+    tb_misses = 0;
+    tb_mfi_skips = 0;
+  }
 
-let memo_srt : (int * int * srt) option array = Array.make memo_size None
+let current = ref (fresh_tables ())
 
-let memo_hits = ref 0
+(** Install [t] as the memo world for subsequent substitutions. *)
+let use_tables t = current := t
 
-let memo_misses = ref 0
-
-let mfi_skips = ref 0
+let current_tables () = !current
 
 let clear_memo () =
-  Array.fill memo 0 memo_size None;
-  Array.fill memo_typ 0 memo_size None;
-  Array.fill memo_srt 0 memo_size None
+  let t = !current in
+  Array.fill t.tb_normal 0 memo_size None;
+  Array.fill t.tb_typ 0 memo_size None;
+  Array.fill t.tb_srt 0 memo_size None
 
 type memo_stats = { ms_hits : int; ms_misses : int; ms_mfi_skips : int }
 
 let memo_stats () =
-  { ms_hits = !memo_hits; ms_misses = !memo_misses; ms_mfi_skips = !mfi_skips }
+  let t = !current in
+  {
+    ms_hits = t.tb_hits;
+    ms_misses = t.tb_misses;
+    ms_mfi_skips = t.tb_mfi_skips;
+  }
 
 let memo_hit_rate () =
-  let total = !memo_hits + !memo_misses in
-  if total = 0 then 0.0 else float_of_int !memo_hits /. float_of_int total
+  let t = !current in
+  let total = t.tb_hits + t.tb_misses in
+  if total = 0 then 0.0 else float_of_int t.tb_hits /. float_of_int total
 
 let memo_slot ks km = (((ks * 0x9e3779b1) lxor km) land max_int) land (memo_size - 1)
 
@@ -143,27 +170,29 @@ and sub_normal (s : sub) (m : normal) : normal =
   | _ ->
       if not (store_enabled ()) then sub_normal_work s m
       else begin
+        let t = !current in
         let ks = sub_id s and km = normal_id m in
         let i = memo_slot ks km in
-        match memo.(i) with
+        match t.tb_normal.(i) with
         | Some (ks', km', r) when ks' = ks && km' = km ->
-            incr memo_hits;
+            t.tb_hits <- t.tb_hits + 1;
             r
         | _ ->
-            incr memo_misses;
+            t.tb_misses <- t.tb_misses + 1;
             let r =
               if mfi_normal m = 0 then begin
                 (* closed term: no substitution can touch it *)
-                incr mfi_skips;
+                t.tb_mfi_skips <- t.tb_mfi_skips + 1;
                 m
               end
               else sub_normal_work s m
             in
-            memo.(i) <- Some (ks, km, r);
+            t.tb_normal.(i) <- Some (ks, km, r);
             r
       end
 
 and sub_normal_work (s : sub) (m : normal) : normal =
+  Fault.hit "hsub";
   Telemetry.bump c_subst;
   match m with
   | Lam (x, n) -> mk_lam x (sub_normal (dot1 s) n)
@@ -219,22 +248,23 @@ let rec sub_typ (s : sub) (a : typ) : typ =
   | _ ->
       if not (store_enabled ()) then sub_typ_work s a
       else begin
+        let t = !current in
         let ks = sub_id s and ka = typ_id a in
         let i = memo_slot ks ka in
-        match memo_typ.(i) with
+        match t.tb_typ.(i) with
         | Some (ks', ka', r) when ks' = ks && ka' = ka ->
-            incr memo_hits;
+            t.tb_hits <- t.tb_hits + 1;
             r
         | _ ->
-            incr memo_misses;
+            t.tb_misses <- t.tb_misses + 1;
             let r =
               if mfi_typ a = 0 then begin
-                incr mfi_skips;
+                t.tb_mfi_skips <- t.tb_mfi_skips + 1;
                 a
               end
               else sub_typ_work s a
             in
-            memo_typ.(i) <- Some (ks, ka, r);
+            t.tb_typ.(i) <- Some (ks, ka, r);
             r
       end
 
@@ -249,22 +279,23 @@ let rec sub_srt (s : sub) (q : srt) : srt =
   | _ ->
       if not (store_enabled ()) then sub_srt_work s q
       else begin
+        let t = !current in
         let ks = sub_id s and kq = srt_id q in
         let i = memo_slot ks kq in
-        match memo_srt.(i) with
+        match t.tb_srt.(i) with
         | Some (ks', kq', r) when ks' = ks && kq' = kq ->
-            incr memo_hits;
+            t.tb_hits <- t.tb_hits + 1;
             r
         | _ ->
-            incr memo_misses;
+            t.tb_misses <- t.tb_misses + 1;
             let r =
               if mfi_srt q = 0 then begin
-                incr mfi_skips;
+                t.tb_mfi_skips <- t.tb_mfi_skips + 1;
                 q
               end
               else sub_srt_work s q
             in
-            memo_srt.(i) <- Some (ks, kq, r);
+            t.tb_srt.(i) <- Some (ks, kq, r);
             r
       end
 
@@ -374,9 +405,10 @@ let inst_sblock (f : Ctxs.selem) (ms : normal list) : Ctxs.sblock =
    stats from Belr_syntax.Store (sections with one name are merged). *)
 let () =
   Telemetry.register_section "store" (fun () ->
+      let t = !current in
       [
-        ("memo_hits", Json.Int !memo_hits);
-        ("memo_misses", Json.Int !memo_misses);
+        ("memo_hits", Json.Int t.tb_hits);
+        ("memo_misses", Json.Int t.tb_misses);
         ("memo_hit_rate", Json.Float (memo_hit_rate ()));
-        ("mfi_skips", Json.Int !mfi_skips);
+        ("mfi_skips", Json.Int t.tb_mfi_skips);
       ])

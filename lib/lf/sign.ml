@@ -129,9 +129,17 @@ let poison sg name = Hashtbl.replace sg.poisoned name ()
 
 let is_poisoned sg name = Hashtbl.mem sg.poisoned name
 
+(** Remove [name] from the poisoned set (it is about to be retried). *)
+let unpoison sg name = Hashtbl.remove sg.poisoned name
+
 let lookup_name sg name =
   if Hashtbl.mem sg.poisoned name then raise (Error.Depends_on_failed name);
   Hashtbl.find_opt sg.by_name name
+
+(** Like {!lookup_name}, but poison-blind: tooling that inspects the
+    signature (the incremental invalidation pass of [belr serve]) needs
+    to see failed declarations too, without raising. *)
+let sym_opt sg name = Hashtbl.find_opt sg.by_name name
 
 (** Record where [name] was declared.  Ghost spans are not recorded, so a
     later real span (e.g. a per-constructor location refining the whole
@@ -238,6 +246,69 @@ let rec_group sg (id : Lf.cid_rec) : Lf.cid_rec list =
   match Hashtbl.find_opt sg.recs id with
   | Some { r_group = _ :: _ as g; _ } -> g
   | _ -> [ id ]
+
+(* --- retraction (incremental re-checking) ----------------------------- *)
+
+(** Retract one declared name: its entry, its name binding, its poison
+    mark, its recorded span, and every membership link pointing at it
+    from surviving entries.  Ids are {e not} reused ([fresh] keeps
+    counting), so ids held by unchanged declarations stay valid — that is
+    what lets the incremental server re-check only the edited
+    declaration's downstream closure while the rest of the signature
+    keeps its identity.
+
+    Retraction granularity is the {e declaration}: callers retract every
+    name a declaration bound (see [Ext.declared_names]) before
+    re-processing it, so cross-entry links within one declaration (a
+    constant in its family's [t_consts]) vanish with the declaration.
+    Links {e into} other declarations' entries — a refinement's sort
+    assignments on older constants, a constant's membership in an older
+    family — are scrubbed here. *)
+let retract_name sg name =
+  (match Hashtbl.find_opt sg.by_name name with
+  | None -> ()
+  | Some sym ->
+      (match sym with
+      | Sym_typ a -> Hashtbl.remove sg.typs a
+      | Sym_srt s ->
+          Hashtbl.remove sg.srts s;
+          (* drop every sort assignment into the retracted family *)
+          let keys =
+            Hashtbl.fold
+              (fun (c, f) _ acc -> if f = s then (c, f) :: acc else acc)
+              sg.csorts []
+          in
+          List.iter (Hashtbl.remove sg.csorts) keys
+      | Sym_const c ->
+          (match Hashtbl.find_opt sg.consts c with
+          | Some ce -> (
+              match Hashtbl.find_opt sg.typs ce.c_family with
+              | Some te ->
+                  te.t_consts <- List.filter (fun id -> id <> c) te.t_consts
+              | None -> ())
+          | None -> ());
+          Hashtbl.remove sg.consts c;
+          (* the constant's sort assignments, in any family *)
+          let keys =
+            Hashtbl.fold
+              (fun (c', f) _ acc -> if c' = c then (c', f) :: acc else acc)
+              sg.csorts []
+          in
+          List.iter (Hashtbl.remove sg.csorts) keys;
+          Hashtbl.iter
+            (fun _ se ->
+              if List.mem c se.s_consts then
+                se.s_consts <- List.filter (fun id -> id <> c) se.s_consts)
+            sg.srts
+      | Sym_schema g -> Hashtbl.remove sg.schemas g
+      | Sym_sschema h -> Hashtbl.remove sg.sschemas h
+      | Sym_rec r -> Hashtbl.remove sg.recs r);
+      Hashtbl.remove sg.by_name name);
+  Hashtbl.remove sg.poisoned name;
+  Hashtbl.remove sg.locs name
+
+(** Retract a declaration's worth of names (see {!retract_name}). *)
+let retract_names sg names = List.iter (retract_name sg) names
 
 (* --- lookup ---------------------------------------------------------- *)
 

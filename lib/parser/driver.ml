@@ -91,3 +91,37 @@ let total ?depth ?budget (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
     full totality analyzer for its diagnostics only. *)
 let analyze (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) : unit =
   ignore (total sink sg)
+
+(* --- session-scoped entry points ---------------------------------------- *)
+
+(** The same entry points, but run inside an explicit
+    {!Belr_lf.Session.t} world: the session's own store arenas, memo
+    tables, and limit counters are installed for the duration of the call
+    and the result signature is recorded as the session's signature.
+    These are what [belr serve] and any embedding host should call;
+    the plain functions above keep the process-global world and remain
+    the batch CLI's path. *)
+
+let check_sources_in (ses : Belr_lf.Session.t) (sink : Diagnostics.sink)
+    (sources : (string * string) list) : Belr_lf.Sign.t =
+  Belr_lf.Session.with_ ses (fun () ->
+      let sg = check_sources sink sources in
+      ses.Belr_lf.Session.sn_sign <- sg;
+      sg)
+
+let check_files_in (ses : Belr_lf.Session.t) (sink : Diagnostics.sink)
+    (files : string list) : Belr_lf.Sign.t =
+  Belr_lf.Session.with_ ses (fun () ->
+      let sg = check_files sink files in
+      ses.Belr_lf.Session.sn_sign <- sg;
+      sg)
+
+let lint_in (ses : Belr_lf.Session.t) (sink : Diagnostics.sink) :
+    Belr_analysis.Lint.result =
+  Belr_lf.Session.with_ ses (fun () ->
+      lint sink (Belr_lf.Session.sign ses))
+
+let total_in ?depth ?budget (ses : Belr_lf.Session.t)
+    (sink : Diagnostics.sink) : Belr_comp.Totality.result =
+  Belr_lf.Session.with_ ses (fun () ->
+      total ?depth ?budget sink (Belr_lf.Session.sign ses))

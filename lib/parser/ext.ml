@@ -139,3 +139,93 @@ let declared_names : decl -> string list = function
   | Dmutual ds -> List.concat_map typ_decl_names ds
   | Dschema { s_name; _ } -> [ s_name; s_name ^ "^" ]
   | Drec ds -> List.map (fun d -> d.r_name) ds
+
+(* --- surface name references (incremental invalidation) ---------------- *)
+
+(** Every identifier a declaration {e mentions}, straight off the surface
+    syntax: term/sort identifiers, parameter variables, world names,
+    refined family and schema names, expression identifiers.  A sound
+    over-approximation of the signature names it depends on — binders are
+    not tracked, so a shadowed global counts as referenced; the
+    incremental checker then merely re-checks more than strictly needed,
+    never less.  Returned sorted and deduplicated. *)
+let referenced_names (d : decl) : string list =
+  let acc = ref [] in
+  let add n = acc := n :: !acc in
+  let rec term = function
+    | Ident (_, x) -> add x
+    | TypeKw _ | SortKw _ -> ()
+    | App (t1, t2) | Arrow (t1, t2) -> term t1; term t2
+    | Pi (_, _, t1, t2) -> term t1; term t2
+    | Lam (_, _, t) -> term t
+    | Hash (_, x) -> add x
+    | Proj (_, t, _) -> term t
+    | Sub (_, t, es) ->
+        term t;
+        List.iter
+          (function
+            | Fterm t -> term t
+            | Ftuple (_, ts) -> List.iter term ts)
+          es.es_fronts
+  in
+  let ectx (c : ectx) =
+    (match c.ec_var with Some (x, _) -> add x | None -> ());
+    List.iter
+      (fun e ->
+        match e.ce_class with
+        | Cworld (_, w, ts) -> add w; List.iter term ts
+        | Cblock (_, fields) -> List.iter (fun (_, t) -> term t) fields
+        | Cterm t -> term t)
+      c.ec_entries
+  in
+  let rec csort = function
+    | SBox (_, c, t) -> ectx c; term t
+    | SArr (z1, z2) -> csort z1; csort z2
+    | SPi (_, _, _, dom, z) -> cdom dom; csort z
+  and cdom = function
+    | DSchema (_, g) -> add g
+    | DBox (_, c, t) -> ectx c; term t
+    | DParam (_, c, w, ts) -> ectx c; add w; List.iter term ts
+  in
+  let rec cexp = function
+    | EIdent (_, x) -> add x
+    | EApp (_, e1, e2) -> cexp e1; cexp e2
+    | EFn (_, _, e) | EMlam (_, _, e) -> cexp e
+    | ECase (_, e, bs) ->
+        cexp e;
+        List.iter
+          (fun b ->
+            List.iter (fun (_, _, dom) -> cdom dom) b.b_decls;
+            ectx b.b_ctx;
+            term b.b_pat;
+            cexp b.b_body)
+          bs
+    | ELetBox (_, _, e1, e2) -> cexp e1; cexp e2
+    | EBox (_, c, t) -> ectx c; term t
+    | ECtx (_, c) -> ectx c
+  in
+  let typ_decl (td : typ_decl) =
+    Option.iter add td.d_refines;
+    term td.d_kind;
+    List.iter (fun k -> term k.k_typ) td.d_ctors;
+    (* a refinement's "constructors" name existing constants *)
+    if td.d_refines <> None then
+      List.iter (fun k -> add k.k_name) td.d_ctors
+  in
+  (match d with
+  | Dtyp td -> typ_decl td
+  | Dmutual tds -> List.iter typ_decl tds
+  | Dschema { s_refines; s_worlds; _ } ->
+      Option.iter add s_refines;
+      List.iter
+        (fun w ->
+          List.iter (fun (_, t) -> term t) w.w_params;
+          List.iter (fun (_, t) -> term t) w.w_fields)
+        s_worlds
+  | Drec ds ->
+      List.iter
+        (fun rd ->
+          csort rd.r_sort;
+          cexp rd.r_body)
+        ds);
+  List.sort_uniq String.compare !acc

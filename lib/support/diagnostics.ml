@@ -15,7 +15,11 @@
     - [E08xx]       recovery notes: [E0801] "depends on a failed
                     declaration"
     - [E09xx]       resource limits: [E0901] depth/stack exhausted,
-                    [E0902] out of memory
+                    [E0902] out of memory, [E0903] request
+                    deadline/step budget exceeded ([belr serve]),
+                    [E0904] malformed serve protocol request
+    - [W09xx]       daemon degradation: [W0901] session store reset on
+                    memory pressure
     - [W06xx]       the [--total] analyses: [W0601] non-exhaustive
                     coverage, [W0602] unproven termination
     - [W07xx]/[E0702]  the [belr lint] signature analyses: [W0701]
@@ -23,7 +27,8 @@
                     sort, [E0702] subsort cycle, [W0704] unused
                     declaration, [W0705] shadowing
     - [B00xx]       internal bugs: [B0001] invariant violation, [B0002]
-                    unexpected exception
+                    unexpected exception, [B0003] injected fault (the
+                    [BELR_FAULT] robustness hook)
 
     Every code is listed in the {!registry} below with its default
     severity and a one-line description; {!check_codes} rejects duplicate
@@ -83,6 +88,9 @@ let registry : code_class list =
     cc "E0801" Note "recovery: depends on a failed declaration";
     cc "E0901" Error "resource limit: depth or stack exhausted";
     cc "E0902" Error "resource limit: out of memory";
+    cc "E0903" Error "resource limit: request deadline or step budget exceeded";
+    cc "E0904" Error "serve protocol: malformed request";
+    cc "W0901" Warning "serve session: store reset on memory pressure";
     cc "W0601" Warning "totality: non-exhaustive coverage (retired: shallow)";
     cc "W0602" Warning "totality: unproven termination (retired: guardedness)";
     cc "E0710" Error "totality: possibly non-terminating recursion cycle";
@@ -95,6 +103,7 @@ let registry : code_class list =
     cc "W0705" Warning "lint: shadowed binder or duplicate context entry";
     cc "B0001" Bug "internal invariant violation";
     cc "B0002" Bug "unexpected exception";
+    cc "B0003" Bug "injected fault (BELR_FAULT robustness hook)";
   ]
 
 (** Reject duplicate code registrations; [Error]'s payload names the first
@@ -118,6 +127,21 @@ let check_codes (classes : code_class list) : (unit, string) result =
 (** Look up a code's registry row, if published. *)
 let code_class (code : string) : code_class option =
   List.find_opt (fun c -> c.cc_code = code) registry
+
+(** The diagnostic as machine-readable JSON — the shape shared by the
+    [belr-lint/1] findings array and the [belr-serve/1] reply stream:
+    [code], [severity], [message], and a [loc] string (omitted for ghost
+    spans). *)
+let to_json (d : t) : Json.t =
+  Json.Obj
+    ([
+       ("code", Json.String d.d_code);
+       ("severity", Json.String (severity_label d.d_severity));
+       ("message", Json.String d.d_message);
+     ]
+    @
+    if Loc.is_ghost d.d_loc then []
+    else [ ("loc", Json.String (Fmt.str "%a" Loc.pp d.d_loc)) ])
 
 let pp ppf d =
   if Loc.is_ghost d.d_loc then
@@ -284,6 +308,24 @@ let recover :
             with a smaller --max-depth or a larger system stack")
   | exception Out_of_memory ->
       fail (make ~loc ~code:"E0902" Error "out of memory while checking")
+  | exception Limits.Deadline_exceeded ms ->
+      fail
+        (make ~loc ~code:"E0903" Error
+           "resource limit exceeded: the request deadline of %d ms passed; \
+            the result is partial"
+           ms)
+  | exception Limits.Budget_exceeded n ->
+      fail
+        (make ~loc ~code:"E0903" Error
+           "resource limit exceeded: the request step budget of %d passed; \
+            the result is partial"
+           n)
+  | exception Fault.Injected site ->
+      fail
+        (make ~loc ~code:"B0003" Bug
+           "injected fault fired at kernel site %s (BELR_FAULT robustness \
+            hook)"
+           site)
   | exception Sys_error msg ->
       fail (make ~loc ~code:"E0701" Error "system error: %s" msg)
   | exception Error.Violation msg ->

@@ -1,0 +1,80 @@
+(** Fault injection for robustness testing.
+
+    The checking daemon ([belr serve]) promises crash-only requests: any
+    exception escaping a kernel subsystem must surface as a structured
+    error reply, never corrupt later requests.  That promise is only
+    testable if the kernel can be made to fail {e on demand}, at a real
+    interior point — not at the protocol boundary where failure is easy.
+
+    This module plants named {e sites} in the kernel hot paths
+    ([store-intern] in the hash-consing store, [hsub] in hereditary
+    substitution, [unify] in the unifier).  Arming
+    [BELR_FAULT=<site>:<n>] (environment variable, read at startup) or
+    calling {!arm} makes the [n]-th hit of that site raise {!Injected}.
+
+    The trigger is {e one-shot}: after firing, the hook disarms itself.
+    That makes abuse scripts deterministic — the injected fault poisons
+    exactly one request, and the assertion "the next request on a fresh
+    session succeeds" cannot be defeated by the fault re-firing.
+
+    The disarmed fast path is one mutable-bool load per site hit, cheap
+    enough to leave in release builds. *)
+
+exception Injected of string
+(** [Injected site]: the armed fault fired at kernel site [site].  The
+    diagnostics engine renders it as the stable [B0003] bug code. *)
+
+let armed = ref false
+
+let target_site = ref ""
+
+let remaining = ref 0
+
+(** Arm the hook: the [n]-th hit (1-based; [n <= 1] means the next hit)
+    of site [site] raises {!Injected}, then the hook disarms. *)
+let arm ~site ~n =
+  armed := true;
+  target_site := site;
+  remaining := max 1 n
+
+let disarm () =
+  armed := false;
+  target_site := "";
+  remaining := 0
+
+(** Is the hook currently armed (for [site], if given)? *)
+let is_armed ?site () =
+  !armed && match site with None -> true | Some s -> s = !target_site
+
+(** Kernel sites call [hit "name"] on their hot path.  No-op unless the
+    hook is armed for that name. *)
+let hit (site : string) : unit =
+  if !armed && String.equal site !target_site then begin
+    let n = !remaining - 1 in
+    if n <= 0 then begin
+      disarm ();
+      raise (Injected site)
+    end
+    else remaining := n
+  end
+
+(* BELR_FAULT=<site>:<n> arms the hook at module initialization (n
+   defaults to 1 when absent or unparsable); malformed values are
+   ignored — a robustness hook must not itself crash startup. *)
+let () =
+  match Sys.getenv_opt "BELR_FAULT" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match String.index_opt spec ':' with
+      | None -> arm ~site:spec ~n:1
+      | Some i ->
+          let site = String.sub spec 0 i in
+          let n =
+            match
+              int_of_string_opt
+                (String.sub spec (i + 1) (String.length spec - i - 1))
+            with
+            | Some n -> n
+            | None -> 1
+          in
+          if site <> "" then arm ~site ~n)

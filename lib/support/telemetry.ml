@@ -208,6 +208,14 @@ let events_dropped () = max 0 (!ring_next - Array.length !ring)
 
 (* --- renderers ---------------------------------------------------------- *)
 
+(** Completed spans recorded under [name] since the last {!reset}.  The
+    serve layer reads deltas of this as its incremental-checking oracle
+    ("how many "decl" spans did this request run?"). *)
+let phase_count (name : string) : int =
+  match Hashtbl.find_opt aggregates name with
+  | Some a -> a.ag_count
+  | None -> 0
+
 let phase_rows () =
   Hashtbl.fold (fun name a acc -> (name, a.ag_count, a.ag_total_ns) :: acc)
     aggregates []

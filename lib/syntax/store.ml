@@ -140,15 +140,30 @@ module SrtTbl = Ephemeron.K1.Make (struct
   let hash = Hashtbl.hash
 end)
 
-let head_meta : meta HeadTbl.t = HeadTbl.create 1024
+(* The metadata half of a store {e state} (the arena half is defined
+   below, after the arena functors — which themselves need the hashing
+   functions, which read the metadata tables).  All lookups go through
+   [cur_meta], the installed state's tables: sessions swap whole states
+   with [use_state] rather than threading a handle through every
+   [mk_*] call site. *)
+type meta_tables = {
+  mt_head : meta HeadTbl.t;
+  mt_normal : meta NormalTbl.t;
+  mt_sub : meta SubTbl.t;
+  mt_typ : meta TypTbl.t;
+  mt_srt : meta SrtTbl.t;
+}
 
-let normal_meta : meta NormalTbl.t = NormalTbl.create 4096
+let fresh_meta_tables () =
+  {
+    mt_head = HeadTbl.create 1024;
+    mt_normal = NormalTbl.create 4096;
+    mt_sub = SubTbl.create 1024;
+    mt_typ = TypTbl.create 1024;
+    mt_srt = SrtTbl.create 1024;
+  }
 
-let sub_meta : meta SubTbl.t = SubTbl.create 1024
-
-let typ_meta : meta TypTbl.t = TypTbl.create 1024
-
-let srt_meta : meta SrtTbl.t = SrtTbl.create 1024
+let cur_meta : meta_tables ref = ref (fresh_meta_tables ())
 
 (* [Empty] is a constant (immediate) constructor: every [Empty] is the
    same value, so it gets a fixed metadata record instead of a weak-table
@@ -173,11 +188,12 @@ let empty_meta = { m_id = fresh (); m_hash = 0x45; m_mfi = 0 }
      substitution under a closed [Dot]-chain is the identity on it. *)
 
 let rec meta_head (h : head) : meta =
-  match HeadTbl.find_opt head_meta h with
+  let tbl = (!cur_meta).mt_head in
+  match HeadTbl.find_opt tbl h with
   | Some m -> m
   | None ->
       let m = { m_id = fresh (); m_hash = hash_head h; m_mfi = mfi1_head h } in
-      HeadTbl.replace head_meta h m;
+      HeadTbl.replace tbl h m;
       m
 
 and hash_head = function
@@ -195,13 +211,14 @@ and mfi1_head = function
   | MVar (_, s) -> (meta_sub s).m_mfi
 
 and meta_normal (n : normal) : meta =
-  match NormalTbl.find_opt normal_meta n with
+  let tbl = (!cur_meta).mt_normal in
+  match NormalTbl.find_opt tbl n with
   | Some m -> m
   | None ->
       let m =
         { m_id = fresh (); m_hash = hash_normal n; m_mfi = mfi1_normal n }
       in
-      NormalTbl.replace normal_meta n m;
+      NormalTbl.replace tbl n m;
       m
 
 and hash_normal = function
@@ -232,11 +249,12 @@ and meta_sub (s : sub) : meta =
   match s with
   | Empty -> empty_meta
   | _ -> (
-      match SubTbl.find_opt sub_meta s with
+      let tbl = (!cur_meta).mt_sub in
+      match SubTbl.find_opt tbl s with
       | Some m -> m
       | None ->
           let m = { m_id = fresh (); m_hash = hash_sub s; m_mfi = mfi1_sub s } in
-          SubTbl.replace sub_meta s m;
+          SubTbl.replace tbl s m;
           m)
 
 and hash_sub = function
@@ -250,11 +268,12 @@ and mfi1_sub = function
   | Dot (f, s) -> max (snd (front_meta f)) (meta_sub s).m_mfi
 
 let rec meta_typ (a : typ) : meta =
-  match TypTbl.find_opt typ_meta a with
+  let tbl = (!cur_meta).mt_typ in
+  match TypTbl.find_opt tbl a with
   | Some m -> m
   | None ->
       let m = { m_id = fresh (); m_hash = hash_typ a; m_mfi = mfi1_typ a } in
-      TypTbl.replace typ_meta a m;
+      TypTbl.replace tbl a m;
       m
 
 and hash_typ = function
@@ -267,11 +286,12 @@ and mfi1_typ = function
   | Pi (_, a, b) -> max (meta_typ a).m_mfi (dec (meta_typ b).m_mfi)
 
 let rec meta_srt (s : srt) : meta =
-  match SrtTbl.find_opt srt_meta s with
+  let tbl = (!cur_meta).mt_srt in
+  match SrtTbl.find_opt tbl s with
   | Some m -> m
   | None ->
       let m = { m_id = fresh (); m_hash = hash_srt s; m_mfi = mfi1_srt s } in
-      SrtTbl.replace srt_meta s m;
+      SrtTbl.replace tbl s m;
       m
 
 and hash_srt = function
@@ -366,76 +386,130 @@ module SrtArena = Weak.Make (struct
     | _ -> false
 end)
 
-let head_arena = HeadArena.create 1024
+(* The arena half of a store state, plus the intern/dedup counters (which
+   are per-state so one session's sharing statistics cannot pollute
+   another's).  [state] packs both halves; the two [cur_*] refs are kept
+   in lock-step by [use_state] so the hot paths each pay one load. *)
+type arenas = {
+  ar_head : HeadArena.t;
+  ar_normal : NormalArena.t;
+  ar_sub : SubArena.t;
+  ar_typ : TypArena.t;
+  ar_srt : SrtArena.t;
+  mutable ar_interned : int;
+  mutable ar_dedup : int;
+}
 
-let normal_arena = NormalArena.create 4096
+let fresh_arenas () =
+  {
+    ar_head = HeadArena.create 1024;
+    ar_normal = NormalArena.create 4096;
+    ar_sub = SubArena.create 1024;
+    ar_typ = TypArena.create 1024;
+    ar_srt = SrtArena.create 1024;
+    ar_interned = 0;
+    ar_dedup = 0;
+  }
 
-let sub_arena = SubArena.create 1024
+let cur_arena : arenas ref = ref (fresh_arenas ())
 
-let typ_arena = TypArena.create 1024
+type state = { sx_meta : meta_tables; sx_arenas : arenas }
 
-let srt_arena = SrtArena.create 1024
+let fresh_state () =
+  { sx_meta = fresh_meta_tables (); sx_arenas = fresh_arenas () }
+
+(* The state every batch run lives in; [!cur_meta]/[!cur_arena] above are
+   its halves, so terms built before any [use_state] belong to it. *)
+let boot_state = { sx_meta = !cur_meta; sx_arenas = !cur_arena }
+
+let current = ref boot_state
+
+(** Install [st] as the world every [mk_*]/metadata access runs in. *)
+let use_state st =
+  current := st;
+  cur_meta := st.sx_meta;
+  cur_arena := st.sx_arenas
+
+let current_state () = !current
+
+(** Run [f] with [st] installed, restoring the previous state even on
+    exceptions (the serve loop's per-request bracket). *)
+let with_state st f =
+  let prev = !current in
+  use_state st;
+  Fun.protect ~finally:(fun () -> use_state prev) f
 
 (* --- interning -------------------------------------------------------- *)
 
-let n_interned = ref 0
-
-let n_dedup = ref 0
-
 let intern_head (cand : head) : head =
   if not !on then cand
-  else
-    let rep = HeadArena.merge head_arena cand in
+  else begin
+    Fault.hit "store-intern";
+    let a = !cur_arena in
+    let rep = HeadArena.merge a.ar_head cand in
     if rep == cand then begin
-      incr n_interned;
+      a.ar_interned <- a.ar_interned + 1;
       ignore (meta_head rep)
     end
-    else incr n_dedup;
+    else a.ar_dedup <- a.ar_dedup + 1;
     rep
+  end
 
 let intern_normal (cand : normal) : normal =
   if not !on then cand
-  else
-    let rep = NormalArena.merge normal_arena cand in
+  else begin
+    Fault.hit "store-intern";
+    let a = !cur_arena in
+    let rep = NormalArena.merge a.ar_normal cand in
     if rep == cand then begin
-      incr n_interned;
+      a.ar_interned <- a.ar_interned + 1;
       ignore (meta_normal rep)
     end
-    else incr n_dedup;
+    else a.ar_dedup <- a.ar_dedup + 1;
     rep
+  end
 
 let intern_sub (cand : sub) : sub =
   if not !on then cand
-  else
-    let rep = SubArena.merge sub_arena cand in
+  else begin
+    Fault.hit "store-intern";
+    let a = !cur_arena in
+    let rep = SubArena.merge a.ar_sub cand in
     if rep == cand then begin
-      incr n_interned;
+      a.ar_interned <- a.ar_interned + 1;
       ignore (meta_sub rep)
     end
-    else incr n_dedup;
+    else a.ar_dedup <- a.ar_dedup + 1;
     rep
+  end
 
 let intern_typ (cand : typ) : typ =
   if not !on then cand
-  else
-    let rep = TypArena.merge typ_arena cand in
+  else begin
+    Fault.hit "store-intern";
+    let a = !cur_arena in
+    let rep = TypArena.merge a.ar_typ cand in
     if rep == cand then begin
-      incr n_interned;
+      a.ar_interned <- a.ar_interned + 1;
       ignore (meta_typ rep)
     end
-    else incr n_dedup;
+    else a.ar_dedup <- a.ar_dedup + 1;
     rep
+  end
 
 let intern_srt (cand : srt) : srt =
   if not !on then cand
-  else
-    let rep = SrtArena.merge srt_arena cand in
+  else begin
+    Fault.hit "store-intern";
+    let a = !cur_arena in
+    let rep = SrtArena.merge a.ar_srt cand in
     if rep == cand then begin
-      incr n_interned;
+      a.ar_interned <- a.ar_interned + 1;
       ignore (meta_srt rep)
     end
-    else incr n_dedup;
+    else a.ar_dedup <- a.ar_dedup + 1;
     rep
+  end
 
 (* --- smart constructors ----------------------------------------------- *)
 
@@ -484,16 +558,17 @@ let mk_spi x s1 s2 = intern_srt (SPi (x, s1, s2))
 (* --- control ----------------------------------------------------------- *)
 
 let store_clear () =
-  HeadArena.clear head_arena;
-  NormalArena.clear normal_arena;
-  SubArena.clear sub_arena;
-  TypArena.clear typ_arena;
-  SrtArena.clear srt_arena;
-  HeadTbl.reset head_meta;
-  NormalTbl.reset normal_meta;
-  SubTbl.reset sub_meta;
-  TypTbl.reset typ_meta;
-  SrtTbl.reset srt_meta
+  let a = !cur_arena and m = !cur_meta in
+  HeadArena.clear a.ar_head;
+  NormalArena.clear a.ar_normal;
+  SubArena.clear a.ar_sub;
+  TypArena.clear a.ar_typ;
+  SrtArena.clear a.ar_srt;
+  HeadTbl.reset m.mt_head;
+  NormalTbl.reset m.mt_normal;
+  SubTbl.reset m.mt_sub;
+  TypTbl.reset m.mt_typ;
+  SrtTbl.reset m.mt_srt
 
 (* --- accessors --------------------------------------------------------- *)
 
@@ -520,7 +595,7 @@ let mfi_srt s = (meta_srt s).m_mfi
 let mfi_spine sp = snd (spine_meta sp)
 
 let is_rep_normal (m : normal) =
-  match NormalArena.find_opt normal_arena m with
+  match NormalArena.find_opt (!cur_arena).ar_normal m with
   | Some r -> r == m
   | None -> false
 
@@ -533,18 +608,21 @@ type store_stats = {
 }
 
 let store_stats () =
+  let a = !cur_arena in
   {
     st_live =
-      HeadArena.count head_arena + NormalArena.count normal_arena
-      + SubArena.count sub_arena + TypArena.count typ_arena
-      + SrtArena.count srt_arena;
-    st_interned = !n_interned;
-    st_dedup_hits = !n_dedup;
+      HeadArena.count a.ar_head + NormalArena.count a.ar_normal
+      + SubArena.count a.ar_sub + TypArena.count a.ar_typ
+      + SrtArena.count a.ar_srt;
+    st_interned = a.ar_interned;
+    st_dedup_hits = a.ar_dedup;
   }
 
 let dedup_ratio () =
-  if !n_interned = 0 then 0.0
-  else float_of_int (!n_interned + !n_dedup) /. float_of_int !n_interned
+  let a = !cur_arena in
+  if a.ar_interned = 0 then 0.0
+  else
+    float_of_int (a.ar_interned + a.ar_dedup) /. float_of_int a.ar_interned
 
 (* Report the store's numbers in --stats / --profile ("store" section of
    the belr-profile/1 schema; Belr_lf.Hsub contributes its memo-table

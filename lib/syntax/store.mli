@@ -142,6 +142,34 @@ val mk_sembed : cid_typ -> spine -> srt
 
 val mk_spi : Name.t -> srt -> srt -> srt
 
+(* --- store states (session isolation) --------------------------------- *)
+
+type state
+(** A complete store world: the five weak arenas, their metadata tables,
+    and the intern/dedup counters.  Exactly one state is {e installed} at
+    any time; every [mk_*] constructor and metadata accessor operates on
+    it.  The daemon ([belr serve]) gives each session its own state so no
+    interned term, metadata entry, or statistic is shared across
+    sessions; batch runs never touch this API and live in the boot
+    state.
+
+    Unique ids ({!normal_id} etc.) remain process-global and monotone
+    across all states — that is what keeps the [Belr_lf.Hsub] memo tables
+    sound when states are swapped or cleared. *)
+
+val fresh_state : unit -> state
+(** A new empty store world. *)
+
+val use_state : state -> unit
+(** Install [state]: subsequent constructions and lookups run in it. *)
+
+val current_state : unit -> state
+(** The currently installed state. *)
+
+val with_state : state -> (unit -> 'a) -> 'a
+(** [with_state st f] runs [f] with [st] installed, restoring the
+    previously installed state afterwards (also on exceptions). *)
+
 (* --- store control ---------------------------------------------------- *)
 
 val store_enabled : unit -> bool

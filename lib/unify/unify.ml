@@ -240,6 +240,7 @@ let invert_term (s : sub) (m : normal) : normal =
 (* --- the unifier --------------------------------------------------------- *)
 
 let rec unify_normal st (m1 : normal) (m2 : normal) : unit =
+  Fault.hit "unify";
   Limits.guard depth (fun () -> unify_normal_inner st m1 m2)
 
 and unify_normal_inner st (m1 : normal) (m2 : normal) : unit =

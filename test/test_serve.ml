@@ -1,0 +1,206 @@
+(** The [belr serve] engine: belr-serve/1 replies, incremental
+    per-declaration re-checking (telemetry span counts as the oracle),
+    crash-only fault handling, deadlines, and protocol resync. *)
+
+open Belr_support
+open Belr_parser
+module J = Json
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* --- request/reply plumbing -------------------------------------------- *)
+
+let request ?(session = "s") ?deadline_ms ?(meth = "check") ?source ?file id
+    =
+  let fields =
+    [ ("id", Some (J.Int id)); ("method", Some (J.String meth));
+      ("session", Some (J.String session));
+      ("deadline_ms", Option.map (fun n -> J.Int n) deadline_ms);
+      ("source", Option.map (fun s -> J.String s) source);
+      ("file", Option.map (fun f -> J.String f) file) ]
+  in
+  J.to_string ~compact:true
+    (J.Obj
+       (List.filter_map
+          (fun (k, v) -> Option.map (fun v -> (k, v)) v)
+          fields))
+
+(** Send one line, decode the mandatory reply. *)
+let round t line =
+  match Serve.handle_line t line with
+  | None -> Alcotest.fail "no reply to a non-blank line"
+  | Some reply -> (
+      match J.parse reply with
+      | Error msg -> Alcotest.failf "unparsable reply: %s" msg
+      | Ok j -> j)
+
+let str_field k j =
+  match Option.bind (J.member k j) J.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "reply lacks string %S" k
+
+let int_field k j =
+  match Option.bind (J.member k j) J.to_int with
+  | Some n -> n
+  | None -> Alcotest.failf "reply lacks int %S" k
+
+let tele_field k j =
+  match Option.bind (J.member "telemetry" j) (J.member k) with
+  | Some (J.Int n) -> n
+  | _ -> Alcotest.failf "reply telemetry lacks %S" k
+
+let codes j =
+  match Option.bind (J.member "diagnostics" j) J.to_list with
+  | Some ds -> List.filter_map (fun d -> Option.bind (J.member "code" d) J.to_str) ds
+  | None -> []
+
+(* Three declarations: [dep] references [nat]; [exp] is unrelated to
+   both (and not subordinate to either), so a [nat] edit must re-check
+   [nat] and [dep] but reuse [exp]. *)
+let nat = "LF nat : type =\n| z : nat\n| s : nat -> nat;"
+let nat' = "LF nat : type =\n| z : nat\n| s : nat -> nat\n| t : nat;"
+
+let exp =
+  "LF exp : type =\n| lam : (exp -> exp) -> exp\n| app : exp -> exp -> exp;"
+
+let dep = "LF vec : type =\n| nil : vec\n| cons : nat -> vec -> vec;"
+let src3 a = String.concat "\n\n" [ a; exp; dep ]
+
+let incremental_tests =
+  [
+    test "identical resubmission re-checks nothing" (fun () ->
+        let t = Serve.create () in
+        let r1 = round t (request ~source:(src3 nat) 1) in
+        Alcotest.(check string) "status" "ok" (str_field "status" r1);
+        Alcotest.(check int) "cold re-checks all" 3 (tele_field "rechecked" r1);
+        let r2 = round t (request ~source:(src3 nat) 2) in
+        Alcotest.(check int) "warm re-checks none" 0 (tele_field "rechecked" r2);
+        Alcotest.(check int) "all reused" 3 (tele_field "reused" r2);
+        Alcotest.(check int) "no decl spans" 0 (tele_field "decl_spans" r2));
+    test "editing one decl re-checks only its dependents" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let r = round t (request ~source:(src3 nat') 2) in
+        Alcotest.(check string) "status" "ok" (str_field "status" r);
+        Alcotest.(check int) "exit" 0 (int_field "exit_code" r);
+        (* nat (edited) and vec (references nat); exp is untouched *)
+        Alcotest.(check int) "rechecked" 2 (tele_field "rechecked" r);
+        Alcotest.(check int) "reused" 1 (tele_field "reused" r);
+        (* the telemetry decl spans are the ground truth: exactly the
+           re-checked declarations went through the checking pipeline *)
+        Alcotest.(check int) "decl spans" 2 (tele_field "decl_spans" r));
+    test "an erroneous declaration recovers fully once fixed" (fun () ->
+        let t = Serve.create () in
+        let broken = "LF vec : type =\n| cons : natt -> vec -> vec;" in
+        let r1 =
+          round t
+            (request ~source:(String.concat "\n\n" [ nat; broken ]) 1)
+        in
+        Alcotest.(check int) "exit 1 while broken" 1 (int_field "exit_code" r1);
+        Alcotest.(check bool) "E0201 reported" true
+          (List.mem "E0201" (codes r1));
+        let r2 =
+          round t (request ~source:(String.concat "\n\n" [ nat; dep ]) 2)
+        in
+        Alcotest.(check string) "status" "ok" (str_field "status" r2);
+        Alcotest.(check int) "exit 0 once fixed" 0 (int_field "exit_code" r2);
+        Alcotest.(check (list string)) "no diagnostics" [] (codes r2);
+        (* only the fixed declaration re-checks; nat is reused *)
+        Alcotest.(check int) "rechecked" 1 (tele_field "rechecked" r2);
+        Alcotest.(check int) "reused" 1 (tele_field "reused" r2));
+    test "removing a declaration retracts it from the session" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let r = round t (request ~source:nat 2) in
+        Alcotest.(check string) "status" "ok" (str_field "status" r);
+        let typs =
+          match
+            Option.bind (J.member "result" r) (fun res ->
+                Option.bind (J.member "summary" res) (J.member "typs"))
+          with
+          | Some (J.Int n) -> n
+          | _ -> Alcotest.fail "no summary.typs"
+        in
+        Alcotest.(check int) "one family left" 1 typs);
+  ]
+
+let robustness_tests =
+  [
+    test "an injected kernel fault yields a structured error reply, and \
+          the next request on a fresh session succeeds" (fun () ->
+        let t = Serve.create () in
+        Fault.arm ~site:"store-intern" ~n:1;
+        let r1 =
+          Fun.protect ~finally:Fault.disarm (fun () ->
+              round t (request ~session:"a" ~source:nat 1))
+        in
+        Alcotest.(check string) "status" "error" (str_field "status" r1);
+        Alcotest.(check int) "exit 2" 2 (int_field "exit_code" r1);
+        Alcotest.(check bool) "B0003 reported" true
+          (List.mem "B0003" (codes r1));
+        let r2 = round t (request ~session:"b" ~source:nat 2) in
+        Alcotest.(check string) "fresh session ok" "ok" (str_field "status" r2);
+        Alcotest.(check int) "exit 0" 0 (int_field "exit_code" r2));
+    test "malformed input is a structured E0904 and the loop resyncs"
+      (fun () ->
+        let t = Serve.create () in
+        let r1 = round t "{{{ not json" in
+        Alcotest.(check string) "status" "error" (str_field "status" r1);
+        Alcotest.(check bool) "E0904" true (List.mem "E0904" (codes r1));
+        Alcotest.(check bool) "blank line: no reply" true
+          (Serve.handle_line t "   " = None);
+        let r2 = round t (request ~source:nat 2) in
+        Alcotest.(check string) "next request fine" "ok"
+          (str_field "status" r2));
+    test "an unknown method is rejected without killing the session"
+      (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:nat 1));
+        let r = round t (request ~meth:"frobnicate" 2) in
+        Alcotest.(check string) "status" "error" (str_field "status" r);
+        Alcotest.(check bool) "E0904" true (List.mem "E0904" (codes r));
+        let r2 = round t (request ~source:nat 3) in
+        Alcotest.(check int) "session survived: everything reused" 0
+          (tele_field "rechecked" r2));
+    test "an expired deadline degrades the reply with E0903" (fun () ->
+        let t = Serve.create () in
+        let r = round t (request ~deadline_ms:0 ~source:(src3 nat) 1) in
+        Alcotest.(check string) "status" "degraded" (str_field "status" r);
+        Alcotest.(check bool) "E0903" true (List.mem "E0903" (codes r));
+        (* the session is consistent: the next, undeadlined request
+           finishes the work *)
+        let r2 = round t (request ~source:(src3 nat) 2) in
+        Alcotest.(check string) "recovers" "ok" (str_field "status" r2);
+        Alcotest.(check int) "exit 0" 0 (int_field "exit_code" r2));
+    test "a missing source/file is a protocol error" (fun () ->
+        let t = Serve.create () in
+        let r = round t (request 1) in
+        Alcotest.(check string) "status" "error" (str_field "status" r);
+        Alcotest.(check bool) "E0904" true (List.mem "E0904" (codes r)));
+    test "reset gives the session a fresh world" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let r = round t (request ~meth:"reset" 2) in
+        Alcotest.(check string) "reset ok" "ok" (str_field "status" r);
+        let r2 = round t (request ~source:(src3 nat) 3) in
+        Alcotest.(check int) "everything re-checks" 3
+          (tele_field "rechecked" r2));
+    test "lint and stats answer on a checked session" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let rl = round t (request ~meth:"lint" 2) in
+        Alcotest.(check string) "lint ok" "ok" (str_field "status" rl);
+        let rs = round t (request ~meth:"stats" 3) in
+        Alcotest.(check string) "stats ok" "ok" (str_field "status" rs);
+        match
+          Option.bind (J.member "result" rs) (J.member "requests")
+        with
+        | Some (J.Int n) -> Alcotest.(check int) "request count" 3 n
+        | _ -> Alcotest.fail "stats lacks requests");
+  ]
+
+let suites =
+  [
+    ("serve incremental", incremental_tests);
+    ("serve robustness", robustness_tests);
+  ]

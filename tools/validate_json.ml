@@ -7,9 +7,20 @@
     per entry) and a [summary], a [belr-total/1] report its [functions]
     array (name + terminating + covered per entry) plus the [callgraph],
     [findings], and [summary] sections, and a [belr-bench/1] report a
-    non-empty [experiments] object of per-experiment objects.  Exit 0 iff
-    every file passes; the [@smoke], [@lint], [@total], and [@bench-json]
-    dune aliases fail the build otherwise. *)
+    non-empty [experiments] object of per-experiment objects.
+
+    A [.jsonl] argument is validated line by line; every non-blank line
+    must parse and every [belr-serve/1] reply must carry its [id],
+    [session], a valid [status], an integer [exit_code], a well-formed
+    [diagnostics] array, and a [telemetry] object.  After [--serve-abuse],
+    [.jsonl] files must additionally satisfy the scripted-abuse contract
+    of the [@serve] alias: at least one [error] reply (the injected
+    fault), at least one [degraded] reply (the blown deadline), and a
+    final reply that is [ok] with exit code 0 and a non-empty checked
+    signature — the server survived the abuse and still checks real
+    input.  Exit 0 iff every file passes; the [@smoke], [@lint],
+    [@total], [@serve], and [@bench-json] dune aliases fail the build
+    otherwise. *)
 
 module J = Belr_support.Json
 
@@ -138,8 +149,98 @@ let check_structure (j : J.t) : string option =
                 | _ -> Some "total report lacks its \"callgraph\" object"))
       | _ -> None (* generic JSON (e.g. a bench report): parsing sufficed *))
 
+(* --- belr-serve/1 reply streams ----------------------------------------- *)
+
+let check_serve_reply (j : J.t) : string option =
+  let has k = J.member k j <> None in
+  if not (has "id") then Some "serve reply lacks \"id\""
+  else
+    match J.member "session" j with
+    | Some (J.String _) -> (
+        match J.member "status" j with
+        | Some (J.String ("ok" | "degraded" | "error")) -> (
+            match J.member "exit_code" j with
+            | Some (J.Int _) -> (
+                match Option.bind (J.member "diagnostics" j) J.to_list with
+                | None -> Some "serve reply lacks a \"diagnostics\" array"
+                | Some diags -> (
+                    let bad d =
+                      match (J.member "code" d, J.member "severity" d) with
+                      | Some (J.String _), Some (J.String _) -> false
+                      | _ -> true
+                    in
+                    if List.exists bad diags then
+                      Some
+                        "a serve diagnostic is missing its \"code\" or \
+                         \"severity\" string"
+                    else
+                      match J.member "telemetry" j with
+                      | Some (J.Obj _) -> None
+                      | _ -> Some "serve reply lacks a \"telemetry\" object"))
+            | _ -> Some "serve reply lacks an integer \"exit_code\"")
+        | _ ->
+            Some
+              "serve reply \"status\" is not one of ok, degraded, error")
+    | _ -> Some "serve reply lacks a \"session\" string"
+
+let status_of j =
+  match J.member "status" j with Some (J.String s) -> s | _ -> ""
+
+(** The scripted-abuse contract (see [examples/dune], alias [@serve]):
+    the stream must show the server absorbing a fault ([error]), a blown
+    deadline ([degraded]), and still end with a successful check of a
+    real signature. *)
+let check_abuse_contract (replies : J.t list) : string option =
+  if not (List.exists (fun r -> status_of r = "error") replies) then
+    Some "abuse stream has no \"error\" reply (fault not exercised)"
+  else if not (List.exists (fun r -> status_of r = "degraded") replies) then
+    Some "abuse stream has no \"degraded\" reply (deadline not exercised)"
+  else
+    match List.rev replies with
+    | [] -> Some "abuse stream is empty"
+    | last :: _ ->
+        if status_of last <> "ok" then
+          Some "abuse stream's final reply is not \"ok\""
+        else if J.member "exit_code" last <> Some (J.Int 0) then
+          Some "abuse stream's final reply has a nonzero exit code"
+        else
+          let typs =
+            Option.bind (J.member "result" last) (fun r ->
+                Option.bind (J.member "summary" r) (J.member "typs"))
+          in
+          (match typs with
+          | Some (J.Int n) when n > 0 -> None
+          | _ ->
+              Some
+                "abuse stream's final reply checked an empty signature \
+                 (summary.typs is not positive)")
+
+let check_jsonl ~abuse (src : string) : string option =
+  let replies = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None && String.trim line <> "" then
+        match J.parse line with
+        | Error msg -> err := Some (Printf.sprintf "line %d: %s" (i + 1) msg)
+        | Ok j ->
+            if J.member "schema" j = Some (J.String "belr-serve/1") then (
+              (match check_serve_reply j with
+              | Some msg ->
+                  err := Some (Printf.sprintf "line %d: %s" (i + 1) msg)
+              | None -> ());
+              replies := j :: !replies))
+    (String.split_on_char '\n' src);
+  match !err with
+  | Some _ as e -> e
+  | None ->
+      if !replies = [] then Some "no belr-serve/1 replies in stream"
+      else if abuse then check_abuse_contract (List.rev !replies)
+      else None
+
 let () =
   let failed = ref false in
+  let abuse = ref false in
   let report path = function
     | None -> Printf.printf "%s: ok\n" path
     | Some msg ->
@@ -149,11 +250,16 @@ let () =
   Array.iteri
     (fun i path ->
       if i > 0 then
-        match read_file path with
-        | exception Sys_error msg -> report path (Some msg)
-        | src -> (
-            match J.parse src with
-            | Error msg -> report path (Some msg)
-            | Ok j -> report path (check_structure j)))
+        if path = "--serve-abuse" then abuse := true
+        else
+          match read_file path with
+          | exception Sys_error msg -> report path (Some msg)
+          | src ->
+              if Filename.check_suffix path ".jsonl" then
+                report path (check_jsonl ~abuse:!abuse src)
+              else (
+                match J.parse src with
+                | Error msg -> report path (Some msg)
+                | Ok j -> report path (check_structure j)))
     Sys.argv;
   if !failed then exit 1
