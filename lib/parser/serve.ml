@@ -259,7 +259,12 @@ let parse_incremental (sink : Diagnostics.sink) (ses : session)
           else (List.rev acc, s)
     in
     let reused, cut = take [] 0 ses.ss_entries in
-    let cut = back_to_keyword src cut in
+    (* reused entries always end <= p, but the empty-reuse stop case
+       returns the first old declaration's start, which can exceed p
+       (an edit in leading trivia, or an insertion before the first
+       declaration); blanking [p, cut) would erase bytes of the {e new}
+       text there, so fall back to a full parse instead *)
+    let cut = if cut > p then 0 else back_to_keyword src cut in
     if cut = 0 then Parse.parse_program_tolerant sink ~name src
     else
       let tail =
@@ -403,31 +408,45 @@ let check_in_session (sink : Diagnostics.sink) (ses : session)
   List.iter (fun o -> Hashtbl.replace old_ok o.en_key o.en_ok) olds;
   let rechecked = ref 0 and reused = ref 0 in
   let deadline_hit = ref false in
+  (* the sink's error cap can abort the loop below mid-way (Stop from
+     [Diagnostics.emit]) — but the old entries are already retracted and
+     [ss_text] updated, so [news] must be committed regardless.
+     Pre-mark every to-re-check entry failed (the loop overwrites the
+     mark when it actually processes one) and commit in a [finally]:
+     entries the abort skipped then re-check on the next request instead
+     of being reused as stale successes over an older text.  Reused
+     (non-invalid) entries keep their default [en_ok = true], which is
+     exact: an old entry with [en_ok = false] is always a seed. *)
   List.iter
-    (fun e ->
-      if SS.mem e.en_key invalid then
-        if !deadline_hit || Limits.expired () then begin
-          (* out of time: leave the rest unchecked-but-marked-failed so
-             the next request re-checks them; poison their names so
-             survivors that reference them degrade gracefully *)
-          deadline_hit := true;
-          e.en_ok <- false;
-          List.iter (Sign.poison sg) e.en_names
-        end
-        else begin
-          incr rechecked;
-          Process.process_decl_tolerant sink sg e.en_decl;
-          e.en_ok <- not (List.exists (Sign.is_poisoned sg) e.en_names)
-        end
-      else begin
-        incr reused;
-        e.en_ok <-
-          (match Hashtbl.find_opt old_ok e.en_key with
-          | Some ok -> ok
-          | None -> true)
-      end)
+    (fun e -> if SS.mem e.en_key invalid then e.en_ok <- false)
     news;
-  ses.ss_entries <- news;
+  Fun.protect
+    ~finally:(fun () -> ses.ss_entries <- news)
+    (fun () ->
+      List.iter
+        (fun e ->
+          if SS.mem e.en_key invalid then
+            if !deadline_hit || Limits.expired () then begin
+              (* out of time: leave the rest unchecked-but-marked-failed
+                 so the next request re-checks them; poison their names
+                 so survivors that reference them degrade gracefully *)
+              deadline_hit := true;
+              List.iter (Sign.poison sg) e.en_names
+            end
+            else begin
+              incr rechecked;
+              Process.process_decl_tolerant sink sg e.en_decl;
+              e.en_ok <-
+                not (List.exists (Sign.is_poisoned sg) e.en_names)
+            end
+          else begin
+            incr reused;
+            e.en_ok <-
+              (match Hashtbl.find_opt old_ok e.en_key with
+              | Some ok -> ok
+              | None -> true)
+          end)
+        news);
   let result =
     J.Obj
       [
@@ -520,11 +539,15 @@ let handle_request (t : t) (rq : request) : J.t =
   let ses = find_session t rq.rq_session in
   Limits.set_max_depth
     (Option.value rq.rq_max_depth ~default:t.sv_max_depth);
+  (* clear first, unconditionally: protocol-error paths below return
+     without [finish], so a previous request's step budget could still
+     be armed (and [arm_deadline] alone does not clear it) *)
+  Limits.clear_deadline ();
   (match
      match rq.rq_deadline_ms with Some ms -> Some ms | None -> t.sv_deadline_ms
    with
   | Some ms -> Limits.arm_deadline ~ms
-  | None -> Limits.clear_deadline ());
+  | None -> ());
   Option.iter Limits.set_step_budget rq.rq_step_budget;
   let sink = Diagnostics.sink ~max_errors:t.sv_max_errors () in
   let t0 = Limits.now_ns () in

@@ -10,12 +10,13 @@ let test name f = Alcotest.test_case name `Quick f
 
 (* --- request/reply plumbing -------------------------------------------- *)
 
-let request ?(session = "s") ?deadline_ms ?(meth = "check") ?source ?file id
-    =
+let request ?(session = "s") ?deadline_ms ?step_budget ?(meth = "check")
+    ?source ?file id =
   let fields =
     [ ("id", Some (J.Int id)); ("method", Some (J.String meth));
       ("session", Some (J.String session));
       ("deadline_ms", Option.map (fun n -> J.Int n) deadline_ms);
+      ("step_budget", Option.map (fun n -> J.Int n) step_budget);
       ("source", Option.map (fun s -> J.String s) source);
       ("file", Option.map (fun f -> J.String f) file) ]
   in
@@ -108,6 +109,20 @@ let incremental_tests =
         (* only the fixed declaration re-checks; nat is reused *)
         Alcotest.(check int) "rechecked" 1 (tele_field "rechecked" r2);
         Alcotest.(check int) "reused" 1 (tele_field "reused" r2));
+    test "inserting a declaration before the first one reparses fully"
+      (fun () ->
+        let t = Serve.create () in
+        (* leading trivia puts the first declaration's start past the
+           common prefix of the two texts; the incremental reparse must
+           not blank bytes of the new text's inserted declaration *)
+        let r1 = round t (request ~source:("\n" ^ nat) 1) in
+        Alcotest.(check string) "status" "ok" (str_field "status" r1);
+        let r2 =
+          round t (request ~source:("LF bool : type;\n\n" ^ nat) 2)
+        in
+        Alcotest.(check string) "status" "ok" (str_field "status" r2);
+        Alcotest.(check int) "exit 0" 0 (int_field "exit_code" r2);
+        Alcotest.(check (list string)) "no diagnostics" [] (codes r2));
     test "removing a declaration retracts it from the session" (fun () ->
         let t = Serve.create () in
         ignore (round t (request ~source:(src3 nat) 1));
@@ -172,6 +187,47 @@ let robustness_tests =
         let r2 = round t (request ~source:(src3 nat) 2) in
         Alcotest.(check string) "recovers" "ok" (str_field "status" r2);
         Alcotest.(check int) "exit 0" 0 (int_field "exit_code" r2));
+    test "the error cap firing mid-check leaves the session consistent"
+      (fun () ->
+        let t = Serve.create ~max_errors:1 () in
+        let broken = "LF vec : type =\n| cons : natt -> vec -> vec;" in
+        let r1 =
+          round t
+            (request ~source:(String.concat "\n\n" [ nat; broken; exp ]) 1)
+        in
+        Alcotest.(check int) "exit 1 while broken" 1 (int_field "exit_code" r1);
+        (* the cap aborted the re-check loop mid-way; the session must
+           still have committed its entry list, so fixing the file fully
+           recovers (no duplicate-declaration noise from stale entries) *)
+        let r2 =
+          round t
+            (request ~source:(String.concat "\n\n" [ nat; dep; exp ]) 2)
+        in
+        Alcotest.(check string) "status" "ok" (str_field "status" r2);
+        Alcotest.(check int) "exit 0 once fixed" 0 (int_field "exit_code" r2);
+        Alcotest.(check (list string)) "no diagnostics" [] (codes r2));
+    test "a protocol error does not leak its step budget" (fun () ->
+        let t = Serve.create ~deadline_ms:60_000 () in
+        (* computation checking performs guarded steps, so a stale
+           one-step budget is guaranteed to trip on this source *)
+        let src =
+          String.concat "\n\n"
+            [
+              nat; "LFR pos <| nat : sort =\n| s : nat -> pos;";
+              "rec pred : [ |- pos] -> [ |- nat] =\n\
+               fn d => case d of\n\
+               | {N : [ |- nat]}\n\
+               \  [ |- s N] => [ |- N];";
+            ]
+        in
+        (* rejected before [finish] runs, with a tiny budget armed *)
+        let r1 = round t (request ~step_budget:1 1) in
+        Alcotest.(check string) "status" "error" (str_field "status" r1);
+        (* the next, unbudgeted request must not run under the stale cap *)
+        let r2 = round t (request ~source:src 2) in
+        Alcotest.(check string) "status" "ok" (str_field "status" r2);
+        Alcotest.(check int) "exit 0" 0 (int_field "exit_code" r2);
+        Alcotest.(check (list string)) "no diagnostics" [] (codes r2));
     test "a missing source/file is a protocol error" (fun () ->
         let t = Serve.create () in
         let r = round t (request 1) in
