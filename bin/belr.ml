@@ -47,6 +47,15 @@ let write_report sink path json =
       (Diagnostics.make ~code:"E0701" Diagnostics.Error
          "cannot write report %s: %s" path msg)
 
+(** Write the Prometheus-style metrics exposition ([--metrics FILE]),
+    with the same I/O-failure story as {!write_report}. *)
+let write_metrics sink path =
+  try Metrics.write_exposition path
+  with Sys_error msg ->
+    Diagnostics.emit sink
+      (Diagnostics.make ~code:"E0701" Diagnostics.Error
+         "cannot write metrics %s: %s" path msg)
+
 (** One-line kernel summary for [--kernel-stats].  Reads the always-on
     integer counters of the term store, the hereditary-substitution memo
     table, and the equality fast path — no [--stats] instrumentation
@@ -136,13 +145,14 @@ let run_total files verbose json depth budget max_errors max_depth werror
       code
 
 let run_check files verbose total lint max_errors max_depth werror stats
-    trace profile kernel_stats =
+    trace profile kernel_stats metrics =
   Limits.set_max_depth max_depth;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
     Telemetry.reset ();
     Telemetry.set_enabled true
   end;
+  if metrics <> None then Metrics.set_enabled true;
   let sink = Diagnostics.sink ~max_errors ~werror () in
   let sg = Belr_parser.Driver.check_files sink files in
   if total then Belr_parser.Driver.analyze sink sg;
@@ -158,6 +168,7 @@ let run_check files verbose total lint max_errors max_depth werror stats
       (fun f -> write_report sink f (Telemetry.profile_json ()))
       profile
   end;
+  Option.iter (fun f -> write_metrics sink f) metrics;
   Diagnostics.dump Fmt.stderr sink;
   if stats then Fmt.epr "%a@?" Telemetry.pp_stats ();
   if kernel_stats then print_kernel_stats ();
@@ -211,12 +222,41 @@ let run_lint files verbose total json max_errors max_depth werror stats trace
       Fmt.epr "lint failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_serve deadline_ms max_live_nodes max_errors max_depth =
+let run_serve deadline_ms max_live_nodes max_errors max_depth log_file
+    log_level slow_ms metrics =
+  (* The structured log opens before the first request and closes after
+     the loop; an unopenable path is a startup error (exit 1), not a
+     silently disabled log. *)
+  let log_oc =
+    match log_file with
+    | None -> None
+    | Some path -> (
+        match open_out path with
+        | oc ->
+            Log.set_output (Some oc);
+            (match Log.level_of_string log_level with
+            | Some l -> Log.set_level l
+            | None ->
+                Fmt.epr "belr serve: unknown log level %S (use debug, \
+                         info, warn, or error)@." log_level);
+            Some oc
+        | exception Sys_error msg ->
+            Fmt.epr "belr serve: cannot open log %s: %s@." path msg;
+            exit 1)
+  in
   let t =
     Belr_parser.Serve.create ?deadline_ms ~max_depth ~max_errors
-      ?watermark:max_live_nodes ()
+      ?watermark:max_live_nodes ?slow_ms ()
   in
   Belr_parser.Serve.run t stdin stdout;
+  (match metrics with
+  | Some path -> (
+      try Metrics.write_exposition path
+      with Sys_error msg ->
+        Fmt.epr "belr serve: cannot write metrics %s: %s@." path msg)
+  | None -> ());
+  Log.close ();
+  Option.iter close_out_noerr log_oc;
   0
 
 let files_arg =
@@ -343,16 +383,27 @@ let kernel_stats_arg =
            always-on counters and needs no instrumentation (set \
            BELR_NO_HASHCONS=1 to disable the store itself)")
 
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "write a Prometheus-style text exposition of the metrics \
+           registry (counters, gauges, latency histograms; all series \
+           carry the belr_ prefix) to $(docv) on exit; the same data is \
+           available as JSON (schema belr-metrics/1) from the serve \
+           $(b,metrics) method")
+
 let check_cmd =
   let doc = "parse, elaborate, and sort-check source files" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun files v t li me md we st tr pr ks ->
-          run_check files v t li me md we st tr pr ks)
+      const (fun files v t li me md we st tr pr ks mx ->
+          run_check files v t li me md we st tr pr ks mx)
       $ files_arg $ verbose_arg $ total_arg $ lint_flag_arg $ max_errors_arg
       $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg
-      $ kernel_stats_arg)
+      $ kernel_stats_arg $ metrics_arg)
 
 let lint_cmd =
   let doc =
@@ -407,21 +458,52 @@ let max_live_nodes_arg =
            memo tables are cleared (reported as W0901); only sharing is \
            lost — subsequent requests rebuild terms on demand")
 
+let log_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "append one structured JSON log line per request to $(docv) \
+           (fields ts_ns, level, event, request_id, session, method, \
+           status, duration_ms, decls rechecked/reused); the request_id \
+           also appears in every reply and in trace spans, so the three \
+           artifacts join on it")
+
+let log_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "minimum level written to the log: debug, info, warn, or error")
+
+let slow_ms_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "log a warn-level serve.slow event, including the request's \
+           telemetry span tree, for any request slower than $(docv) \
+           milliseconds")
+
 let serve_cmd =
   let doc =
     "run the long-lived JSON-line server (schema belr-serve/1): one \
      request object per stdin line (methods check, lint, total, stats, \
-     reset), one reply object per stdout line; sessions are isolated \
-     worlds, checking is incremental per declaration, and every request \
-     is crash-only — malformed input, kernel faults, and blown deadlines \
-     produce structured error replies, never a dead server"
+     reset, metrics, health), one reply object per stdout line; sessions \
+     are isolated worlds, checking is incremental per declaration, and \
+     every request is crash-only — malformed input, kernel faults, and \
+     blown deadlines produce structured error replies, never a dead \
+     server; $(b,--log), $(b,--slow-ms), and $(b,--metrics) add \
+     production observability, correlated by per-request ids"
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const (fun dl wm me md -> run_serve dl wm me md)
+      const (fun dl wm me md lf ll sm mx ->
+          run_serve dl wm me md lf ll sm mx)
       $ deadline_ms_arg $ max_live_nodes_arg $ max_errors_arg
-      $ max_depth_arg)
+      $ max_depth_arg $ log_file_arg $ log_level_arg $ slow_ms_arg
+      $ metrics_arg)
 
 let main =
   let doc =

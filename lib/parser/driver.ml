@@ -22,6 +22,30 @@ let read_file (sink : Diagnostics.sink) (path : string) : string option =
           with End_of_file ->
             Error.raise_msg "file %s changed while being read" path))
 
+(* Batch-pipeline metrics (one histogram observation and one counter
+   bump per file — negligible next to checking, a flag check when the
+   registry is off): what [belr check --metrics] exposes. *)
+let m_files =
+  Metrics.counter ~help:"source files checked by the batch pipeline"
+    "check.files"
+
+let m_file_hist =
+  Metrics.histogram ~help:"per-file end-to-end checking latency (ns)"
+    "check.file"
+
+let with_file_metrics : 'a. (unit -> 'a) -> 'a =
+ fun f ->
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let t0 = Limits.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.inc m_files;
+        Metrics.observe m_file_hist
+          (Int64.to_int (Int64.sub (Limits.now_ns ()) t0)))
+      f
+  end
+
 (** Check named sources in order (later sources see the declarations of
     earlier ones), recovering per declaration; always returns the
     signature accumulated so far, even after the [--max-errors] cap. *)
@@ -32,7 +56,8 @@ let check_sources (sink : Diagnostics.sink)
       List.iter
         (fun (name, src) ->
           Telemetry.with_span ~arg:name "file" (fun () ->
-              Process.extend ~diags:sink sg ~name src))
+              with_file_metrics (fun () ->
+                  Process.extend ~diags:sink sg ~name src)))
         sources);
   sg
 
@@ -44,9 +69,10 @@ let check_files (sink : Diagnostics.sink) (files : string list) :
       List.iter
         (fun f ->
           Telemetry.with_span ~arg:f "file" (fun () ->
-              match read_file sink f with
-              | Some src -> Process.extend ~diags:sink sg ~name:f src
-              | None -> ()))
+              with_file_metrics (fun () ->
+                  match read_file sink f with
+                  | Some src -> Process.extend ~diags:sink sg ~name:f src
+                  | None -> ())))
         files);
   sg
 

@@ -8,11 +8,15 @@
     { "id": <any>, "method": "check", "session": "s"?,
       "source": "…"? | "file": "path"?,
       "deadline_ms": <int>?, "step_budget": <int>?, "max_depth": <int>? }
-    { "id": <any>, "method": "lint" | "total" | "stats" | "reset",
+    { "id": <any>, "method": "lint" | "total" | "stats" | "reset"
+                           | "metrics" | "health",
       "session": "s"?, … }
     v}
 
-    Replies always carry ["schema"], the echoed ["id"], the ["session"]
+    Replies always carry ["schema"], the echoed ["id"], a server-minted
+    ["request_id"] (["r<n>"], unique per input line, echoed in every log
+    line and stamped on every telemetry span the request ran — the join
+    key across replies, logs, and traces), the ["session"]
     name, a ["status"] of ["ok"] (request completed; user errors, if any,
     are in ["diagnostics"] and reflected in ["exit_code"]), ["degraded"]
     (a deadline/step budget or memory watermark cut the work short — the
@@ -81,21 +85,140 @@ type t = {
   sv_max_depth : int;
   sv_max_errors : int;
   sv_watermark : int option;  (** live-node bound before a pressure reset *)
+  sv_slow_ms : float option;
+      (** requests slower than this log their span tree ([--slow-ms]) *)
+  sv_started_ns : int64;  (** monotonic server start (the [health] uptime) *)
   mutable sv_requests : int;
+  mutable sv_rid : int;  (** request-id sequence (includes rejected lines) *)
   mutable sv_pressure_resets : int;
+  mutable sv_deadline_overruns : int;
+      (** requests degraded by a deadline or step budget (E0903) *)
 }
 
+(* --- the metrics registry (DESIGN.md §S24) ------------------------------ *)
+
+(* Registered once at module load (the registry is idempotent anyway);
+   recording is a flag check when metrics are off. *)
+let m_requests =
+  Metrics.counter ~help:"serve requests handled (all methods)"
+    "serve.requests"
+
+let m_protocol_errors =
+  Metrics.counter ~help:"malformed or rejected serve requests (E0904)"
+    "serve.protocol_errors"
+
+let m_replies_ok = Metrics.counter ~help:"replies with status ok" "serve.replies.ok"
+
+let m_replies_degraded =
+  Metrics.counter ~help:"replies with status degraded" "serve.replies.degraded"
+
+let m_replies_error =
+  Metrics.counter ~help:"replies with status error" "serve.replies.error"
+
+let m_decls_rechecked =
+  Metrics.counter ~help:"declarations re-checked by the incremental engine"
+    "serve.decls.rechecked"
+
+let m_decls_reused =
+  Metrics.counter ~help:"declarations reused by the incremental engine"
+    "serve.decls.reused"
+
+(** Per-method latency histograms; the [serve.check] p50/p99 is the
+    headline number the bench overhead gate (E9) reads back. *)
+let m_method_hist : (string * Metrics.histogram) list =
+  List.map
+    (fun m ->
+      ( m,
+        Metrics.histogram
+          ~help:(Printf.sprintf "latency of serve %s requests (ns)" m)
+          ("serve." ^ m) ))
+    [ "check"; "lint"; "total"; "stats"; "reset"; "metrics"; "health" ]
+
+let g_sessions = Metrics.gauge ~help:"live serve sessions" "serve.sessions"
+
+let g_pressure_resets =
+  Metrics.gauge ~help:"watermark-triggered session store resets"
+    "serve.pressure_resets"
+
+let g_deadline_overruns =
+  Metrics.gauge ~help:"requests degraded by a deadline or step budget"
+    "serve.deadline_overruns"
+
+let g_store_live = Metrics.gauge ~help:"live interned store nodes" "store.live"
+
+let g_store_interned =
+  Metrics.gauge ~help:"total interned store nodes" "store.interned"
+
+let g_store_dedup =
+  Metrics.gauge ~help:"store dedup ratio (hits / lookups)" "store.dedup_ratio"
+
+let g_gc_heap = Metrics.gauge ~help:"GC heap words" "gc.heap_words"
+
+let g_gc_top_heap =
+  Metrics.gauge ~help:"GC top heap words (peak)" "gc.top_heap_words"
+
+let g_gc_minor =
+  Metrics.gauge ~help:"GC minor collections" "gc.minor_collections"
+
+let g_gc_major =
+  Metrics.gauge ~help:"GC major collections" "gc.major_collections"
+
+let g_limit_trips =
+  Metrics.gauge ~help:"resource-guard trips (depth/deadline/budget)"
+    "limits.trips"
+
+let g_tele_dropped =
+  Metrics.gauge ~help:"telemetry span events dropped by the ring buffer"
+    "telemetry.events_dropped"
+
+let g_log_dropped =
+  Metrics.gauge ~help:"log lines dropped by the rate bound" "log.dropped"
+
 let create ?deadline_ms ?(max_depth = Limits.default_max_depth)
-    ?(max_errors = 64) ?watermark () : t =
+    ?(max_errors = 64) ?watermark ?slow_ms () : t =
+  Metrics.set_enabled true;
   {
     sv_sessions = Hashtbl.create 8;
     sv_deadline_ms = deadline_ms;
     sv_max_depth = max_depth;
     sv_max_errors = max_errors;
     sv_watermark = watermark;
+    sv_slow_ms = slow_ms;
+    sv_started_ns = Limits.now_ns ();
     sv_requests = 0;
+    sv_rid = 0;
     sv_pressure_resets = 0;
+    sv_deadline_overruns = 0;
   }
+
+let uptime_ns (t : t) : int =
+  Int64.to_int (Int64.sub (Limits.now_ns ()) t.sv_started_ns)
+
+(** Sample the point-in-time gauges: GC, the session's store, the
+    {!Limits} peak watermarks (exported per subsystem), and the server's
+    own degradation counters.  Called at the end of every request — reads
+    of always-on state, no instrumentation required. *)
+let sample_gauges (t : t) (ses : session) : unit =
+  let gc = Gc.quick_stat () in
+  Metrics.set_int g_gc_heap gc.Gc.heap_words;
+  Metrics.set_int g_gc_top_heap gc.Gc.top_heap_words;
+  Metrics.set_int g_gc_minor gc.Gc.minor_collections;
+  Metrics.set_int g_gc_major gc.Gc.major_collections;
+  Session.with_ ses.ss_core (fun () ->
+      let st = Belr_syntax.Lf.store_stats () in
+      Metrics.set_int g_store_live st.Belr_syntax.Lf.st_live;
+      Metrics.set_int g_store_interned st.Belr_syntax.Lf.st_interned;
+      Metrics.set g_store_dedup (Belr_syntax.Lf.dedup_ratio ());
+      List.iter
+        (fun (name, peak) ->
+          Metrics.set_int (Metrics.gauge ("limits.peak." ^ name)) peak)
+        (Limits.peaks ()));
+  Metrics.set_int g_sessions (Hashtbl.length t.sv_sessions);
+  Metrics.set_int g_pressure_resets t.sv_pressure_resets;
+  Metrics.set_int g_deadline_overruns t.sv_deadline_overruns;
+  Metrics.set_int g_limit_trips (Limits.trip_count ());
+  Metrics.set_int g_tele_dropped (Telemetry.events_dropped ());
+  Metrics.set_int g_log_dropped (Log.dropped ())
 
 let find_session (t : t) (name : string) : session =
   match Hashtbl.find_opt t.sv_sessions name with
@@ -505,12 +628,17 @@ let parse_request (j : J.t) : (request, string) result =
             })
   | _ -> Result.Error "request is not a JSON object"
 
-let reply ~id ~session ~status ~exit_code ?(result = J.Null) ~diags
+let reply ~id ~rid ~session ~status ~exit_code ?(result = J.Null) ~diags
     ~telemetry () : J.t =
+  (match status with
+  | "ok" -> Metrics.inc m_replies_ok
+  | "degraded" -> Metrics.inc m_replies_degraded
+  | _ -> Metrics.inc m_replies_error);
   J.Obj
     [
       ("schema", J.String schema_id);
       ("id", id);
+      ("request_id", J.String rid);
       ("session", J.String session);
       ("status", J.String status);
       ("exit_code", J.Int exit_code);
@@ -519,23 +647,54 @@ let reply ~id ~session ~status ~exit_code ?(result = J.Null) ~diags
       ("telemetry", J.Obj telemetry);
     ]
 
-(** A protocol-level rejection: stable [E0904], nothing touched. *)
-let protocol_error ?(id = J.Null) ?(session = "-") msg : J.t =
+(** A protocol-level rejection: stable [E0904], nothing touched (but
+    counted, logged, and carrying the request id like any reply). *)
+let protocol_error ?(id = J.Null) ?(session = "-") ~rid msg : J.t =
+  Metrics.inc m_protocol_errors;
   let d =
     Diagnostics.make ~code:"E0904" Diagnostics.Error
       "malformed serve request: %s" msg
   in
-  reply ~id ~session ~status:"error" ~exit_code:1 ~diags:[ d ]
+  Log.event ~level:Log.Warn "serve.protocol_error"
+    [ ("request_id", J.String rid); ("session", J.String session);
+      ("detail", J.String msg) ];
+  reply ~id ~rid ~session ~status:"error" ~exit_code:1 ~diags:[ d ]
     ~telemetry:[] ()
 
 let has_code (diags : Diagnostics.t list) (code : string) : bool =
   List.exists (fun d -> d.Diagnostics.d_code = code) diags
 
+(** Span-tree JSON of the spans recorded during one request (from ring
+    position [mark] on): completion-ordered entries with their nesting
+    depth — enough to reconstruct the tree — plus a truncation marker
+    when the ring wrapped over the request's oldest spans. *)
+let span_tree_json (mark : int) : J.t =
+  let evs, truncated = Telemetry.events_since mark in
+  let spans =
+    List.map
+      (fun (ev : Telemetry.event) ->
+        J.Obj
+          ([
+             ("name", J.String ev.Telemetry.ev_name);
+             ( "dur_us",
+               J.Float (Int64.to_float ev.Telemetry.ev_dur_ns /. 1e3) );
+             ("depth", J.Int ev.Telemetry.ev_depth);
+           ]
+          @
+          if ev.Telemetry.ev_arg = "" then []
+          else [ ("detail", J.String ev.Telemetry.ev_arg) ]))
+      evs
+  in
+  J.Obj
+    ([ ("spans", J.List spans) ]
+    @ if truncated then [ ("truncated", J.Bool true) ] else [])
+
 (** Handle one parsed request.  Everything that can raise runs inside the
     session bracket with a sink; exceptions escaping {e this} function
     are engine bugs handled by {!handle_line}'s crash-only wrapper. *)
-let handle_request (t : t) (rq : request) : J.t =
+let handle_request (t : t) ~(rid : string) (rq : request) : J.t =
   t.sv_requests <- t.sv_requests + 1;
+  Metrics.inc m_requests;
   let ses = find_session t rq.rq_session in
   Limits.set_max_depth
     (Option.value rq.rq_max_depth ~default:t.sv_max_depth);
@@ -553,8 +712,11 @@ let handle_request (t : t) (rq : request) : J.t =
   let t0 = Limits.now_ns () in
   let telemetry_was = Telemetry.enabled () in
   if not telemetry_was then Telemetry.set_enabled true;
+  Telemetry.set_request_id rid;
   let decl_spans0 = Telemetry.phase_count "decl" in
+  let ring_mark = Telemetry.events_recorded () in
   let finish ?result ?(degraded = false) ?(extra_telemetry = []) () =
+    Telemetry.clear_request_id ();
     if not telemetry_was then Telemetry.set_enabled false;
     Limits.clear_deadline ();
     (* memory watermark: an oversized session store is cleared in place —
@@ -580,11 +742,48 @@ let handle_request (t : t) (rq : request) : J.t =
       else if degraded || pressure || has_code diags "E0903" then "degraded"
       else "ok"
     in
-    let elapsed_ms =
-      Int64.to_float (Int64.sub (Limits.now_ns ()) t0) /. 1e6
+    if has_code diags "E0903" then
+      t.sv_deadline_overruns <- t.sv_deadline_overruns + 1;
+    let elapsed_ns = Int64.sub (Limits.now_ns ()) t0 in
+    let elapsed_ms = Int64.to_float elapsed_ns /. 1e6 in
+    (match List.assoc_opt rq.rq_method m_method_hist with
+    | Some h -> Metrics.observe h (Int64.to_int elapsed_ns)
+    | None -> ());
+    sample_gauges t ses;
+    let exit_code = Diagnostics.exit_code sink in
+    let log_counts =
+      List.filter_map
+        (fun (k, v) ->
+          match (k, v) with
+          | ("rechecked" | "reused"), J.Int n -> Some (k, J.Int n)
+          | _ -> None)
+        extra_telemetry
     in
-    reply ~id:rq.rq_id ~session:rq.rq_session ~status
-      ~exit_code:(Diagnostics.exit_code sink)
+    Log.event "serve.request"
+      ([
+         ("request_id", J.String rid);
+         ("session", J.String rq.rq_session);
+         ("method", J.String rq.rq_method);
+         ("status", J.String status);
+         ("exit_code", J.Int exit_code);
+         ("duration_ms", J.Float elapsed_ms);
+       ]
+      @ log_counts);
+    (match t.sv_slow_ms with
+    | Some slow when elapsed_ms >= slow ->
+        (* the request blew the latency threshold: dump its span tree so
+           the hot phase is identifiable post-hoc, correlated by id *)
+        Log.event ~level:Log.Warn "serve.slow"
+          [
+            ("request_id", J.String rid);
+            ("session", J.String rq.rq_session);
+            ("method", J.String rq.rq_method);
+            ("duration_ms", J.Float elapsed_ms);
+            ("slow_ms", J.Float slow);
+            ("span_tree", span_tree_json ring_mark);
+          ]
+    | _ -> ());
+    reply ~id:rq.rq_id ~rid ~session:rq.rq_session ~status ~exit_code
       ?result ~diags
       ~telemetry:
         ([
@@ -594,6 +793,14 @@ let handle_request (t : t) (rq : request) : J.t =
          ]
         @ extra_telemetry)
       ()
+  in
+  (* protocol rejections return without [finish]: restore the telemetry
+     flag and the ambient request id here too, or a rejected request
+     would leak both into the next one *)
+  let reject msg =
+    Telemetry.clear_request_id ();
+    if not telemetry_was then Telemetry.set_enabled false;
+    protocol_error ~id:rq.rq_id ~session:rq.rq_session ~rid msg
   in
   match rq.rq_method with
   | "check" -> (
@@ -608,8 +815,7 @@ let handle_request (t : t) (rq : request) : J.t =
       in
       match src with
       | Result.Error `Missing ->
-          protocol_error ~id:rq.rq_id ~session:rq.rq_session
-            "method \"check\" needs a \"source\" or \"file\" string"
+          reject "method \"check\" needs a \"source\" or \"file\" string"
       | Result.Error (`Io _) ->
           (* E0701 is already in the sink; nothing was touched *)
           finish ()
@@ -636,6 +842,8 @@ let handle_request (t : t) (rq : request) : J.t =
                   ms
                   (List.length
                      (List.filter (fun e -> not e.en_ok) ses.ss_entries))));
+          Metrics.add m_decls_rechecked !rechecked;
+          Metrics.add m_decls_reused !reused;
           finish ~result:!result ~degraded:!degraded
             ~extra_telemetry:
               [
@@ -678,6 +886,8 @@ let handle_request (t : t) (rq : request) : J.t =
               ]);
       finish ~result:!result ()
   | "stats" ->
+      (* back-compat alias: the historical shape, with the aggregate
+         fields now read off the metrics registry *)
       let result =
         Session.with_ ses.ss_core (fun () ->
             J.Obj
@@ -688,19 +898,75 @@ let handle_request (t : t) (rq : request) : J.t =
                 ("requests", J.Int t.sv_requests);
                 ("sessions", J.Int (Hashtbl.length t.sv_sessions));
                 ("pressure_resets", J.Int t.sv_pressure_resets);
+                ("deadline_overruns", J.Int t.sv_deadline_overruns);
+                ( "decls_rechecked",
+                  J.Int (Metrics.counter_value m_decls_rechecked) );
+                ( "decls_reused",
+                  J.Int (Metrics.counter_value m_decls_reused) );
+                ( "telemetry_events_dropped",
+                  J.Int (Telemetry.events_dropped ()) );
               ])
       in
       finish ~result ()
   | "reset" ->
+      (* capture the session's watermarks {e before} discarding its
+         world: a reset is exactly when an operator wants to know how
+         hot the session ran, and the values are unrecoverable after *)
+      let peaks, live =
+        Session.with_ ses.ss_core (fun () ->
+            ( Limits.peaks (),
+              (Belr_syntax.Lf.store_stats ()).Belr_syntax.Lf.st_live ))
+      in
       Session.reset ses.ss_core;
       ses.ss_entries <- [];
       ses.ss_text <- "";
       ses.ss_parse_ok <- false;
-      finish ~result:(J.Obj [ ("reset", J.Bool true) ]) ()
+      finish
+        ~result:
+          (J.Obj
+             [
+               ("reset", J.Bool true);
+               ( "peaks_before_reset",
+                 J.Obj
+                   (List.filter_map
+                      (fun (name, peak) ->
+                        if peak > 0 then Some (name, J.Int peak) else None)
+                      peaks) );
+               ("store_live_before_reset", J.Int live);
+             ])
+        ()
+  | "metrics" ->
+      (* the gauges in the report are the ones [finish] is about to
+         re-sample; sample first so the reply carries current values *)
+      sample_gauges t ses;
+      finish ~result:(Metrics.to_json ()) ()
+  | "health" ->
+      let live =
+        Session.with_ ses.ss_core (fun () ->
+            (Belr_syntax.Lf.store_stats ()).Belr_syntax.Lf.st_live)
+      in
+      finish
+        ~result:
+          (J.Obj
+             [
+               ("status", J.String "up");
+               ("uptime_ns", J.Int (uptime_ns t));
+               ("requests", J.Int t.sv_requests);
+               ("sessions", J.Int (Hashtbl.length t.sv_sessions));
+               ("live_nodes", J.Int live);
+               ("pressure_resets", J.Int t.sv_pressure_resets);
+               ("deadline_overruns", J.Int t.sv_deadline_overruns);
+               ("limit_trips", J.Int (Limits.trip_count ()));
+               ( "telemetry_events_dropped",
+                 J.Int (Telemetry.events_dropped ()) );
+               ("log_lines_dropped", J.Int (Log.dropped ()));
+             ])
+        ()
   | m ->
-      protocol_error ~id:rq.rq_id ~session:rq.rq_session
+      reject
         (Printf.sprintf
-           "unknown method %S (expected check, lint, total, stats, or reset)"
+           "unknown method %S (expected check, lint, total, stats, reset, \
+            metrics, or health)"
            m)
 
 (** Handle one input line, total: whatever happens, the caller gets a
@@ -712,29 +978,43 @@ let handle_request (t : t) (rq : request) : J.t =
 let handle_line (t : t) (line : string) : string option =
   let line = String.trim line in
   if line = "" then None
-  else
+  else begin
+    (* one id per non-blank input line, minted before parsing so even a
+       rejected line is correlatable across reply, log, and trace *)
+    t.sv_rid <- t.sv_rid + 1;
+    let rid = "r" ^ string_of_int t.sv_rid in
     let reply_json =
       match J.parse line with
-      | Result.Error msg -> protocol_error msg
+      | Result.Error msg -> protocol_error ~rid msg
       | Ok j -> (
           match parse_request j with
-          | Result.Error msg -> protocol_error msg
+          | Result.Error msg -> protocol_error ~rid msg
           | Ok rq -> (
-              try handle_request t rq
+              try handle_request t ~rid rq
               with exn ->
+                Telemetry.clear_request_id ();
                 Limits.clear_deadline ();
                 Limits.reset ();
                 Hashtbl.remove t.sv_sessions rq.rq_session;
+                Log.event ~level:Log.Error "serve.engine_fault"
+                  [
+                    ("request_id", J.String rid);
+                    ("session", J.String rq.rq_session);
+                    ("method", J.String rq.rq_method);
+                    ("detail", J.String (Printexc.to_string exn));
+                  ];
                 let d =
                   Diagnostics.make ~code:"B0002" Diagnostics.Bug
                     "unexpected exception in the serve engine (session %s \
                      discarded): %s"
                     rq.rq_session (Printexc.to_string exn)
                 in
-                reply ~id:rq.rq_id ~session:rq.rq_session ~status:"error"
-                  ~exit_code:2 ~diags:[ d ] ~telemetry:[] ()))
+                reply ~id:rq.rq_id ~rid ~session:rq.rq_session
+                  ~status:"error" ~exit_code:2 ~diags:[ d ] ~telemetry:[]
+                  ()))
     in
     Some (J.to_string ~compact:true reply_json)
+  end
 
 (** The stdin/stdout loop: read lines until EOF, one reply per request
     line, flushed eagerly so a driving editor sees replies promptly. *)

@@ -87,6 +87,14 @@ exception Budget_exceeded of int
 (** [Budget_exceeded n]: the request performed more than [n] guarded
     steps.  Rendered as [E0903]. *)
 
+(* Process-lifetime monotone count of resource-guard trips (depth limit,
+   step budget, wall-clock deadline).  The metrics layer exports it as the
+   [limits.trips] gauge, so a fleet operator sees guard pressure without
+   parsing per-reply diagnostics. *)
+let trips = ref 0
+
+let trip_count () = !trips
+
 let deadline : int64 option ref = ref None
 
 let deadline_ms_armed = ref 0
@@ -131,10 +139,14 @@ let poll () =
   let n = !steps + 1 in
   steps := n;
   (match !step_budget with
-  | Some b when n > b -> raise (Budget_exceeded b)
+  | Some b when n > b ->
+      incr trips;
+      raise (Budget_exceeded b)
   | _ -> ());
-  if n land poll_mask = 0 && expired () then
+  if n land poll_mask = 0 && expired () then begin
+    incr trips;
     raise (Deadline_exceeded !deadline_ms_armed)
+  end
 
 (* --- per-session counter state ---------------------------------------- *)
 
@@ -175,8 +187,10 @@ let clear_state st = st.saved <- []
     accurate depth. *)
 let guard c f =
   poll ();
-  if c.c_depth >= !max_depth then
-    raise (Limit_exceeded (c.c_name, !max_depth));
+  if c.c_depth >= !max_depth then begin
+    incr trips;
+    raise (Limit_exceeded (c.c_name, !max_depth))
+  end;
   let d = c.c_depth + 1 in
   c.c_depth <- d;
   if d > c.c_peak then c.c_peak <- d;

@@ -1,0 +1,314 @@
+(** The production metrics registry: monotone counters, sampled gauges,
+    and log-scale latency histograms, with two renderers — the
+    machine-readable [belr-metrics/1] JSON report (the [metrics] serve
+    method) and a Prometheus-style text exposition ([--metrics FILE]).
+
+    This is the {e aggregate} layer the long-lived server steers by,
+    complementing {!Telemetry} (which records {e individual} spans and
+    per-run counters and is reset between runs): metrics are process-
+    lifetime, bounded-memory, and cheap enough to leave on for every
+    request.
+
+    Invariants (DESIGN.md §S24):
+
+    - {e monotone counters}: {!inc}/{!add} only ever grow a counter;
+      there is no public decrement, so rate computations over scrapes
+      are always valid.  Gauges ({!set}) are point-in-time samples and
+      may move either way.
+    - {e bounded histogram memory}: a histogram is a fixed array of
+      {!num_buckets} power-of-two buckets plus four scalars, regardless
+      of how many observations it absorbs.
+    - {e registry idempotence}: creating a metric under an existing name
+      returns the existing metric — two call sites naming the same
+      quantity share one cell instead of splitting it.
+
+    {b Near-zero cost when disabled.}  Every recording entry point
+    ({!inc}, {!add}, {!set}, {!observe}) is one flag check when the
+    registry is off, and allocates nothing either way — recording is
+    integer/float stores into pre-allocated cells.  Rendering allocates,
+    but only when a report is requested.  Like {!Telemetry}, the layer
+    observes the single-threaded pipeline and is not thread-safe. *)
+
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+(* --- counters (monotone) ------------------------------------------------ *)
+
+type counter = { ct_name : string; ct_help : string; mutable ct_v : int }
+
+let counters : counter list ref = ref []
+
+(** Register (or fetch) the monotone counter named [name]. *)
+let counter ?(help = "") name : counter =
+  match List.find_opt (fun c -> c.ct_name = name) !counters with
+  | Some c -> c
+  | None ->
+      let c = { ct_name = name; ct_help = help; ct_v = 0 } in
+      counters := !counters @ [ c ];
+      c
+
+let inc c = if !on then c.ct_v <- c.ct_v + 1
+
+let add c n = if !on then c.ct_v <- c.ct_v + max 0 n
+
+let counter_value c = c.ct_v
+
+(* --- gauges (point-in-time samples) ------------------------------------- *)
+
+type gauge = { g_name : string; g_help : string; mutable g_v : float }
+
+let gauges : gauge list ref = ref []
+
+(** Register (or fetch) the gauge named [name]. *)
+let gauge ?(help = "") name : gauge =
+  match List.find_opt (fun g -> g.g_name = name) !gauges with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_help = help; g_v = 0. } in
+      gauges := !gauges @ [ g ];
+      g
+
+let set g v = if !on then g.g_v <- v
+
+let set_int g v = if !on then g.g_v <- float_of_int v
+
+let gauge_value g = g.g_v
+
+(* --- histograms (log-scale, fixed memory) ------------------------------- *)
+
+(** Bucket [i] counts observations [v] with [le i-1 < v <= le i], where
+    [le i = 2^i] — so bucket 0 holds [v <= 1], bucket 1 holds [2], bucket
+    2 holds [3..4], and so on up to [2^62].  Power-of-two boundaries keep
+    {!bucket_index} at a handful of integer ops (no floating point on the
+    record path) and give ~2× resolution, plenty for latency steering. *)
+let num_buckets = 63
+
+(** Upper (inclusive) boundary of bucket [i]: [2^i]. *)
+let bucket_le (i : int) : int = 1 lsl i
+
+(** The bucket holding observation [v] (values [< 1] land in bucket 0,
+    values beyond [2^62] in the last bucket). *)
+let bucket_index (v : int) : int =
+  if v <= 1 then 0
+  else begin
+    (* number of significant bits of v-1 = ceil(log2 v) for v >= 2 *)
+    let x = ref (v - 1) and b = ref 0 in
+    while !x > 0 do
+      incr b;
+      x := !x lsr 1
+    done;
+    min !b (num_buckets - 1)
+  end
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_buckets : int array;  (** length {!num_buckets}; non-cumulative *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+let histograms : histogram list ref = ref []
+
+(** Register (or fetch) the histogram named [name].  Observations are
+    nanoseconds by convention (rendered fields carry the [_ns] suffix). *)
+let histogram ?(help = "") name : histogram =
+  match List.find_opt (fun h -> h.h_name = name) !histograms with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_help = help;
+          h_buckets = Array.make num_buckets 0;
+          h_count = 0;
+          h_sum = 0;
+          h_min = max_int;
+          h_max = 0;
+        }
+      in
+      histograms := !histograms @ [ h ];
+      h
+
+let observe h v =
+  if !on then begin
+    let v = max 0 v in
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let histogram_count h = h.h_count
+
+let histogram_sum h = h.h_sum
+
+(** [quantile h q] is the {!bucket_le} boundary of the bucket holding the
+    [⌈q·count⌉]-th smallest observation — the least power-of-two [u] such
+    that at least a [q] fraction of observations are [<= u] — or [0] for
+    an empty histogram.  Exact on synthetic samples (the test suite's
+    contract) and within 2× of the true quantile always. *)
+let quantile (h : histogram) (q : float) : int =
+  if h.h_count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.h_count))) in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank && !i < num_buckets do
+      cum := !cum + h.h_buckets.(!i);
+      if !cum < rank then incr i
+    done;
+    bucket_le (min !i (num_buckets - 1))
+  end
+
+(* --- maintenance -------------------------------------------------------- *)
+
+(** Zero every registered metric (tests and A/B overhead runs; the
+    registry itself — names, order — is kept). *)
+let reset_all () =
+  List.iter (fun c -> c.ct_v <- 0) !counters;
+  List.iter (fun g -> g.g_v <- 0.) !gauges;
+  List.iter
+    (fun h ->
+      Array.fill h.h_buckets 0 num_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- max_int;
+      h.h_max <- 0)
+    !histograms
+
+(* --- renderers ---------------------------------------------------------- *)
+
+(** Schema identifier of {!to_json}; bump on incompatible changes. *)
+let schema = "belr-metrics/1"
+
+(** The machine-readable report (the serve [metrics] method's result):
+    every counter, gauge, and histogram, with p50/p90/p99 extracted and
+    only non-empty buckets listed. *)
+let to_json () : Json.t =
+  let hist h =
+    let buckets = ref [] in
+    for i = num_buckets - 1 downto 0 do
+      if h.h_buckets.(i) > 0 then
+        buckets :=
+          Json.Obj
+            [
+              ("le", Json.Int (bucket_le i));
+              ("count", Json.Int h.h_buckets.(i));
+            ]
+          :: !buckets
+    done;
+    Json.Obj
+      [
+        ("name", Json.String h.h_name);
+        ("count", Json.Int h.h_count);
+        ("sum_ns", Json.Int h.h_sum);
+        ("min_ns", Json.Int (if h.h_count = 0 then 0 else h.h_min));
+        ("max_ns", Json.Int h.h_max);
+        ("p50_ns", Json.Int (quantile h 0.50));
+        ("p90_ns", Json.Int (quantile h 0.90));
+        ("p99_ns", Json.Int (quantile h 0.99));
+        ("buckets", Json.List !buckets);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ( "counters",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("name", Json.String c.ct_name);
+                   ("value", Json.Int c.ct_v);
+                 ])
+             !counters) );
+      ( "gauges",
+        Json.List
+          (List.map
+             (fun g ->
+               Json.Obj
+                 [
+                   ("name", Json.String g.g_name);
+                   ("value", Json.Float g.g_v);
+                 ])
+             !gauges) );
+      ("histograms", Json.List (List.map hist !histograms));
+    ]
+
+(** [belr_foo_bar] from [foo.bar-baz]: Prometheus-legal metric names. *)
+let prom_name (name : string) : string =
+  "belr_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+
+let prom_float (v : float) : string =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+(** The Prometheus-style text exposition ([--metrics FILE]): counters as
+    [_total]-suffixed counters, gauges as gauges, histograms in the
+    standard cumulative [_bucket{le="…"}]/[_sum]/[_count] form. *)
+let exposition () : string =
+  let buf = Buffer.create 4096 in
+  let header name kind help =
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun c ->
+      let n = prom_name c.ct_name in
+      let n = if Filename.check_suffix n "_total" then n else n ^ "_total" in
+      header n "counter" c.ct_help;
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n c.ct_v))
+    !counters;
+  List.iter
+    (fun g ->
+      let n = prom_name g.g_name in
+      header n "gauge" g.g_help;
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" n (prom_float g.g_v)))
+    !gauges;
+  List.iter
+    (fun h ->
+      let n = prom_name h.h_name in
+      header n "histogram" h.h_help;
+      let cum = ref 0 in
+      let top =
+        (* last non-empty bucket; emitting 63 zero rows per histogram
+           would drown the exposition *)
+        let t = ref (-1) in
+        Array.iteri (fun i c -> if c > 0 then t := i) h.h_buckets;
+        !t
+      in
+      for i = 0 to top do
+        cum := !cum + h.h_buckets.(i);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n (bucket_le i) !cum)
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n h.h_sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.h_count))
+    !histograms;
+  Buffer.contents buf
+
+(** Write the exposition to [path] (truncating); [Sys_error] escapes to
+    the caller, which reports it as [E0701]. *)
+let write_exposition (path : string) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (exposition ()))

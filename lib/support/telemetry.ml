@@ -99,7 +99,24 @@ type event = {
   mutable ev_start_ns : int64;
   mutable ev_dur_ns : int64;
   mutable ev_depth : int;  (** nesting depth at which the span ran *)
+  mutable ev_rid : string;
+      (** request id the span ran under ("" = outside any request); set
+          by the serve layer via {!set_request_id}, surfaced as
+          [args.request_id] in the trace renderer so spans can be joined
+          to replies and log lines *)
 }
+
+(* --- request correlation ------------------------------------------------ *)
+
+let request_id = ref ""
+
+(** Stamp every span recorded from now on with [rid] (the serve layer
+    brackets each request with this; [""] clears it). *)
+let set_request_id rid = request_id := rid
+
+let clear_request_id () = request_id := ""
+
+let current_request_id () = !request_id
 
 (** Completed spans, oldest-first once the buffer wraps. *)
 let default_capacity = 1 lsl 16
@@ -124,7 +141,7 @@ let ensure_ring () =
     ring :=
       Array.init default_capacity (fun _ ->
           { ev_name = ""; ev_arg = ""; ev_start_ns = 0L; ev_dur_ns = 0L;
-            ev_depth = 0 })
+            ev_depth = 0; ev_rid = "" })
 
 (** Clear all recorded state: events, aggregates, counter totals, and the
     {!Limits} peak-depth watermarks; re-stamps the trace epoch. *)
@@ -147,6 +164,7 @@ let record name arg start_ns dur_ns d =
   ev.ev_start_ns <- start_ns;
   ev.ev_dur_ns <- dur_ns;
   ev.ev_depth <- d;
+  ev.ev_rid <- !request_id;
   incr ring_next;
   (let a =
      match Hashtbl.find_opt aggregates name with
@@ -205,6 +223,27 @@ let events () : event list =
 let events_recorded () = !ring_next
 
 let events_dropped () = max 0 (!ring_next - Array.length !ring)
+
+(** [events_since mark] — completed spans recorded at or after position
+    [mark] (an earlier {!events_recorded} reading), oldest first, plus a
+    truncation flag: [true] when the ring wrapped past [mark], i.e. the
+    oldest spans of the interval were overwritten and the list is
+    partial.  This is how the serve layer extracts one request's span
+    tree for slow-request logging without re-scanning the whole ring. *)
+let events_since (mark : int) : event list * bool =
+  let r = !ring in
+  let cap = Array.length r in
+  if cap = 0 then ([], mark < !ring_next)
+  else begin
+    let n = !ring_next in
+    let oldest = max 0 (n - cap) in
+    let first = max mark oldest in
+    let out = ref [] in
+    for i = n - 1 downto first do
+      out := r.(i mod cap) :: !out
+    done;
+    (!out, mark < oldest)
+  end
 
 (* --- renderers ---------------------------------------------------------- *)
 
@@ -280,13 +319,51 @@ let us_of_ns (ns : int64) : float = Int64.to_float ns /. 1e3
     events with microsecond timestamps relative to the {!reset} epoch,
     wrapped in the [{"traceEvents": [...]}] envelope Perfetto and
     [chrome://tracing] load directly. *)
+let trace_truncation_warned = ref false
+
 let trace_json () : Json.t =
+  let dropped = events_dropped () in
+  (* the ring wrapped: the trace timeline is missing its oldest spans.
+     Warn once per process on stderr (aggregates are unaffected — say
+     so), and stamp the truncation into the trace itself as an instant
+     event so a shared artifact carries the caveat. *)
+  if dropped > 0 && not !trace_truncation_warned then begin
+    trace_truncation_warned := true;
+    Fmt.epr
+      "belr: warning: trace buffer wrapped; the %d oldest span event(s) \
+       are missing from --trace output (per-phase aggregates still \
+       include them)@."
+      dropped
+  end;
+  let truncation_events =
+    if dropped = 0 then []
+    else
+      [
+        Json.Obj
+          [
+            ("name", Json.String "trace-truncated");
+            ("cat", Json.String "belr");
+            ("ph", Json.String "i");
+            ("ts", Json.Float 0.0);
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ("s", Json.String "g");
+            ("args", Json.Obj [ ("events_dropped", Json.Int dropped) ]);
+          ];
+      ]
+  in
   let span_events =
     List.map
       (fun ev ->
+        let arg_fields =
+          (if ev.ev_arg = "" then []
+           else [ ("detail", Json.String ev.ev_arg) ])
+          @
+          if ev.ev_rid = "" then []
+          else [ ("request_id", Json.String ev.ev_rid) ]
+        in
         let args =
-          if ev.ev_arg = "" then []
-          else [ ("args", Json.Obj [ ("detail", Json.String ev.ev_arg) ]) ]
+          if arg_fields = [] then [] else [ ("args", Json.Obj arg_fields) ]
         in
         Json.Obj
           ([
@@ -313,7 +390,8 @@ let trace_json () : Json.t =
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (process_name :: span_events));
+      ( "traceEvents",
+        Json.List ((process_name :: truncation_events) @ span_events) );
       ("displayTimeUnit", Json.String "ms");
     ]
 

@@ -255,8 +255,99 @@ let robustness_tests =
         | _ -> Alcotest.fail "stats lacks requests");
   ]
 
+let observability_tests =
+  [
+    test "metrics answers the belr-metrics/1 report with a populated \
+          serve.check histogram" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let r = round t (request ~meth:"metrics" 2) in
+        Alcotest.(check string) "status" "ok" (str_field "status" r);
+        let result =
+          match J.member "result" r with
+          | Some res -> res
+          | None -> Alcotest.fail "metrics reply lacks result"
+        in
+        Alcotest.(check bool) "schema" true
+          (J.member "schema" result = Some (J.String "belr-metrics/1"));
+        let check_hist =
+          match Option.bind (J.member "histograms" result) J.to_list with
+          | Some hs ->
+              List.find_opt
+                (fun h -> J.member "name" h = Some (J.String "serve.check"))
+                hs
+          | None -> Alcotest.fail "metrics reply lacks histograms"
+        in
+        match check_hist with
+        | None -> Alcotest.fail "no serve.check histogram"
+        | Some h -> (
+            (match J.member "count" h with
+            | Some (J.Int n) -> Alcotest.(check bool) "count >= 1" true (n >= 1)
+            | _ -> Alcotest.fail "serve.check lacks count");
+            match J.member "p50_ns" h with
+            | Some (J.Int p) -> Alcotest.(check bool) "p50 > 0" true (p > 0)
+            | _ -> Alcotest.fail "serve.check lacks p50_ns"));
+    test "health reports up, with live nodes and uptime" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let r = round t (request ~meth:"health" 2) in
+        Alcotest.(check string) "status" "ok" (str_field "status" r);
+        let result =
+          match J.member "result" r with
+          | Some res -> res
+          | None -> Alcotest.fail "health reply lacks result"
+        in
+        Alcotest.(check bool) "up" true
+          (J.member "status" result = Some (J.String "up"));
+        (match J.member "requests" result with
+        | Some (J.Int n) -> Alcotest.(check int) "requests" 2 n
+        | _ -> Alcotest.fail "health lacks requests");
+        (match J.member "live_nodes" result with
+        | Some (J.Int n) -> Alcotest.(check bool) "live nodes > 0" true (n > 0)
+        | _ -> Alcotest.fail "health lacks live_nodes");
+        match J.member "uptime_ns" result with
+        | Some (J.Int n) -> Alcotest.(check bool) "uptime > 0" true (n > 0)
+        | _ -> Alcotest.fail "health lacks uptime_ns");
+    test "reset reports the peaks observed before the reset" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let r = round t (request ~meth:"reset" 2) in
+        Alcotest.(check string) "status" "ok" (str_field "status" r);
+        let result =
+          match J.member "result" r with
+          | Some res -> res
+          | None -> Alcotest.fail "reset reply lacks result"
+        in
+        (match J.member "store_live_before_reset" result with
+        | Some (J.Int n) ->
+            Alcotest.(check bool) "store was populated" true (n > 0)
+        | _ -> Alcotest.fail "reset lacks store_live_before_reset");
+        match J.member "peaks_before_reset" result with
+        | Some (J.Obj _) -> ()
+        | _ -> Alcotest.fail "reset lacks peaks_before_reset");
+    test "stats exposes the registry's incremental counters" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        ignore (round t (request ~source:(src3 nat') 2));
+        let r = round t (request ~meth:"stats" 3) in
+        let result =
+          match J.member "result" r with
+          | Some res -> res
+          | None -> Alcotest.fail "stats reply lacks result"
+        in
+        (match J.member "decls_rechecked" result with
+        | Some (J.Int n) ->
+            (* 3 cold + 2 invalidated by the nat edit *)
+            Alcotest.(check bool) "rechecked >= 5" true (n >= 5)
+        | _ -> Alcotest.fail "stats lacks decls_rechecked");
+        match J.member "telemetry_events_dropped" result with
+        | Some (J.Int _) -> ()
+        | _ -> Alcotest.fail "stats lacks telemetry_events_dropped");
+  ]
+
 let suites =
   [
     ("serve incremental", incremental_tests);
     ("serve robustness", robustness_tests);
+    ("serve observability", observability_tests);
   ]

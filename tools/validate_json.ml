@@ -10,16 +10,30 @@
     non-empty [experiments] object of per-experiment objects.
 
     A [.jsonl] argument is validated line by line; every non-blank line
-    must parse and every [belr-serve/1] reply must carry its [id],
+    must parse, every [belr-serve/1] reply must carry its [id],
     [session], a valid [status], an integer [exit_code], a well-formed
-    [diagnostics] array, and a [telemetry] object.  After [--serve-abuse],
-    [.jsonl] files must additionally satisfy the scripted-abuse contract
-    of the [@serve] alias: at least one [error] reply (the injected
-    fault), at least one [degraded] reply (the blown deadline), and a
-    final reply that is [ok] with exit code 0 and a non-empty checked
-    signature — the server survived the abuse and still checks real
-    input.  Exit 0 iff every file passes; the [@smoke], [@lint],
-    [@total], [@serve], and [@bench-json] dune aliases fail the build
+    [diagnostics] array, and a [telemetry] object, and every structured
+    log line (an object with an [event] field, as written by
+    [serve --log]) must carry [ts_ns], a known [level], and — for
+    [serve.request] lines — the request_id/session/method/status join
+    fields.  After [--serve-abuse], [.jsonl] files must additionally
+    satisfy the scripted-abuse contract of the [@serve] alias: at least
+    one [error] reply (the injected fault), at least one [degraded]
+    reply (the blown deadline), and a final reply that is [ok] with exit
+    code 0 and a non-empty checked signature — the server survived the
+    abuse and still checks real input.  After [--serve-metrics], reply
+    streams must satisfy the [@metrics] observability contract: unique
+    [request_id]s on every reply, an [error] reply from the injected
+    fault, a [belr-metrics/1] reply with a populated [serve.check]
+    latency histogram, and an [up] health reply.
+
+    A [belr-metrics/1] document must carry its [counters]/[gauges]/
+    [histograms] arrays (histogram entries: name, count, quantiles,
+    buckets), and a [.prom] argument is checked as a Prometheus text
+    exposition (every sample [belr_]-prefixed and numeric, the serve
+    request counter present, at least one [_bucket{le=...}] series).
+    Exit 0 iff every file passes; the [@smoke], [@lint], [@total],
+    [@serve], [@metrics], and [@bench-json] dune aliases fail the build
     otherwise. *)
 
 module J = Belr_support.Json
@@ -147,6 +161,43 @@ let check_structure (j : J.t) : string option =
                           Some "total report lacks \"summary\""
                         else None)
                 | _ -> Some "total report lacks its \"callgraph\" object"))
+      | Some (J.String "belr-metrics/1") -> (
+          let arr k = Option.bind (J.member k j) J.to_list in
+          match (arr "counters", arr "gauges", arr "histograms") with
+          | None, _, _ -> Some "metrics report lacks a \"counters\" array"
+          | _, None, _ -> Some "metrics report lacks a \"gauges\" array"
+          | _, _, None -> Some "metrics report lacks a \"histograms\" array"
+          | Some counters, Some _, Some hists ->
+              let bad_counter c =
+                match (J.member "name" c, J.member "value" c) with
+                | Some (J.String _), Some (J.Int _) -> false
+                | _ -> true
+              in
+              let bad_hist h =
+                match
+                  ( J.member "name" h,
+                    J.member "count" h,
+                    J.member "p50_ns" h,
+                    J.member "p99_ns" h,
+                    Option.bind (J.member "buckets" h) J.to_list )
+                with
+                | ( Some (J.String _),
+                    Some (J.Int _),
+                    Some (J.Int _),
+                    Some (J.Int _),
+                    Some _ ) ->
+                    false
+                | _ -> true
+              in
+              if List.exists bad_counter counters then
+                Some
+                  "a counters entry is missing its \"name\" string or \
+                   integer \"value\""
+              else if List.exists bad_hist hists then
+                Some
+                  "a histograms entry is missing \"name\", \"count\", \
+                   \"p50_ns\", \"p99_ns\", or its \"buckets\" array"
+              else None)
       | _ -> None (* generic JSON (e.g. a bench report): parsing sufficed *))
 
 (* --- belr-serve/1 reply streams ----------------------------------------- *)
@@ -215,8 +266,115 @@ let check_abuse_contract (replies : J.t list) : string option =
                 "abuse stream's final reply checked an empty signature \
                  (summary.typs is not positive)")
 
-let check_jsonl ~abuse (src : string) : string option =
+(* --- structured log streams (--log FILE) -------------------------------- *)
+
+(** One [Log.event] line: monotonic [ts_ns], a known [level], an [event]
+    name; [serve.request] lines must additionally carry the join fields
+    documented in DESIGN.md §S24. *)
+let check_log_line (j : J.t) : string option =
+  match J.member "ts_ns" j with
+  | Some (J.Int _) -> (
+      match J.member "level" j with
+      | Some (J.String ("debug" | "info" | "warn" | "error")) -> (
+          match J.member "event" j with
+          | Some (J.String ev) ->
+              if ev <> "serve.request" then None
+              else
+                let required =
+                  [ "request_id"; "session"; "method"; "status" ]
+                in
+                (match
+                   List.find_opt
+                     (fun k ->
+                       match J.member k j with
+                       | Some (J.String _) -> false
+                       | _ -> true)
+                     required
+                 with
+                | Some k ->
+                    Some
+                      (Printf.sprintf
+                         "serve.request log line lacks its %S string" k)
+                | None -> None)
+          | _ -> Some "log line lacks an \"event\" string"
+          )
+      | _ -> Some "log line \"level\" is not debug, info, warn, or error")
+  | _ -> Some "log line lacks an integer \"ts_ns\""
+
+(** The observability contract (see [examples/dune], alias [@metrics]):
+    the scripted stream must show the injected fault as an [error]
+    reply, a [metrics] reply whose [belr-metrics/1] payload has a
+    populated [serve.check] latency histogram, a [health] reply that is
+    [up], and a distinct [request_id] on every reply. *)
+let check_metrics_contract (replies : J.t list) : string option =
+  let rids =
+    List.filter_map
+      (fun r ->
+        match J.member "request_id" r with
+        | Some (J.String s) -> Some s
+        | _ -> None)
+      replies
+  in
+  if List.length rids <> List.length replies then
+    Some "a reply lacks its \"request_id\" string"
+  else if List.length (List.sort_uniq compare rids) <> List.length rids then
+    Some "request ids are not unique across the stream"
+  else if not (List.exists (fun r -> status_of r = "error") replies) then
+    Some "metrics stream has no \"error\" reply (fault not exercised)"
+  else
+    let metrics_reply =
+      List.find_opt
+        (fun r ->
+          match J.member "result" r with
+          | Some res ->
+              J.member "schema" res = Some (J.String "belr-metrics/1")
+          | None -> false)
+        replies
+    in
+    match metrics_reply with
+    | None -> Some "metrics stream has no belr-metrics/1 reply"
+    | Some r -> (
+        let check_hist =
+          Option.bind (J.member "result" r) (fun res ->
+              Option.bind (J.member "histograms" res) (fun hs ->
+                  Option.bind (J.to_list hs) (fun hs ->
+                      List.find_opt
+                        (fun h ->
+                          J.member "name" h
+                          = Some (J.String "serve.check"))
+                        hs)))
+        in
+        match check_hist with
+        | None -> Some "metrics reply lacks the \"serve.check\" histogram"
+        | Some h -> (
+            (match J.member "count" h with
+            | Some (J.Int n) when n >= 1 -> None
+            | _ -> Some "\"serve.check\" histogram has an empty count")
+            |> function
+            | Some _ as e -> e
+            | None -> (
+                match J.member "p50_ns" h with
+                | Some (J.Int n) when n > 0 -> (
+                    let health_up =
+                      List.exists
+                        (fun r ->
+                          match J.member "result" r with
+                          | Some res ->
+                              J.member "status" res
+                              = Some (J.String "up")
+                          | None -> false)
+                        replies
+                    in
+                    if health_up then None
+                    else
+                      Some
+                        "metrics stream has no health reply with status \
+                         \"up\"")
+                | _ -> Some "\"serve.check\" histogram has p50_ns <= 0")))
+
+let check_jsonl ~abuse ~metrics (src : string) : string option =
   let replies = ref [] in
+  let log_lines = ref 0 in
   let err = ref None in
   List.iteri
     (fun i line ->
@@ -224,23 +382,94 @@ let check_jsonl ~abuse (src : string) : string option =
         match J.parse line with
         | Error msg -> err := Some (Printf.sprintf "line %d: %s" (i + 1) msg)
         | Ok j ->
-            if J.member "schema" j = Some (J.String "belr-serve/1") then (
-              (match check_serve_reply j with
+            let fail = function
               | Some msg ->
                   err := Some (Printf.sprintf "line %d: %s" (i + 1) msg)
-              | None -> ());
-              replies := j :: !replies))
+              | None -> ()
+            in
+            if J.member "schema" j = Some (J.String "belr-serve/1") then begin
+              fail (check_serve_reply j);
+              replies := j :: !replies
+            end
+            else if J.member "event" j <> None then begin
+              fail (check_log_line j);
+              incr log_lines
+            end)
     (String.split_on_char '\n' src);
   match !err with
   | Some _ as e -> e
   | None ->
-      if !replies = [] then Some "no belr-serve/1 replies in stream"
+      if !replies = [] && !log_lines = 0 then
+        Some "no belr-serve/1 replies or log events in stream"
       else if abuse then check_abuse_contract (List.rev !replies)
+      else if metrics then check_metrics_contract (List.rev !replies)
+      else None
+
+(* --- Prometheus text exposition (--metrics FILE) ------------------------ *)
+
+(** Every non-comment line must be [name value] with a [belr_]-prefixed
+    name and a numeric value; the file must expose the serve request
+    counter and at least one histogram bucket series. *)
+let check_prom (src : string) : string option =
+  let err = ref None in
+  let samples = ref 0 in
+  let has_requests = ref false in
+  let has_bucket = ref false in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if !err = None && line <> "" && line.[0] <> '#' then
+        match String.index_opt line ' ' with
+        | None ->
+            err :=
+              Some
+                (Printf.sprintf "line %d: not a \"name value\" sample"
+                   (i + 1))
+        | Some sp ->
+            let name = String.sub line 0 sp in
+            let value =
+              String.sub line (sp + 1) (String.length line - sp - 1)
+            in
+            if not (String.length name > 5 && String.sub name 0 5 = "belr_")
+            then
+              err :=
+                Some
+                  (Printf.sprintf
+                     "line %d: series %S lacks the belr_ prefix" (i + 1)
+                     name)
+            else if float_of_string_opt (String.trim value) = None then
+              err :=
+                Some
+                  (Printf.sprintf "line %d: value %S is not numeric" (i + 1)
+                     value)
+            else begin
+              incr samples;
+              if name = "belr_serve_requests_total" then
+                has_requests := true;
+              let is_sub sub s =
+                let n = String.length sub and m = String.length s in
+                let rec go i =
+                  i + n <= m && (String.sub s i n = sub || go (i + 1))
+                in
+                go 0
+              in
+              if is_sub "_bucket{le=" name then has_bucket := true
+            end)
+    (String.split_on_char '\n' src);
+  match !err with
+  | Some _ as e -> e
+  | None ->
+      if !samples = 0 then Some "exposition has no samples"
+      else if not !has_requests then
+        Some "exposition lacks belr_serve_requests_total"
+      else if not !has_bucket then
+        Some "exposition has no _bucket{le=...} histogram series"
       else None
 
 let () =
   let failed = ref false in
   let abuse = ref false in
+  let metrics = ref false in
   let report path = function
     | None -> Printf.printf "%s: ok\n" path
     | Some msg ->
@@ -251,15 +480,19 @@ let () =
     (fun i path ->
       if i > 0 then
         if path = "--serve-abuse" then abuse := true
+        else if path = "--serve-metrics" then metrics := true
         else
           match read_file path with
           | exception Sys_error msg -> report path (Some msg)
           | src ->
               if Filename.check_suffix path ".jsonl" then
-                report path (check_jsonl ~abuse:!abuse src)
+                report path (check_jsonl ~abuse:!abuse ~metrics:!metrics src)
+              else if Filename.check_suffix path ".prom" then
+                report path (check_prom src)
               else (
                 match J.parse src with
                 | Error msg -> report path (Some msg)
                 | Ok j -> report path (check_structure j)))
     Sys.argv;
   if !failed then exit 1
+
