@@ -108,6 +108,57 @@ let print_total_results (tr : Belr_comp.Totality.result) =
         | g -> "  [group: " ^ String.concat ", " g ^ "]"))
     tr.Belr_comp.Totality.tr_fns
 
+let print_worlds_results (wr : Belr_analysis.Worlds.result) =
+  Fmt.pr "signature: %d block(s), %d worlds declaration(s)@."
+    wr.Belr_analysis.Worlds.wr_blocks wr.Belr_analysis.Worlds.wr_worlds;
+  List.iter
+    (fun (f : Belr_analysis.Worlds.fn_report) ->
+      Fmt.pr "worlds %s : %s (%d extension(s), %d familie(s) checked)%s@."
+        f.Belr_analysis.Worlds.wf_name
+        (if Belr_analysis.Worlds.clean f then "clean" else "dirty")
+        f.Belr_analysis.Worlds.wf_exts f.Belr_analysis.Worlds.wf_fams
+        (if f.Belr_analysis.Worlds.wf_nonstrict > 0 then
+           Printf.sprintf "  [%d non-strict pattern variable(s)]"
+             f.Belr_analysis.Worlds.wf_nonstrict
+         else ""))
+    wr.Belr_analysis.Worlds.wr_fns
+
+let run_worlds files verbose json no_strict max_errors max_depth werror stats
+    trace profile kernel_stats =
+  Limits.set_max_depth max_depth;
+  let telemetry = stats || trace <> None || profile <> None in
+  if telemetry then begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  end;
+  let sink = Diagnostics.sink ~max_errors ~werror () in
+  let sg = Belr_parser.Driver.check_files sink files in
+  let wr = Belr_parser.Driver.worlds ~check_strict:(not no_strict) sink sg in
+  if telemetry then begin
+    Telemetry.set_enabled false;
+    Option.iter (fun f -> write_report sink f (Telemetry.trace_json ())) trace;
+    Option.iter
+      (fun f -> write_report sink f (Telemetry.profile_json ()))
+      profile
+  end;
+  (* written on every exit path: a report full of findings is the point *)
+  Option.iter
+    (fun f ->
+      write_report sink f (Belr_analysis.Worlds.report_json ~files sink wr))
+    json;
+  Diagnostics.dump Fmt.stderr sink;
+  if stats then Fmt.epr "%a@?" Telemetry.pp_stats ();
+  if kernel_stats then print_kernel_stats ();
+  match Diagnostics.exit_code sink with
+  | 0 ->
+      Fmt.pr "%d file(s) worlds-checked: %a.@." (List.length files)
+        Diagnostics.pp_summary sink;
+      if verbose then print_worlds_results wr;
+      0
+  | code ->
+      Fmt.epr "worlds failed: %a.@." Diagnostics.pp_summary sink;
+      code
+
 let run_total files verbose json depth budget max_errors max_depth werror
     stats trace profile kernel_stats =
   Limits.set_max_depth max_depth;
@@ -144,8 +195,8 @@ let run_total files verbose json depth budget max_errors max_depth werror
       Fmt.epr "total failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_check files verbose total lint max_errors max_depth werror stats
-    trace profile kernel_stats metrics =
+let run_check files verbose total lint worlds max_errors max_depth werror
+    stats trace profile kernel_stats metrics =
   Limits.set_max_depth max_depth;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
@@ -156,6 +207,7 @@ let run_check files verbose total lint max_errors max_depth werror stats
   let sink = Diagnostics.sink ~max_errors ~werror () in
   let sg = Belr_parser.Driver.check_files sink files in
   if total then Belr_parser.Driver.analyze sink sg;
+  if worlds then ignore (Belr_parser.Driver.worlds sink sg);
   let lint_result =
     if lint then Some (Belr_parser.Driver.lint sink sg) else None
   in
@@ -185,8 +237,8 @@ let run_check files verbose total lint max_errors max_depth werror stats
       Fmt.epr "check failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_lint files verbose total json max_errors max_depth werror stats trace
-    profile kernel_stats =
+let run_lint files verbose total worlds json max_errors max_depth werror
+    stats trace profile kernel_stats =
   Limits.set_max_depth max_depth;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
@@ -197,6 +249,7 @@ let run_lint files verbose total json max_errors max_depth werror stats trace
   let sg = Belr_parser.Driver.check_files sink files in
   let lr = Belr_parser.Driver.lint sink sg in
   if total then ignore (Belr_parser.Driver.total sink sg);
+  if worlds then ignore (Belr_parser.Driver.worlds sink sg);
   if telemetry then begin
     Telemetry.set_enabled false;
     Option.iter (fun f -> write_report sink f (Telemetry.trace_json ())) trace;
@@ -304,6 +357,37 @@ let sct_budget_arg =
            recursion component; exceeding it makes the analysis give up \
            with W0712 rather than loop")
 
+let worlds_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "worlds" ]
+        ~doc:
+          "also run the regular-worlds + strictness analyzer (Twelf-style \
+           $(b,%block) / $(b,%worlds) declarations): context-schema \
+           subsumption up to refinement subsorting and subordination \
+           strengthening, plus strict-occurrence checking of case \
+           patterns, reported with stable codes (E0720 extension outside \
+           the declared worlds, W0721 missing %worlds declaration, W0722 \
+           non-strict pattern variable)")
+
+let worlds_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "write the machine-readable worlds report (schema belr-worlds/1: \
+           per-function extension/family/violation counts, signature \
+           block/worlds counts, every diagnostic with code and location, \
+           summary, exit code) to $(docv)")
+
+let no_strict_arg =
+  Arg.(
+    value & flag
+    & info [ "no-strict" ]
+        ~doc:
+          "skip the strict-occurrence pass (W0722); only the worlds \
+           subsumption checks run")
+
 let lint_flag_arg =
   Arg.(
     value & flag
@@ -399,11 +483,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun files v t li me md we st tr pr ks mx ->
-          run_check files v t li me md we st tr pr ks mx)
-      $ files_arg $ verbose_arg $ total_arg $ lint_flag_arg $ max_errors_arg
-      $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg
-      $ kernel_stats_arg $ metrics_arg)
+      const (fun files v t li wo me md we st tr pr ks mx ->
+          run_check files v t li wo me md we st tr pr ks mx)
+      $ files_arg $ verbose_arg $ total_arg $ lint_flag_arg $ worlds_flag_arg
+      $ max_errors_arg $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg
+      $ profile_arg $ kernel_stats_arg $ metrics_arg)
 
 let lint_cmd =
   let doc =
@@ -414,11 +498,11 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
-      const (fun files v t js me md we st tr pr ks ->
-          run_lint files v t js me md we st tr pr ks)
-      $ files_arg $ verbose_arg $ total_arg $ lint_json_arg $ max_errors_arg
-      $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg $ profile_arg
-      $ kernel_stats_arg)
+      const (fun files v t wo js me md we st tr pr ks ->
+          run_lint files v t wo js me md we st tr pr ks)
+      $ files_arg $ verbose_arg $ total_arg $ worlds_flag_arg $ lint_json_arg
+      $ max_errors_arg $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg
+      $ profile_arg $ kernel_stats_arg)
 
 let total_cmd =
   let doc =
@@ -437,6 +521,26 @@ let total_cmd =
       $ files_arg $ verbose_arg $ total_json_arg $ split_depth_arg
       $ sct_budget_arg $ max_errors_arg $ max_depth_arg $ werror_arg
       $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
+
+let worlds_cmd =
+  let doc =
+    "check source files, then run the regular-worlds + strictness \
+     analyzer: every context extension a function (or anything it calls) \
+     can produce is checked subsumed — up to refinement subsorting and \
+     subordination strengthening — by the $(b,%worlds) declarations of \
+     the families it appeals to, and every case-pattern meta-variable is \
+     checked for a strict occurrence; verdicts carry stable codes \
+     (E0720, W0721, W0722) and $(b,--json) writes the belr-worlds/1 \
+     report"
+  in
+  Cmd.v
+    (Cmd.info "worlds" ~doc)
+    Term.(
+      const (fun files v js ns me md we st tr pr ks ->
+          run_worlds files v js ns me md we st tr pr ks)
+      $ files_arg $ verbose_arg $ worlds_json_arg $ no_strict_arg
+      $ max_errors_arg $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg
+      $ profile_arg $ kernel_stats_arg)
 
 let deadline_ms_arg =
   Arg.(
@@ -512,6 +616,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "belr" ~version:"1.0.0" ~doc)
-    [ check_cmd; lint_cmd; total_cmd; serve_cmd ]
+    [ check_cmd; lint_cmd; total_cmd; worlds_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -205,7 +205,8 @@ let sorts_pass sg sink =
 
 (** Group keys: references {e within} one declaration group (a constant
     mentioning its own target family, a sort's assigned constants
-    mentioning the sort) do not count as uses. *)
+    mentioning the sort, one member of a [rec … and …] group calling
+    another) do not count as uses. *)
 type key =
   | KT of Lf.cid_typ
   | KS of Lf.cid_srt
@@ -213,16 +214,21 @@ type key =
   | KG of Lf.cid_schema
   | KH of Lf.cid_sschema
   | KR of Lf.cid_rec
+  | KB of int  (** a [%block] declaration *)
+  | KW of Lf.cid_typ  (** the [%worlds] declaration of a family *)
 
 let unused_pass sg sink =
   let used : (key, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* one key per mutual group, so f calling its group-mate g does not
+     count as a use of g *)
+  let rec_key r = KR (List.fold_left min r (Sign.rec_group sg r)) in
   let group_of = function
     | Refs.RTyp a -> KT a
     | Refs.RSrt s -> KS s
     | Refs.RConst c -> KT (Sign.const_entry sg c).Sign.c_family
     | Refs.RSchema g -> KG g
     | Refs.RSschema h -> KH h
-    | Refs.RRec r -> KR r
+    | Refs.RRec r -> rec_key r
   in
   let key_of = function
     | Refs.RTyp a -> KT a
@@ -230,7 +236,7 @@ let unused_pass sg sink =
     | Refs.RConst c -> KC c
     | Refs.RSchema g -> KG g
     | Refs.RSschema h -> KH h
-    | Refs.RRec r -> KR r
+    | Refs.RRec r -> rec_key r
   in
   let rec credit ~owner (t : Refs.target) =
     (* a use of the auto-registered trivial refinement ⌈G⌉ is a use of G *)
@@ -273,9 +279,22 @@ let unused_pass sg sink =
     (Sign.all_sschemas sg);
   List.iter
     (fun (r, (re : Sign.rec_entry)) ->
-      Refs.iter_ctyp (credit ~owner:(KR r)) re.Sign.r_styp;
-      Option.iter (Refs.iter_exp (credit ~owner:(KR r))) re.Sign.r_body)
+      Refs.iter_ctyp (credit ~owner:(rec_key r)) re.Sign.r_styp;
+      Option.iter (Refs.iter_exp (credit ~owner:(rec_key r))) re.Sign.r_body)
     (Sign.all_recs sg);
+  (* [%block] / [%worlds] declarations reference sorts and families;
+     those references keep their targets live.  The declarations
+     themselves are never reported — they exist to be consumed by the
+     worlds analyzer (`belr worlds`), not by later declarations. *)
+  List.iter
+    (fun (b, (be : Sign.block_entry)) ->
+      List.iter (fun (_, s) -> Refs.iter_srt (credit ~owner:(KB b)) s)
+        (be.Sign.b_params @ be.Sign.b_fields))
+    (Sign.all_blocks sg);
+  List.iter
+    (fun (we : Sign.worlds_entry) ->
+      credit ~owner:(KW we.Sign.w_fam) (Refs.RTyp we.Sign.w_fam))
+    (Sign.all_worlds sg);
   let is_used k = Hashtbl.mem used k in
   (* Constants are data: a constructor counts as used while its family is
      referenced anywhere (matching on the family needs every constructor),

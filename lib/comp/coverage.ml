@@ -117,7 +117,32 @@ let variable_candidates (sg : Sign.t) (omega : Meta.mctx) (psi : Ctxs.sctx)
               else entry.Sign.h_elems
             in
             List.concat_map (of_selem "") elems
-        | _ -> [])
+        | _ -> (
+            (* world-bounded fallback: the context variable's schema is
+               not recoverable from omega, but declared [%worlds] still
+               bound what any context at this family can contain — its
+               blocks are the only assumptions a variable case could
+               project from *)
+            let fam =
+              match q with
+              | SAtom (s, _) -> Some (Sign.srt_entry sg s).Sign.s_refines
+              | SEmbed (a, _) -> Some a
+              | SPi _ -> None
+            in
+            match Option.bind fam (Sign.worlds_of sg) with
+            | None -> []
+            | Some w ->
+                List.concat_map
+                  (fun b ->
+                    let be = Sign.block_entry sg b in
+                    List.concat
+                      (List.mapi
+                         (fun k (_, s) ->
+                           if family_matches sg s q then
+                             [ Printf.sprintf "#%s.%d" be.Sign.b_name (k + 1) ]
+                           else [])
+                         be.Sign.b_fields))
+                  w.Sign.w_blocks))
   in
   let concrete_cands =
     List.concat_map
@@ -264,8 +289,9 @@ let proj_index (cand : string) : int option =
     taken relative to the scrutinee's context [psi] — argument holes of
     first-order constants live in the same context, and the binders of
     higher-order arguments are handled by head-class matching. *)
-let deep_check ?(depth = 3) (sg : Sign.t) (omega : Meta.mctx)
-    (ms : Meta.msrt) (branches : Comp.branch list) : deep =
+let deep_check ?(depth = 3) ?(strict = true) (sg : Sign.t)
+    (omega : Meta.mctx) (ms : Meta.msrt) (branches : Comp.branch list) : deep
+    =
   match ms with
   | Meta.MSTerm (psi, q0) -> (
       let rows0 =
@@ -329,9 +355,17 @@ let deep_check ?(depth = 3) (sg : Sign.t) (omega : Meta.mctx)
             Belr_support.Telemetry.add c_split
               (List.length consts + List.length vars);
             if consts = [] && vars = [] then (
-              (* uninhabitable hole: no vector passes through it *)
-              Belr_support.Telemetry.bump c_pruned;
-              [])
+              (* uninhabitable hole: no vector passes through it.  The
+                 pruning is justified only when every branch pattern is
+                 strict ({!Belr_analysis.Strict}) — then matching truly
+                 inverts, and empty candidates mean empty values.  With a
+                 non-strict pattern in play we refuse to conclude and
+                 give up (unless a catch-all row covers regardless). *)
+              if strict then (
+                Belr_support.Telemetry.bump c_pruned;
+                [])
+              else if List.exists (List.for_all pat_is_flex) rows then []
+              else raise Gave_up)
             else if
               not
                 (List.exists
@@ -432,7 +466,10 @@ let deep_check_rec ?(depth = 3) (sg : Sign.t) (id : cid_rec) : deep list =
                     (fun (b : Comp.branch) ->
                       walk (b.Comp.br_mctx @ omega) b.Comp.br_body)
                     brs;
-                  out := deep_check ~depth sg omega inv.Comp.inv_msrt brs :: !out
+                  let strict = Belr_analysis.Strict.branches_strict brs in
+                  out :=
+                    deep_check ~depth ~strict sg omega inv.Comp.inv_msrt brs
+                    :: !out
             in
             walk omega e;
             List.rev !out

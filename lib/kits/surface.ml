@@ -33,6 +33,13 @@ LFR aeq <| deq : tm -> tm -> sort =
 
 schema xdG = | xeW : block (x : tm, u : deq x x);
 schema xaG <| xdG = | xeW : block (x : tm, u : aeq x x);
+
+% Regular worlds (checked by `belr worlds`): every context extension in
+% the development is an instance of this block.  One block covers both
+% schemas — worlds subsumption is up to refinement subsorting, so the
+% aeq field of xaG's element erases to the same deq skeleton.
+%block xbW = block (x : tm, u : deq x x);
+%worlds (xbW) tm deq;
 |bel}
 
 let aeq_refl_src =

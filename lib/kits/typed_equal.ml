@@ -42,6 +42,9 @@ LFR aeq <| deq : tm -> tm -> tp -> sort =
 
 schema xdG = | xeW : {A : tp} block (x : tm, u : deq x x A);
 schema xaG <| xdG = | xeW : {A : tp} block (x : tm, u : aeq x x A);
+
+%block xbW = {A : tp} block (x : tm, u : deq x x A);
+%worlds (xbW) tm deq;
 |bel}
 
 let aeq_sym_src =

@@ -45,6 +45,11 @@ LFR evalv <| eval : tm -> val -> sort =
 LF isval : tm -> type =
 | v-lam : {M : tm -> tm} isval (lam M);
 
+% evaluation is closed, but the pattern sorts [x : tm |- tm] open the
+% context at tm, so tm needs a (bare-variable) world
+%block xtW = block (x : tm);
+%worlds (xtW) tm;
+
 rec result-val : (M : [ |- tm]) (V : [ |- tm])
                  [ |- eval M V] -> [ |- isval V] =
 mlam M => mlam V => fn d =>

@@ -68,6 +68,26 @@ type rec_entry = {
           (read it through {!rec_group}, which defaults to the singleton) *)
 }
 
+type block_entry = {
+  b_name : string;
+  b_params : (Name.t * Lf.srt) list;  (** Π-bound block parameters *)
+  b_fields : Ctxs.sblock;
+      (** block components, first first; a field may refer to earlier
+          fields by de Bruijn index (1 = immediately preceding) *)
+}
+(** A [%block] declaration: a named context block usable in [%worlds]
+    declarations.  Fields are stored at the refinement (sort) level —
+    type-level families arrive embedded — so one representation covers
+    both LF and LFR blocks. *)
+
+type worlds_entry = {
+  w_fam : Lf.cid_typ;  (** the bounded family *)
+  w_blocks : int list;  (** [%block] ids, in declaration order *)
+  w_loc : Loc.t;  (** where the [%worlds] declaration stands *)
+}
+(** A [%worlds (b₁ | … | bₙ) fam] declaration: contexts at uses of [fam]
+    may only extend by instances of the listed blocks. *)
+
 type sym =
   | Sym_typ of Lf.cid_typ
   | Sym_srt of Lf.cid_srt
@@ -75,6 +95,10 @@ type sym =
   | Sym_schema of Lf.cid_schema
   | Sym_sschema of Lf.cid_sschema
   | Sym_rec of Lf.cid_rec
+  | Sym_block of int
+  | Sym_worlds of Lf.cid_typ
+      (** bound under the synthetic name [fam ^ "%worlds"], keyed by the
+          family — one [%worlds] per family, enforced by [bind_name] *)
 
 type t = {
   typs : (int, typ_entry) Hashtbl.t;
@@ -83,6 +107,8 @@ type t = {
   schemas : (int, schema_entry) Hashtbl.t;
   sschemas : (int, sschema_entry) Hashtbl.t;
   recs : (int, rec_entry) Hashtbl.t;
+  blocks : (int, block_entry) Hashtbl.t;
+  worlds : (Lf.cid_typ, worlds_entry) Hashtbl.t;  (** keyed by family *)
   csorts : (int * int, Lf.srt * int) Hashtbl.t;
       (** (constant, sort family) → (assigned sort, implicit count) *)
   by_name : (string, sym) Hashtbl.t;
@@ -106,6 +132,8 @@ let create () =
     schemas = Hashtbl.create 16;
     sschemas = Hashtbl.create 16;
     recs = Hashtbl.create 16;
+    blocks = Hashtbl.create 16;
+    worlds = Hashtbl.create 16;
     csorts = Hashtbl.create 64;
     by_name = Hashtbl.create 128;
     poisoned = Hashtbl.create 16;
@@ -225,6 +253,25 @@ let add_rec sg ~name ~styp ~typ : Lf.cid_rec =
   bind_name sg name (Sym_rec id);
   id
 
+(** Declare a [%block].  Fields are at the sort level (see
+    {!type-block_entry}); the name lives in the shared namespace. *)
+let add_block sg ~name ~params ~fields : int =
+  let id = next sg in
+  Hashtbl.replace sg.blocks id
+    { b_name = name; b_params = params; b_fields = fields };
+  bind_name sg name (Sym_block id);
+  id
+
+(** Declare the [%worlds] of family [fam] — at most one per family,
+    enforced through the synthetic name binding [fam ^ "%worlds"] (the
+    ["%"] cannot occur in a surface identifier, so no collision with user
+    declarations is possible). *)
+let add_worlds sg ~fam ~fam_name ~blocks ~loc : unit =
+  if Hashtbl.mem sg.worlds fam then
+    Error.raise_msg "the worlds of %s are already declared" fam_name;
+  bind_name sg (fam_name ^ "%worlds") (Sym_worlds fam);
+  Hashtbl.replace sg.worlds fam { w_fam = fam; w_blocks = blocks; w_loc = loc }
+
 let set_rec_body sg id body =
   match Hashtbl.find_opt sg.recs id with
   | Some e -> e.r_body <- Some body
@@ -302,7 +349,9 @@ let retract_name sg name =
             sg.srts
       | Sym_schema g -> Hashtbl.remove sg.schemas g
       | Sym_sschema h -> Hashtbl.remove sg.sschemas h
-      | Sym_rec r -> Hashtbl.remove sg.recs r);
+      | Sym_rec r -> Hashtbl.remove sg.recs r
+      | Sym_block b -> Hashtbl.remove sg.blocks b
+      | Sym_worlds f -> Hashtbl.remove sg.worlds f);
       Hashtbl.remove sg.by_name name);
   Hashtbl.remove sg.poisoned name;
   Hashtbl.remove sg.locs name
@@ -340,13 +389,30 @@ let rec_entry sg id =
   | Some e -> e
   | None -> fail_unknown "function" id
 
+let rec_entry_opt sg id = Hashtbl.find_opt sg.recs id
+
 (** The sort assigned to constant [c] in sort family [s], if any. *)
 let csort sg ~const ~family : (Lf.srt * int) option =
   Hashtbl.find_opt sg.csorts (const, family)
 
+let block_entry sg id =
+  match Hashtbl.find_opt sg.blocks id with
+  | Some e -> e
+  | None -> fail_unknown "block" id
+
+(** The declared worlds of a family, if any. *)
+let worlds_of sg (fam : Lf.cid_typ) : worlds_entry option =
+  Hashtbl.find_opt sg.worlds fam
+
 (** All declared computation-level functions (unordered). *)
 let all_recs sg : (Lf.cid_rec * rec_entry) list =
   Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.recs []
+
+let all_blocks sg : (int * block_entry) list =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.blocks []
+
+let all_worlds sg : worlds_entry list =
+  Hashtbl.fold (fun _ e acc -> e :: acc) sg.worlds []
 
 let all_typs sg : (Lf.cid_typ * typ_entry) list =
   Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.typs []

@@ -118,6 +118,21 @@ let total ?depth ?budget (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
 let analyze (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) : unit =
   ignore (total sink sg)
 
+(** The regular-worlds + strictness analyses behind [belr worlds] and
+    [check --worlds] ([%block] / [%worlds] declarations, DESIGN.md §S25):
+    context-schema subsumption and strict-occurrence checking over the
+    whole signature, reported through the {e same} sink as checking —
+    E0720 errors and W0721/W0722 warnings via the diagnostics registry.
+    Every function is analyzed under recovery. *)
+let worlds ?check_strict (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
+    Belr_analysis.Worlds.result =
+  let result = ref None in
+  Diagnostics.with_stop sink (fun () ->
+      result := Some (Belr_analysis.Worlds.run ?check_strict sink sg));
+  match !result with
+  | Some r -> r
+  | None -> Belr_analysis.Worlds.empty_result
+
 (* --- session-scoped entry points ---------------------------------------- *)
 
 (** The same entry points, but run inside an explicit
@@ -151,3 +166,8 @@ let total_in ?depth ?budget (ses : Belr_lf.Session.t)
     (sink : Diagnostics.sink) : Belr_comp.Totality.result =
   Belr_lf.Session.with_ ses (fun () ->
       total ?depth ?budget sink (Belr_lf.Session.sign ses))
+
+let worlds_in ?check_strict (ses : Belr_lf.Session.t)
+    (sink : Diagnostics.sink) : Belr_analysis.Worlds.result =
+  Belr_lf.Session.with_ ses (fun () ->
+      worlds ?check_strict sink (Belr_lf.Session.sign ses))

@@ -108,6 +108,17 @@ type decl =
       (** [rec f : ζ = e;] — the list has one element per member of a
           [rec … and …;] mutual-recursion group (usually a singleton);
           all headers are declared before any body is processed *)
+  | Dblock of { bl_loc : Loc.t; bl_world : world }
+      (** [%block b = {x:A}* block (y:t, …);] — a named context block for
+          [%worlds] declarations (Twelf-style regular worlds) *)
+  | Dworlds of {
+      ws_loc : Loc.t;
+      ws_blocks : (Loc.t * string) list;  (** [(b₁ | … | bₙ)] *)
+      ws_fams : (Loc.t * string) list;  (** the families so bounded *)
+    }
+      (** [%worlds (b₁ | … | bₙ) fam₁ … famₖ;] — declares the regular
+          worlds of each family: contexts appearing at its uses may only
+          extend by instances of the listed blocks *)
 
 and rec_def = { r_loc : Loc.t; r_name : string; r_sort : csort; r_body : cexp }
 
@@ -122,6 +133,8 @@ let decl_loc : decl -> Loc.t = function
   | Dschema { s_loc; _ } -> s_loc
   | Drec (d :: _) -> d.r_loc
   | Drec [] -> Loc.ghost
+  | Dblock { bl_loc; _ } -> bl_loc
+  | Dworlds { ws_loc; _ } -> ws_loc
 
 let typ_decl_names (d : typ_decl) : string list =
   (* a refinement's "constructors" name existing constants of the refined
@@ -131,6 +144,13 @@ let typ_decl_names (d : typ_decl) : string list =
   ::
   (if d.d_refines = None then List.map (fun c -> c.k_name) d.d_ctors else [])
 
+(** The synthetic signature name binding the [%worlds] declaration of
+    family [fam].  The ["%"] cannot occur in a surface identifier, so the
+    name can never collide with (or shadow) a user declaration — and
+    [Sign.bind_name]'s duplicate rejection enforces one [%worlds] per
+    family for free. *)
+let worlds_name (fam : string) : string = fam ^ "%worlds"
+
 (** Every name a declaration would bind in the signature — the set to
     poison when the declaration fails to check.  A schema also auto-binds
     its trivial refinement under [name ^ "^"]. *)
@@ -139,6 +159,9 @@ let declared_names : decl -> string list = function
   | Dmutual ds -> List.concat_map typ_decl_names ds
   | Dschema { s_name; _ } -> [ s_name; s_name ^ "^" ]
   | Drec ds -> List.map (fun d -> d.r_name) ds
+  | Dblock { bl_world; _ } -> [ bl_world.w_name ]
+  | Dworlds { ws_fams; _ } ->
+      List.map (fun (_, f) -> worlds_name f) ws_fams
 
 (* --- surface name references (incremental invalidation) ---------------- *)
 
@@ -227,5 +250,11 @@ let referenced_names (d : decl) : string list =
         (fun rd ->
           csort rd.r_sort;
           cexp rd.r_body)
-        ds);
+        ds
+  | Dblock { bl_world = w; _ } ->
+      List.iter (fun (_, t) -> term t) w.w_params;
+      List.iter (fun (_, t) -> term t) w.w_fields
+  | Dworlds { ws_blocks; ws_fams; _ } ->
+      List.iter (fun (_, b) -> add b) ws_blocks;
+      List.iter (fun (_, f) -> add f) ws_fams);
   List.sort_uniq String.compare !acc

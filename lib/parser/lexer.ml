@@ -59,12 +59,32 @@ let keyword = function
   | "and" -> Some Token.KW_AND
   | _ -> None
 
+(** Does a [%block] / [%worlds] directive start at the current position?
+    The word after [%] must not continue as an identifier, so a comment
+    like [%blocked: …] still skips to end of line. *)
+let directive_at st : Token.t option =
+  let word w tok =
+    let n = String.length w in
+    let rec eq k = k >= n || (peek_at st (1 + k) = Some w.[k] && eq (k + 1)) in
+    if
+      eq 0
+      &&
+      match peek_at st (1 + n) with
+      | Some c -> not (is_ident_char c || c = '-')
+      | None -> true
+    then Some tok
+    else None
+  in
+  match word "block" Token.KW_PBLOCK with
+  | Some t -> Some t
+  | None -> word "worlds" Token.KW_PWORLDS
+
 let rec skip_ws st =
   match peek st with
   | Some (' ' | '\t' | '\r' | '\n') ->
       advance st;
       skip_ws st
-  | Some '%' ->
+  | Some '%' when directive_at st = None ->
       let rec to_eol () =
         match peek st with
         | Some '\n' | None -> ()
@@ -120,6 +140,19 @@ let next (st : state) : lexeme =
       in
       go ();
       fin (Token.NUM (int_of_string (Buffer.contents b)))
+  | Some '%' -> (
+      (* skip_ws left a [%] in place only for a directive *)
+      match directive_at st with
+      | Some tok ->
+          let n = match tok with Token.KW_PBLOCK -> 5 | _ -> 6 in
+          for _ = 0 to n do
+            advance st
+          done;
+          fin tok
+      | None ->
+          Error.raise_at
+            (Loc.make ~source:st.name ~start_pos:start ~end_pos:(here st))
+            "unexpected character %%")
   | Some '-' when peek_at st 1 = Some '>' ->
       advance st;
       advance st;

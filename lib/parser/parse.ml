@@ -554,7 +554,66 @@ let parse_decl st : Ext.decl option =
       done;
       expect st SEMI;
       Some (Ext.Drec (List.rev !defs))
-  | _ -> fail st "expected a declaration (LF, LFR, schema, or rec)"
+  | KW_PBLOCK ->
+      (* %block b = {x:A}* block (y:t, …); *)
+      let loc = cur_loc st in
+      advance st;
+      let name = expect_ident st in
+      expect st EQUAL;
+      let w = parse_world st in
+      expect st SEMI;
+      Some
+        (Ext.Dblock
+           {
+             bl_loc = loc;
+             bl_world = { w with Ext.w_name = name; Ext.w_loc = loc };
+           })
+  | KW_PWORLDS ->
+      (* %worlds (b₁ | … | bₙ) fam₁ … famₖ; — an empty block list "()"
+         declares closed worlds *)
+      let loc = cur_loc st in
+      advance st;
+      expect st LPAREN;
+      let blocks = ref [] in
+      (match cur_tok st with
+      | RPAREN -> ()
+      | _ ->
+          let rec go () =
+            let bloc = cur_loc st in
+            let b = expect_ident st in
+            blocks := (bloc, b) :: !blocks;
+            if cur_tok st = BAR then begin
+              advance st;
+              go ()
+            end
+          in
+          go ());
+      expect st RPAREN;
+      let fams = ref [] in
+      let floc = cur_loc st in
+      let f = expect_ident st in
+      fams := [ (floc, f) ];
+      let rec more () =
+        match cur_tok st with
+        | IDENT _ ->
+            let floc = cur_loc st in
+            let f = expect_ident st in
+            fams := (floc, f) :: !fams;
+            more ()
+        | _ -> ()
+      in
+      more ();
+      expect st SEMI;
+      Some
+        (Ext.Dworlds
+           {
+             ws_loc = loc;
+             ws_blocks = List.rev !blocks;
+             ws_fams = List.rev !fams;
+           })
+  | _ ->
+      fail st
+        "expected a declaration (LF, LFR, schema, rec, %%block, or %%worlds)"
 
 let parse_program ?name (src : string) : Ext.program =
   let st = make (Lexer.tokens ?name src) in

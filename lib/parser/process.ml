@@ -173,6 +173,59 @@ let process_decl_inner (sg : Sign.t) (d : Ext.decl) : unit =
           Check_lfr.check_sschema_refines (Check_lfr.make_env sg []) selems
             g_elems);
       ignore (Sign.add_sschema sg ~name:s_name ~refines:g ~elems:selems)
+  | Ext.Dblock { bl_loc; bl_world = w } ->
+      (* elaborate params and fields at the sort level: a type-level
+         family arrives as its embedding, a refinement family as an
+         atomic sort, so one path covers both LF and LFR blocks *)
+      let l0 = { Elab.lctx = Ctxs.empty_sctx; Elab.lnames = [] } in
+      let rec params l acc = function
+        | [] -> (l, List.rev acc)
+        | (x, t) :: rest ->
+            let s = span "elaborate" (fun () -> Elab.elab_srt e l t) in
+            params (Elab.lpush l x s) ((x, s) :: acc) rest
+      in
+      let l1, ps = params l0 [] w.Ext.w_params in
+      let rec fields l acc = function
+        | [] -> List.rev acc
+        | (x, t) :: rest ->
+            let s = span "elaborate" (fun () -> Elab.elab_srt e l t) in
+            fields (Elab.lpush l x s) ((x, s) :: acc) rest
+      in
+      let blk = fields l1 [] w.Ext.w_fields in
+      span "check-lfr" (fun () ->
+          ignore
+            (Check_lfr.wf_selem
+               (Check_lfr.make_env sg [])
+               Ctxs.empty_sctx
+               {
+                 Ctxs.f_name = w.Ext.w_name;
+                 Ctxs.f_refines = 0;
+                 Ctxs.f_params = ps;
+                 Ctxs.f_block = blk;
+               }));
+      ignore (Sign.add_block sg ~name:w.Ext.w_name ~params:ps ~fields:blk);
+      ignore bl_loc
+  | Ext.Dworlds { ws_loc; ws_blocks; ws_fams } ->
+      let blocks =
+        List.map
+          (fun (bloc, b) ->
+            match Sign.lookup_name sg b with
+            | Some (Sign.Sym_block id) -> id
+            | _ -> Error.raise_at bloc "%s does not name a %%block" b)
+          ws_blocks
+      in
+      List.iter
+        (fun (floc, f) ->
+          let fam =
+            match Sign.lookup_name sg f with
+            | Some (Sign.Sym_typ a) -> a
+            | Some (Sign.Sym_srt s) -> (Sign.srt_entry sg s).Sign.s_refines
+            | _ ->
+                Error.raise_at floc
+                  "%s does not name a type or sort family" f
+          in
+          Sign.add_worlds sg ~fam ~fam_name:f ~blocks ~loc:ws_loc)
+        ws_fams
   | Ext.Drec defs ->
       (* two-phase, like [Dmutual]: declare every header first so the
          bodies of a [rec … and …;] group can call any member *)
@@ -238,7 +291,7 @@ let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
         (fun (def : Ext.rec_def) ->
           Sign.set_decl_loc sg def.Ext.r_name def.Ext.r_loc)
         defs
-  | Ext.Dschema _ -> ());
+  | Ext.Dschema _ | Ext.Dblock _ | Ext.Dworlds _ -> ());
   if Telemetry.enabled () then
     let arg =
       match Ext.declared_names d with name :: _ -> name | [] -> ""

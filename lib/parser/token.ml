@@ -8,6 +8,8 @@ type t =
   | KW_SCHEMA
   | KW_REC
   | KW_BLOCK
+  | KW_PBLOCK  (** the declaration directive [%block] *)
+  | KW_PWORLDS  (** the declaration directive [%worlds] *)
   | KW_TYPE
   | KW_SORT
   | KW_FN
@@ -49,6 +51,8 @@ let to_string = function
   | KW_SCHEMA -> "schema"
   | KW_REC -> "rec"
   | KW_BLOCK -> "block"
+  | KW_PBLOCK -> "%block"
+  | KW_PWORLDS -> "%worlds"
   | KW_TYPE -> "type"
   | KW_SORT -> "sort"
   | KW_FN -> "fn"

@@ -96,6 +96,11 @@ let registry : code_class list =
     cc "E0710" Error "totality: possibly non-terminating recursion cycle";
     cc "W0711" Warning "totality: non-exhaustive match with missing cases";
     cc "W0712" Warning "totality: analysis gave up at a resource bound";
+    cc "E0720" Error "worlds: context extension outside the declared worlds";
+    cc "W0721" Warning "worlds: family appealed to under an extended context \
+                        has no %worlds declaration";
+    cc "W0722" Warning "worlds: pattern meta-variable with no strict \
+                        occurrence";
     cc "W0701" Warning "lint: vacuous Pi-dependency";
     cc "W0702" Warning "lint: constant leaves the second-order HOAS fragment";
     cc "W0703" Warning "lint: empty refinement sort";

@@ -8,7 +8,10 @@
 
     This module plants named {e sites} in the kernel hot paths
     ([store-intern] in the hash-consing store, [hsub] in hereditary
-    substitution, [unify] in the unifier).  Arming
+    substitution, [unify] in the unifier, [serve-dispatch] at the serve
+    request dispatcher — the one spot where a fault reaches the
+    crash-only B0002 wrapper instead of per-declaration recovery).
+    Arming
     [BELR_FAULT=<site>:<n>] (environment variable, read at startup) or
     calling {!arm} makes the [n]-th hit of that site raise {!Injected}.
 

@@ -192,6 +192,32 @@ let pass_tests =
            so its constructors count as data of a live family *)
         let sink, _, _ = lint_src (nat ^ "LF use : nat -> type;\n") in
         Alcotest.(check int) "no W0704" 0 (count "W0704" sink));
+    test "W0704: block/worlds declarations are exempt and keep their \
+          family live"
+      (fun () ->
+        (* nothing references nat except the %block/%worlds pair; the
+           declarations themselves must not be flagged either *)
+        let sink, _, _ =
+          lint_src
+            (nat ^ "%block xb = block (x : nat);\n%worlds (xb) nat;\n")
+        in
+        Alcotest.(check int) "no W0704" 0 (count "W0704" sink));
+    test "W0704: a schema referenced only by a mutual rec group still \
+          counts as used"
+      (fun () ->
+        (* intra-group calls share one canonical group key, so flip
+           crediting flop is inert — but the group's references to
+           *other* declarations still count *)
+        let sink, _, _ =
+          lint_src
+            (nat
+           ^ "schema g = | w : block (x : nat);\n\
+              rec flip : (Psi : g) (M : [Psi |- nat]) [Psi |- nat] =\n\
+              mlam Psi => mlam M => flop [Psi] [Psi |- M]\n\
+              and flop : (Psi : g) (M : [Psi |- nat]) [Psi |- nat] =\n\
+              mlam Psi => mlam M => [Psi |- M];\n")
+        in
+        Alcotest.(check int) "no W0704" 0 (count "W0704" sink));
     test "W0705: a shadowed Pi binder is reported" (fun () ->
         let sink, _, _ =
           lint_src

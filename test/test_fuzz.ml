@@ -61,7 +61,8 @@ let never_crashes i (src : string) : unit =
   match
     let sg = Driver.check_sources sink [ ("fuzz.bel", src) ] in
     ignore (Driver.lint sink sg);
-    ignore (Driver.total sink sg)
+    ignore (Driver.total sink sg);
+    ignore (Driver.worlds sink sg)
   with
   | () ->
       let rendered = Fmt.str "%a" (fun ppf s -> Diagnostics.dump ppf s) sink in

@@ -241,6 +241,31 @@ let robustness_tests =
         let r2 = round t (request ~source:(src3 nat) 3) in
         Alcotest.(check int) "everything re-checks" 3
           (tele_field "rechecked" r2));
+    test "an engine fault discards the session without leaking the \
+          request id or the telemetry flag" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let was_enabled = Telemetry.enabled () in
+        Fault.arm ~site:"serve-dispatch" ~n:1;
+        let r =
+          Fun.protect ~finally:Fault.disarm (fun () ->
+              round t (request ~source:(src3 nat) 2))
+        in
+        Alcotest.(check string) "status" "error" (str_field "status" r);
+        Alcotest.(check int) "exit 2" 2 (int_field "exit_code" r);
+        Alcotest.(check bool) "B0002 reported" true
+          (List.mem "B0002" (codes r));
+        (* the crash path must not leak ambient telemetry state into the
+           next request's spans *)
+        Alcotest.(check string) "request id cleared" ""
+          (Telemetry.current_request_id ());
+        Alcotest.(check bool) "telemetry flag restored" was_enabled
+          (Telemetry.enabled ());
+        (* crash-only: the session was discarded, so the next request on
+           the same name starts from a fresh world and re-checks all *)
+        let r2 = round t (request ~source:(src3 nat) 3) in
+        Alcotest.(check string) "fresh world ok" "ok" (str_field "status" r2);
+        Alcotest.(check int) "re-checks all" 3 (tele_field "rechecked" r2));
     test "lint and stats answer on a checked session" (fun () ->
         let t = Serve.create () in
         ignore (round t (request ~source:(src3 nat) 1));
@@ -325,6 +350,53 @@ let observability_tests =
         match J.member "peaks_before_reset" result with
         | Some (J.Obj _) -> ()
         | _ -> Alcotest.fail "reset lacks peaks_before_reset");
+    test "warm lint replies replay the cached analysis; an edit \
+          invalidates exactly its closure" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let l1 = round t (request ~meth:"lint" 2) in
+        Alcotest.(check string) "cold lint ok" "ok" (str_field "status" l1);
+        Alcotest.(check int) "cold lint analyzes all" 3
+          (tele_field "rechecked" l1);
+        let l2 = round t (request ~meth:"lint" 3) in
+        Alcotest.(check int) "warm lint re-analyzes none" 0
+          (tele_field "rechecked" l2);
+        Alcotest.(check int) "warm lint reuses all" 3
+          (tele_field "reused" l2);
+        (* the replayed reply is indistinguishable from the cold one *)
+        Alcotest.(check bool) "same result" true
+          (J.member "result" l1 = J.member "result" l2);
+        Alcotest.(check (list string)) "same findings" (codes l1) (codes l2);
+        Alcotest.(check int) "same exit code" (int_field "exit_code" l1)
+          (int_field "exit_code" l2);
+        (* a nat edit dirties the cache; the reported recheck count is
+           the invalidation closure (nat + vec), not the whole file *)
+        ignore (round t (request ~source:(src3 nat') 4));
+        let l3 = round t (request ~meth:"lint" 5) in
+        Alcotest.(check int) "edited lint re-analyzes the closure" 2
+          (tele_field "rechecked" l3);
+        Alcotest.(check int) "the rest reused" 1 (tele_field "reused" l3));
+    test "warm total replies replay the cached analysis" (fun () ->
+        let t = Serve.create () in
+        ignore (round t (request ~source:(src3 nat) 1));
+        let t1 = round t (request ~meth:"total" 2) in
+        Alcotest.(check string) "cold total ok" "ok" (str_field "status" t1);
+        Alcotest.(check int) "cold total analyzes all" 3
+          (tele_field "rechecked" t1);
+        let t2 = round t (request ~meth:"total" 3) in
+        Alcotest.(check int) "warm total re-analyzes none" 0
+          (tele_field "rechecked" t2);
+        Alcotest.(check int) "warm total reuses all" 3
+          (tele_field "reused" t2);
+        Alcotest.(check bool) "same result" true
+          (J.member "result" t1 = J.member "result" t2);
+        Alcotest.(check (list string)) "same findings" (codes t1) (codes t2);
+        (* reset drops the caches along with the session's world *)
+        ignore (round t (request ~meth:"reset" 4));
+        ignore (round t (request ~source:(src3 nat) 5));
+        let t3 = round t (request ~meth:"total" 6) in
+        Alcotest.(check int) "post-reset total re-analyzes all" 3
+          (tele_field "rechecked" t3));
     test "stats exposes the registry's incremental counters" (fun () ->
         let t = Serve.create () in
         ignore (round t (request ~source:(src3 nat) 1));

@@ -6,8 +6,11 @@
     [belr-lint/1] report a well-formed [findings] array (code + severity
     per entry) and a [summary], a [belr-total/1] report its [functions]
     array (name + terminating + covered per entry) plus the [callgraph],
-    [findings], and [summary] sections, and a [belr-bench/1] report a
-    non-empty [experiments] object of per-experiment objects.
+    [findings], and [summary] sections, a [belr-worlds/1] report its
+    [functions] array (name + extension/violation/nonstrict counts +
+    clean flag per entry) plus the [signature], [findings], and
+    [summary] sections, and a [belr-bench/1] report a non-empty
+    [experiments] object of per-experiment objects.
 
     A [.jsonl] argument is validated line by line; every non-blank line
     must parse, every [belr-serve/1] reply must carry its [id],
@@ -33,8 +36,8 @@
     exposition (every sample [belr_]-prefixed and numeric, the serve
     request counter present, at least one [_bucket{le=...}] series).
     Exit 0 iff every file passes; the [@smoke], [@lint], [@total],
-    [@serve], [@metrics], and [@bench-json] dune aliases fail the build
-    otherwise. *)
+    [@worlds], [@serve], [@metrics], and [@bench-json] dune aliases
+    fail the build otherwise. *)
 
 module J = Belr_support.Json
 
@@ -161,6 +164,59 @@ let check_structure (j : J.t) : string option =
                           Some "total report lacks \"summary\""
                         else None)
                 | _ -> Some "total report lacks its \"callgraph\" object"))
+      | Some (J.String "belr-worlds/1") -> (
+          match Option.bind (J.member "functions" j) J.to_list with
+          | None -> Some "worlds report lacks a \"functions\" array"
+          | Some fns -> (
+              let bad_fn f =
+                match
+                  ( J.member "name" f,
+                    J.member "extensions" f,
+                    J.member "violations" f,
+                    J.member "nonstrict" f,
+                    J.member "clean" f )
+                with
+                | ( Some (J.String _),
+                    Some (J.Int _),
+                    Some (J.Int _),
+                    Some (J.Int _),
+                    Some (J.Bool _) ) ->
+                    false
+                | _ -> true
+              in
+              if List.exists bad_fn fns then
+                Some
+                  "a functions entry is missing its \"name\" string, its \
+                   \"extensions\"/\"violations\"/\"nonstrict\" counts, or \
+                   its \"clean\" boolean"
+              else
+                match J.member "signature" j with
+                | Some (J.Obj _ as sigj) -> (
+                    if J.member "blocks" sigj = None then
+                      Some "worlds \"signature\" section lacks \"blocks\""
+                    else if J.member "worlds" sigj = None then
+                      Some "worlds \"signature\" section lacks \"worlds\""
+                    else
+                      match
+                        Option.bind (J.member "findings" j) J.to_list
+                      with
+                      | None -> Some "worlds report lacks a \"findings\" array"
+                      | Some findings ->
+                          let bad_finding f =
+                            match
+                              (J.member "code" f, J.member "severity" f)
+                            with
+                            | Some (J.String _), Some (J.String _) -> false
+                            | _ -> true
+                          in
+                          if List.exists bad_finding findings then
+                            Some
+                              "a findings entry is missing its \"code\" or \
+                               \"severity\" string"
+                          else if J.member "summary" j = None then
+                            Some "worlds report lacks \"summary\""
+                          else None)
+                | _ -> Some "worlds report lacks its \"signature\" object"))
       | Some (J.String "belr-metrics/1") -> (
           let arr k = Option.bind (J.member k j) J.to_list in
           match (arr "counters", arr "gauges", arr "histograms") with
