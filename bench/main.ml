@@ -18,6 +18,10 @@
     - E9  observability overhead: baseline vs fully instrumented warm
           serve (metrics registry + gauge sampling + structured log),
           with the production serve.check latency quantiles (PR 7)
+    - E10 ablation: lazy whnf normalization on vs off (PR 9; the "off"
+          rows are what [BELR_NO_WHNF=1] gives end to end): cold-path
+          sort checking, conversion of delayed closures, and running
+          [ceq] on deep [deq] derivation chains
 
     Run with: [dune exec bench/main.exe]  (add [--fast] for a quick pass).
 
@@ -713,6 +717,241 @@ let e9 () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* E10 — ablation: lazy whnf normalization (PR 9)                       *)
+
+(** A linear [deq] derivation chain of length [n] over the term [t]:
+    [chain 0 = e-refl t] and
+    [chain n = e-trans t t t (chain (n-1)) (e-sym t t (e-refl t))], so
+    [ceq] performs [n] pattern-matching steps — each carrying [t] in the
+    implicit arguments — to produce the [aeq] image. *)
+let deq_chain t n =
+  let refl = mk_root (mk_const u.Ulam.e_refl) [ t ] in
+  let sym = mk_root (mk_const u.Ulam.e_sym) [ t; t; refl ] in
+  let rec go n acc =
+    if n = 0 then acc
+    else go (n - 1) (mk_root (mk_const u.Ulam.e_trans) [ t; t; t; acc; sym ])
+  in
+  go n refl
+
+(** A dependent-telescope mini-signature scaled by [n]:
+    [tele : ΠM1..Mn:tm. deq M1 M1 → … → deq Mn Mn → deq M1 M1].  All 2n
+    binders are in one telescope, so the eager checker re-substitutes the
+    O(n)-node remainder at every spine step (O(n²) total) while the lazy
+    checker extends the delayed substitution in O(1) per step. *)
+let tele_check n =
+  let bv i = mk_root (mk_bvar i) [] in
+  let sg = Sign.create () in
+  let tm = Sign.add_typ sg ~name:"tm" ~kind:Ktype ~implicit:0 in
+  let tm_t = mk_atom tm [] in
+  let c0 = Sign.add_const sg ~name:"c0" ~typ:tm_t ~implicit:0 in
+  let f =
+    Sign.add_const sg ~name:"f"
+      ~typ:(mk_pi "x" tm_t (Shift.shift_typ 1 0 tm_t))
+      ~implicit:0
+  in
+  let deq =
+    Sign.add_typ sg ~name:"deq"
+      ~kind:(Kpi ("m", tm_t, Kpi ("n", tm_t, Ktype)))
+      ~implicit:0
+  in
+  let dq m = mk_atom deq [ m; m ] in
+  let refl =
+    Sign.add_const sg ~name:"refl" ~typ:(mk_pi "M" tm_t (dq (bv 1))) ~implicit:0
+  in
+  (* in the j-th deq-domain the binders in scope are M1..Mn, d1..d(j-1),
+     so Mj is index n for every j — the domains are one shared node *)
+  let rec mk_ds j acc = if j = 0 then acc else mk_ds (j - 1) (mk_pi "d" (dq (bv n)) acc) in
+  let rec mk_ms i acc = if i = 0 then acc else mk_ms (i - 1) (mk_pi "M" tm_t acc) in
+  let tele_typ = mk_ms n (mk_ds n (dq (bv (2 * n)))) in
+  let tele = Sign.add_const sg ~name:"tele" ~typ:tele_typ ~implicit:0 in
+  let t1 = mk_root (mk_const f) [ mk_root (mk_const c0) [] ] in
+  let args =
+    List.init n (fun _ -> t1) @ List.init n (fun _ -> mk_root (mk_const refl) [ t1 ])
+  in
+  let root = mk_root (mk_const tele) args in
+  let env = Check_lf.make_env sg [] in
+  let target = dq t1 in
+  fun () -> Check_lf.check_normal env Ctxs.empty_ctx root target
+
+let e10 () =
+  Fmt.pr
+    "@.== E10: ablation — lazy whnf normalization (DESIGN.md §S26; \
+     BELR_NO_WHNF=1@.";
+  Fmt.pr "   reproduces the \"off\" rows end to end) ==@.";
+  let saved = Whnf.whnf_enabled () in
+  let dev = Equal_dev.make () in
+  let du = dev.Equal_dev.ulam in
+  let hat0 = { Meta.hat_var = None; Meta.hat_names = [] } in
+  let chains = if fast then [ 16; 32 ] else [ 16; 32; 64 ] in
+  let widths = if fast then [ 64; 128 ] else [ 64; 128; 256 ] in
+  let sizes = if fast then [ 1024; 4096 ] else [ 512; 1024; 4096 ] in
+  let modes = [ ("off", false); ("on", true) ] in
+  (* Each workload family runs as its own bechamel group, and the
+     family's test closures are dropped (and a major GC forced) before
+     the next family starts.  This matters: the deep self-similar terms
+     some families keep alive (the whnf-head combs in particular) all
+     collide into the same metadata-table buckets — [Hashtbl.hash]
+     samples a bounded prefix of the value and the suffixes of a comb
+     share theirs — so letting them survive into another family's run
+     would tax every [mk_*] there with long chain walks and skew its
+     off/on ratio.  Within a family both modes share the same live
+     terms, so the contamination cancels out of the ratio. *)
+  let run_family banner mk =
+    let tests = List.concat_map mk modes in
+    let rows =
+      print_results banner (run_tests (Test.make_grouped ~name:"e10" tests))
+    in
+    Whnf.set_whnf_enabled saved;
+    Gc.full_major ();
+    rows
+  in
+  (* The sort-check and whnf-head workloads run the memo-cold path: the
+     measured closure clears the Hsub and whnf tables first, so "off"
+     really pays the eager substitutions that laziness avoids (warm,
+     those two degenerate to table reads and the ablation measures
+     nothing; the telescope and eval rows have no such sensitivity).
+     The mode is re-asserted inside every closure because bechamel
+     interleaves runs of different tests. *)
+  let rows_sort =
+    run_family "sort-check, whnf off vs on (cold memo tables):"
+      (fun (label, on) ->
+        List.map
+          (fun d ->
+            let drv = gen_drv d in
+            let s = aeq_srt d in
+            Test.make
+              ~name:(Fmt.str "%s/sort-check/depth-%02d" label d)
+              (Staged.stage (fun () ->
+                   Whnf.set_whnf_enabled on;
+                   Hsub.clear_memo ();
+                   Whnf.clear_memo ();
+                   ignore
+                     (Check_lfr.check_normal lfr_env Ctxs.empty_sctx drv s))))
+          depths)
+  in
+  let rows_head =
+    run_family "whnf-head, whnf off vs on (cold memo tables):"
+      (fun (label, on) ->
+        List.map
+          (fun n ->
+            (* The primitive the whole refactor rests on: "which
+               constructor heads ⟦σ⟧M?".  The comb below is an N-node
+               right-spine of applications over #1 (every suffix is a
+               distinct store node, so nothing collapses to a DAG), and
+               lazy whnf answers in O(1) while the eager ablation must
+               force the full N-node substitution.  Memo-cold on both
+               sides: the clear puts the eager engine in the same state a
+               fresh declaration sees. *)
+            let rec comb k =
+              if k = 0 then mk_root (mk_bvar 1) []
+              else Ulam.app_tm u (mk_root (mk_bvar 1) []) (comb (k - 1))
+            in
+            let clo = (comb n, mk_dot (Obj id_tm) Lf.id) in
+            Test.make
+              ~name:(Fmt.str "%s/whnf-head/size-%05d" label n)
+              (Staged.stage (fun () ->
+                   Whnf.set_whnf_enabled on;
+                   Hsub.clear_memo ();
+                   Whnf.clear_memo ();
+                   if Whnf.whnf_enabled () then ignore (Whnf.whnf_normal clo)
+                   else ignore (Whnf.norm_nclo clo))))
+          sizes)
+  in
+  let rows_tele =
+    run_family "telescope checking, whnf off vs on:" (fun (label, on) ->
+        List.map
+          (fun n ->
+            let check = tele_check n in
+            Test.make
+              ~name:(Fmt.str "%s/telescope/width-%03d" label n)
+              (Staged.stage (fun () ->
+                   Whnf.set_whnf_enabled on;
+                   check ())))
+          widths)
+  in
+  let rows_ceq =
+    run_family "ceq evaluation (the §2 proof as a program), whnf off vs on:"
+      (fun (label, on) ->
+        List.map
+          (fun n ->
+            let chain = deq_chain id_tm n in
+            let call =
+              Comp.App
+                ( List.fold_left
+                    (fun e a -> Comp.MApp (e, a))
+                    (Comp.RecConst dev.Equal_dev.ceq)
+                    [
+                      Meta.MOCtx Ctxs.empty_sctx;
+                      Meta.MOTerm (hat0, id_tm);
+                      Meta.MOTerm (hat0, id_tm);
+                    ],
+                  Comp.Box (Meta.MOTerm (hat0, chain)) )
+            in
+            Test.make
+              ~name:(Fmt.str "%s/ceq-eval/chain-%02d" label n)
+              (Staged.stage (fun () ->
+                   Whnf.set_whnf_enabled on;
+                   ignore
+                     (Belr_comp.Eval.as_box
+                        (Belr_comp.Eval.eval
+                           (Belr_comp.Eval.make_env du.Ulam.sg) call)))))
+          chains)
+  in
+  let rows = rows_sort @ rows_head @ rows_tele @ rows_ceq in
+  Whnf.set_whnf_enabled saved;
+  let ratio key_off key_on =
+    let get k = try List.assoc k rows with Not_found -> nan in
+    get key_off /. get key_on
+  in
+  let speedups =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun d ->
+            let r =
+              ratio
+                (Fmt.str "e10/off/%s/depth-%02d" w d)
+                (Fmt.str "e10/on/%s/depth-%02d" w d)
+            in
+            Fmt.pr "  depth %2d %-10s: off/on speedup = %.2fx@." d w r;
+            (Fmt.str "%s-depth-%02d" w d, J.Float r))
+          depths)
+      [ "sort-check" ]
+    @ List.map
+        (fun n ->
+          let r =
+            ratio
+              (Fmt.str "e10/off/whnf-head/size-%05d" n)
+              (Fmt.str "e10/on/whnf-head/size-%05d" n)
+          in
+          Fmt.pr "  size %5d %-10s: off/on speedup = %.2fx@." n "whnf-head" r;
+          (Fmt.str "whnf-head-size-%05d" n, J.Float r))
+        sizes
+    @ List.map
+        (fun n ->
+          let r =
+            ratio
+              (Fmt.str "e10/off/telescope/width-%03d" n)
+              (Fmt.str "e10/on/telescope/width-%03d" n)
+          in
+          Fmt.pr "  width %3d %-10s: off/on speedup = %.2fx@." n "telescope" r;
+          (Fmt.str "telescope-width-%03d" n, J.Float r))
+        widths
+    @ List.map
+        (fun n ->
+          let r =
+            ratio
+              (Fmt.str "e10/off/ceq-eval/chain-%02d" n)
+              (Fmt.str "e10/on/ceq-eval/chain-%02d" n)
+          in
+          Fmt.pr "  chain %2d %-10s: off/on speedup = %.2fx@." n "ceq-eval" r;
+          (Fmt.str "ceq-eval-chain-%02d" n, J.Float r))
+        chains
+  in
+  record "e10"
+    (J.Obj [ ("times_ns", json_rows rows); ("off_over_on", J.Obj speedups) ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Fmt.pr "belr benchmark harness (see DESIGN.md §3 and EXPERIMENTS.md)@.";
@@ -726,6 +965,7 @@ let () =
   e7 ();
   e8 ();
   e9 ();
+  e10 ();
   (match json_file with
   | None -> ()
   | Some path ->

@@ -58,15 +58,18 @@ let write_metrics sink path =
 
 (** One-line kernel summary for [--kernel-stats].  Reads the always-on
     integer counters of the term store, the hereditary-substitution memo
-    table, and the equality fast path — no [--stats] instrumentation
-    required, so the line is accurate even on plain runs. *)
+    table, the weak-head normalizer, and the equality fast path — no
+    [--stats] instrumentation required, so the line is accurate even on
+    plain runs. *)
 let print_kernel_stats () =
   let st = Belr_syntax.Lf.store_stats () in
   let ms = Belr_lf.Hsub.memo_stats () in
+  let ws = Belr_lf.Whnf.stats () in
   let ps = Belr_syntax.Equal.phys_stats () in
   Fmt.epr
     "kernel: store %s (live %d, interned %d, dedup hits %d, ratio %.2f); \
-     hsub memo %d hit / %d miss (rate %.2f), mfi skips %d; equal phys-eq \
+     hsub memo %d hit / %d miss (rate %.2f), mfi skips %d; whnf %s, memo \
+     %d hit / %d miss (rate %.2f), forced %d, eager %d; equal phys-eq \
      %d hit / %d miss@."
     (if Belr_syntax.Lf.store_enabled () then "on" else "off")
     st.Belr_syntax.Lf.st_live st.Belr_syntax.Lf.st_interned
@@ -74,8 +77,12 @@ let print_kernel_stats () =
     (Belr_syntax.Lf.dedup_ratio ())
     ms.Belr_lf.Hsub.ms_hits ms.Belr_lf.Hsub.ms_misses
     (Belr_lf.Hsub.memo_hit_rate ())
-    ms.Belr_lf.Hsub.ms_mfi_skips ps.Belr_syntax.Equal.ps_hits
-    ps.Belr_syntax.Equal.ps_misses
+    ms.Belr_lf.Hsub.ms_mfi_skips
+    (if Belr_lf.Whnf.whnf_enabled () then "on" else "off")
+    ws.Belr_lf.Whnf.ws_hits ws.Belr_lf.Whnf.ws_misses
+    (Belr_lf.Whnf.hit_rate ())
+    ws.Belr_lf.Whnf.ws_forced ws.Belr_lf.Whnf.ws_eager
+    ps.Belr_syntax.Equal.ps_hits ps.Belr_syntax.Equal.ps_misses
 
 let print_lint_results sg (lr : Belr_analysis.Lint.result) =
   Fmt.pr "analysis passes:@.";
@@ -123,9 +130,10 @@ let print_worlds_results (wr : Belr_analysis.Worlds.result) =
          else ""))
     wr.Belr_analysis.Worlds.wr_fns
 
-let run_worlds files verbose json no_strict max_errors max_depth werror stats
-    trace profile kernel_stats =
+let run_worlds files verbose json no_strict max_errors max_depth
+    max_eval_steps werror stats trace profile kernel_stats =
   Limits.set_max_depth max_depth;
+  Limits.set_eval_fuel max_eval_steps;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
     Telemetry.reset ();
@@ -159,9 +167,10 @@ let run_worlds files verbose json no_strict max_errors max_depth werror stats
       Fmt.epr "worlds failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_total files verbose json depth budget max_errors max_depth werror
-    stats trace profile kernel_stats =
+let run_total files verbose json depth budget max_errors max_depth
+    max_eval_steps werror stats trace profile kernel_stats =
   Limits.set_max_depth max_depth;
+  Limits.set_eval_fuel max_eval_steps;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
     Telemetry.reset ();
@@ -195,9 +204,10 @@ let run_total files verbose json depth budget max_errors max_depth werror
       Fmt.epr "total failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_check files verbose total lint worlds max_errors max_depth werror
-    stats trace profile kernel_stats metrics =
+let run_check files verbose total lint worlds max_errors max_depth
+    max_eval_steps werror stats trace profile kernel_stats metrics =
   Limits.set_max_depth max_depth;
+  Limits.set_eval_fuel max_eval_steps;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
     Telemetry.reset ();
@@ -237,9 +247,10 @@ let run_check files verbose total lint worlds max_errors max_depth werror
       Fmt.epr "check failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_lint files verbose total worlds json max_errors max_depth werror
-    stats trace profile kernel_stats =
+let run_lint files verbose total worlds json max_errors max_depth
+    max_eval_steps werror stats trace profile kernel_stats =
   Limits.set_max_depth max_depth;
+  Limits.set_eval_fuel max_eval_steps;
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
     Telemetry.reset ();
@@ -275,8 +286,9 @@ let run_lint files verbose total worlds json max_errors max_depth werror
       Fmt.epr "lint failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_serve deadline_ms max_live_nodes max_errors max_depth log_file
-    log_level slow_ms metrics =
+let run_serve deadline_ms max_live_nodes max_errors max_depth max_eval_steps
+    log_file log_level slow_ms metrics =
+  Limits.set_eval_fuel max_eval_steps;
   (* The structured log opens before the first request and closes after
      the loop; an unopenable path is a startup error (exit 1), not a
      silently disabled log. *)
@@ -424,6 +436,17 @@ let max_depth_arg =
            unification; exceeding it yields the E0901 resource \
            diagnostic instead of a crash")
 
+let max_eval_steps_arg =
+  Arg.(
+    value & opt int Limits.default_eval_fuel
+    & info [ "max-eval-steps" ] ~docv:"N"
+        ~doc:
+          "step budget for evaluating mechanized proofs (each call, \
+           application, box, and match counts as one step); exceeding it \
+           yields the E0905 resource diagnostic instead of a hang, so \
+           $(b,--max-errors), $(b,--werror), and the exit code apply to \
+           runaway evaluation like any other error")
+
 let werror_arg =
   Arg.(
     value & flag
@@ -463,9 +486,11 @@ let kernel_stats_arg =
           "print a one-line summary of the hash-consing term store \
            (DESIGN.md S21) on stderr after checking: live/interned node \
            counts, dedup ratio, hereditary-substitution memo hit rate, \
-           and equality fast-path hits; unlike $(b,--stats) this reads \
-           always-on counters and needs no instrumentation (set \
-           BELR_NO_HASHCONS=1 to disable the store itself)")
+           weak-head normalization memo/forcing counters (DESIGN.md \
+           S26), and equality fast-path hits; unlike $(b,--stats) this \
+           reads always-on counters and needs no instrumentation (set \
+           BELR_NO_HASHCONS=1 to disable the store itself, \
+           BELR_NO_WHNF=1 to fall back to eager substitution)")
 
 let metrics_arg =
   Arg.(
@@ -483,11 +508,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun files v t li wo me md we st tr pr ks mx ->
-          run_check files v t li wo me md we st tr pr ks mx)
+      const (fun files v t li wo me md ev we st tr pr ks mx ->
+          run_check files v t li wo me md ev we st tr pr ks mx)
       $ files_arg $ verbose_arg $ total_arg $ lint_flag_arg $ worlds_flag_arg
-      $ max_errors_arg $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg
-      $ profile_arg $ kernel_stats_arg $ metrics_arg)
+      $ max_errors_arg $ max_depth_arg $ max_eval_steps_arg $ werror_arg
+      $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg $ metrics_arg)
 
 let lint_cmd =
   let doc =
@@ -498,11 +523,11 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
-      const (fun files v t wo js me md we st tr pr ks ->
-          run_lint files v t wo js me md we st tr pr ks)
+      const (fun files v t wo js me md ev we st tr pr ks ->
+          run_lint files v t wo js me md ev we st tr pr ks)
       $ files_arg $ verbose_arg $ total_arg $ worlds_flag_arg $ lint_json_arg
-      $ max_errors_arg $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg
-      $ profile_arg $ kernel_stats_arg)
+      $ max_errors_arg $ max_depth_arg $ max_eval_steps_arg $ werror_arg
+      $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
 
 let total_cmd =
   let doc =
@@ -516,11 +541,11 @@ let total_cmd =
   Cmd.v
     (Cmd.info "total" ~doc)
     Term.(
-      const (fun files v js sd sb me md we st tr pr ks ->
-          run_total files v js sd sb me md we st tr pr ks)
+      const (fun files v js sd sb me md ev we st tr pr ks ->
+          run_total files v js sd sb me md ev we st tr pr ks)
       $ files_arg $ verbose_arg $ total_json_arg $ split_depth_arg
-      $ sct_budget_arg $ max_errors_arg $ max_depth_arg $ werror_arg
-      $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
+      $ sct_budget_arg $ max_errors_arg $ max_depth_arg $ max_eval_steps_arg
+      $ werror_arg $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
 
 let worlds_cmd =
   let doc =
@@ -536,11 +561,11 @@ let worlds_cmd =
   Cmd.v
     (Cmd.info "worlds" ~doc)
     Term.(
-      const (fun files v js ns me md we st tr pr ks ->
-          run_worlds files v js ns me md we st tr pr ks)
+      const (fun files v js ns me md ev we st tr pr ks ->
+          run_worlds files v js ns me md ev we st tr pr ks)
       $ files_arg $ verbose_arg $ worlds_json_arg $ no_strict_arg
-      $ max_errors_arg $ max_depth_arg $ werror_arg $ stats_arg $ trace_arg
-      $ profile_arg $ kernel_stats_arg)
+      $ max_errors_arg $ max_depth_arg $ max_eval_steps_arg $ werror_arg
+      $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
 
 let deadline_ms_arg =
   Arg.(
@@ -603,11 +628,11 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const (fun dl wm me md lf ll sm mx ->
-          run_serve dl wm me md lf ll sm mx)
+      const (fun dl wm me md ev lf ll sm mx ->
+          run_serve dl wm me md ev lf ll sm mx)
       $ deadline_ms_arg $ max_live_nodes_arg $ max_errors_arg
-      $ max_depth_arg $ log_file_arg $ log_level_arg $ slow_ms_arg
-      $ metrics_arg)
+      $ max_depth_arg $ max_eval_steps_arg $ log_file_arg $ log_level_arg
+      $ slow_ms_arg $ metrics_arg)
 
 let main =
   let doc =

@@ -69,14 +69,21 @@ let cvar_sschema e (i : int) : Lf.cid_sschema =
 (* --- atomic sort comparison ------------------------------------------- *)
 
 (** Does atomic sort [got] fit where [want] is expected?  Exact equality,
-    or the admissible atomic subsumption [s·sp ≤ ⌊a·sp⌋] when [s ⊑ a]. *)
-let atomic_leq e ~(got : srt) ~(want : srt) : bool =
-  Equal.srt got want
+    or the admissible atomic subsumption [s·sp ≤ ⌊a·sp⌋] when [s ⊑ a].
+    The closure variant compares weak-head spines without forcing either
+    side (substitution preserves the head sort family, so matching the
+    un-substituted constructors is complete). *)
+let atomic_leq_c e ~(got : Whnf.sclo) ~(want : Whnf.sclo) : bool =
+  Whnf.conv_srt got want
   ||
-  match (got, want) with
+  match (fst got, fst want) with
   | SAtom (s, sp1), SEmbed (a, sp2) ->
-      (Sign.srt_entry e.sg s).Sign.s_refines = a && Equal.spine sp1 sp2
+      (Sign.srt_entry e.sg s).Sign.s_refines = a
+      && Whnf.conv_spine (sp1, snd got) (sp2, snd want)
   | _ -> false
+
+let atomic_leq e ~(got : srt) ~(want : srt) : bool =
+  atomic_leq_c e ~got:(got, Lf.id) ~want:(want, Lf.id)
 
 (* --- mutual judgments -------------------------------------------------- *)
 
@@ -100,39 +107,55 @@ let rec wf_srt e (psi : Ctxs.sctx) (s : srt) : typ =
       mk_pi x a1 a2
 
 and check_spine_skind e psi (sp : spine) (l : skind) : unit =
+  check_spine_skind_c e psi sp (l, Lf.id)
+
+and check_spine_skind_c e psi (sp : spine) ((l, sl) : Whnf.lclo) : unit =
   match (sp, l) with
   | [], Ksort -> ()
   | m :: sp', Kspi (_, s, l') ->
-      ignore (check_normal e psi m s);
-      check_spine_skind e psi sp' (Hsub.inst_skind l' m)
+      check_normal_c e psi m (s, sl);
+      check_spine_skind_c e psi sp' (Whnf.clo_inst (l', sl) m)
   | [], Kspi _ -> Error.raise_msg "sort family is not fully applied"
   | _ :: _, Ksort -> Error.raise_msg "sort family is over-applied"
 
-(** [Ω; Ψ ⊢ M ⇐ S ⊑ A]; returns the refined type [A]. *)
+(** [Ω; Ψ ⊢ M ⇐ S ⊑ A]; returns the refined type [A].  The type-level
+    output of a successful derivation is always [Erase.srt e.sg s]
+    (erasure is compositional), so the closure-based worker
+    {!check_normal_c} returns unit and the erased type is computed once
+    here rather than rebuilt along the derivation. *)
 and check_normal e psi (m : normal) (s : srt) : typ =
+  check_normal_c e psi m (s, Lf.id);
+  Erase.srt e.sg s
+
+and check_normal_c e psi (m : normal) (cs : Whnf.sclo) : unit =
   (* a guarded step per node: makes sort checking itself interruptible by
      the serve deadline/step budget, not only its hsub/unify calls *)
   Limits.poll ();
+  (* under BELR_NO_WHNF the closure is forced here, reverting this rule
+     to the eager per-step substitution it performed before PR 9 *)
+  let (s, ss) as cs = Whnf.lazy_sclo cs in
   match (m, s) with
   | Lam (x, body), SPi (_, s1, s2) ->
-      let a1 = Erase.srt e.sg s1 in
-      let a2 =
-        check_normal e (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s1))) body s2
-      in
-      mk_pi x a1 a2
+      (* the context stores concrete sorts (srt_of_bvar shifts them), so
+         the domain is forced here — memoized in the Hsub tables *)
+      let s1' = Hsub.sub_srt ss s1 in
+      check_normal_c e
+        (Ctxs.sctx_push psi (Ctxs.SCDecl (x, s1')))
+        body
+        (Whnf.clo_push (s2, ss))
   | Lam _, (SAtom _ | SEmbed _) ->
       Error.raise_msg "abstraction checked against atomic sort %a"
-        (pp_srt e psi) s
+        (pp_srt e psi) (Whnf.norm_sclo cs)
   | Root _, SPi _ ->
       Error.raise_msg "term %a is not η-long at sort %a" (pp_normal e psi) m
-        (pp_srt e psi) s
+        (pp_srt e psi) (Whnf.norm_sclo cs)
   | Root (h, sp), (SAtom _ | SEmbed _) ->
-      let s_h = head_srt e psi h ~target:s in
-      let s_res = check_spine e psi sp s_h in
-      if not (atomic_leq e ~got:s_res ~want:s) then
+      let c_h = head_srt_c e psi h ~target:s in
+      let c_res = check_spine_c e psi sp c_h in
+      if not (atomic_leq_c e ~got:c_res ~want:cs) then
         Error.raise_msg "sort mismatch: expected %a, synthesized %a"
-          (pp_srt e psi) s (pp_srt e psi) s_res;
-      Erase.srt e.sg s
+          (pp_srt e psi) (Whnf.norm_sclo cs) (pp_srt e psi)
+          (Whnf.norm_sclo c_res)
 
 (** [Ω; Ψ ⊢ R ⇒ S ⊑ A]; synthesis for neutral terms whose head determines
     its sort (variables, projections, meta-variables).  Constants
@@ -141,50 +164,58 @@ and check_normal e psi (m : normal) (s : srt) : typ =
 and synth_neutral e psi (m : normal) : srt * typ =
   match m with
   | Root (h, sp) ->
-      let s_h = head_srt_principal e psi h in
-      let s = check_spine e psi sp s_h in
+      let c_h = head_srt_principal_c e psi h in
+      let s = Whnf.norm_sclo (check_spine_c e psi sp c_h) in
       (s, Erase.srt e.sg s)
   | Lam _ -> Error.raise_msg "cannot synthesize a sort for an abstraction"
 
 and check_spine e psi (sp : spine) (s : srt) : srt =
+  Whnf.norm_sclo (check_spine_c e psi sp (s, Lf.id))
+
+and check_spine_c e psi (sp : spine) ((s, ss) : Whnf.sclo) : Whnf.sclo =
   match (sp, s) with
-  | [], _ -> s
+  | [], _ -> (s, ss)
   | m :: sp', SPi (_, s1, s2) ->
-      ignore (check_normal e psi m s1);
-      check_spine e psi sp' (Hsub.inst_srt s2 m)
+      check_normal_c e psi m (s1, ss);
+      check_spine_c e psi sp' (Whnf.clo_inst (s2, ss) m)
   | _ :: _, (SAtom _ | SEmbed _) -> Error.raise_msg "term is over-applied"
 
 (** Sort of a head.  For constants the [target] sort directs which sort
     family's assignment to use (bidirectionality): checking against
     [SAtom (s, _)] selects the constant's sort in family [s]; checking
-    against an embedding uses the constant's embedded type. *)
-and head_srt e psi (h : head) ~(target : srt) : srt =
+    against an embedding uses the constant's embedded type.  Only the
+    target's head constructor is consulted, and substitution preserves
+    it, so the un-substituted target sort suffices. *)
+and head_srt_c e psi (h : head) ~(target : srt) : Whnf.sclo =
   match h with
   | Const c -> (
       match target with
       | SAtom (s_cid, _) -> (
           match Sign.csort e.sg ~const:c ~family:s_cid with
-          | Some (s, _) -> s
+          | Some (s, _) -> (s, Lf.id)
           | None ->
               Error.raise_msg
                 "constant %s has no sort in family %s (it is not among the \
                  refinement's constructors)"
                 (Sign.const_entry e.sg c).Sign.c_name
                 (Sign.srt_entry e.sg s_cid).Sign.s_name)
-      | _ -> Embed.typ (Sign.const_entry e.sg c).Sign.c_typ)
-  | _ -> head_srt_principal e psi h
+      | _ -> (Embed.typ (Sign.const_entry e.sg c).Sign.c_typ, Lf.id))
+  | _ -> head_srt_principal_c e psi h
+
+and head_srt e psi (h : head) ~(target : srt) : srt =
+  Whnf.norm_sclo (head_srt_c e psi h ~target)
 
 (** Principal sort of a non-constant head (declaration-directed). *)
-and head_srt_principal e psi (h : head) : srt =
+and head_srt_principal_c e psi (h : head) : Whnf.sclo =
   match h with
-  | Const c -> Embed.typ (Sign.const_entry e.sg c).Sign.c_typ
-  | BVar i -> Sctxops.srt_of_bvar e.sg psi i
-  | Proj (BVar i, k) -> Sctxops.srt_of_proj e.sg psi i k
+  | Const c -> (Embed.typ (Sign.const_entry e.sg c).Sign.c_typ, Lf.id)
+  | BVar i -> (Sctxops.srt_of_bvar e.sg psi i, Lf.id)
+  | Proj (BVar i, k) -> (Sctxops.srt_of_proj e.sg psi i k, Lf.id)
   | Proj (PVar (p, s), k) ->
       let psi_p, f, ms = pvar_decl e p in
       check_sub e psi s psi_p;
       let blk = Hsub.inst_sblock f ms in
-      Sctxops.proj_srt blk (mk_pvar p s) s k
+      (Sctxops.proj_srt blk (mk_pvar p s) s k, Lf.id)
   | Proj _ ->
       Error.raise_msg "projection base must be a block or parameter variable"
   | PVar _ ->
@@ -193,7 +224,11 @@ and head_srt_principal e psi (h : head) : srt =
   | MVar (u, s) ->
       let psi_u, q = mvar_decl e u in
       check_sub e psi s psi_u;
-      Hsub.sub_srt s q
+      (* the mvar's declared sort is transported lazily as a closure *)
+      (q, s)
+
+and head_srt_principal e psi (h : head) : srt =
+  Whnf.norm_sclo (head_srt_principal_c e psi h)
 
 (** [Ω; Ψ₁ ⊢ σ : Ψ₂ ⊑ Γ₂] (Fig. 2): [σ] maps [Ψ₂]-variables to terms over
     [Ψ₁].  [Shift] additionally allows reading an unpromoted domain in a
@@ -215,7 +250,7 @@ and check_sub e (psi1 : Ctxs.sctx) (s : sub) (psi2 : Ctxs.sctx) : unit =
           check_sub e psi1 s' psi2';
           let q = if psi2.Ctxs.s_promoted then Sctxops.promote_srt e.sg q else q in
           match f with
-          | Obj m -> ignore (check_normal e psi1 m (Hsub.sub_srt s' q))
+          | Obj m -> check_normal_c e psi1 m (q, s')
           | Tup _ -> Error.raise_msg "tuple substituted for an ordinary variable"
           | Undef -> Error.raise_msg "undefined substitution entry")
       | Ctxs.SCBlock (_, fel, ms) :: rest -> (
@@ -253,7 +288,7 @@ and check_tuple e psi (t : tuple) (blk : Ctxs.sblock) : unit =
   match (t, blk) with
   | [], [] -> ()
   | m :: t', (_, q) :: blk' ->
-      ignore (check_normal e psi m q);
+      check_normal_c e psi m (q, Lf.id);
       let blk'' = Hsub.sub_sblock (dot_obj m (mk_shift 0)) blk' in
       check_tuple e psi t' blk''
   | _ ->
@@ -359,7 +394,7 @@ let check_selem_inst e psi (f : Ctxs.selem) (ms : normal list) : unit =
     match (params, ms) with
     | [], [] -> ()
     | (_, q) :: params', m :: ms' ->
-        ignore (check_normal e psi m (Hsub.sub_srt s q));
+        check_normal_c e psi m (q, s);
         go (dot_obj m s) params' ms'
     | _ ->
         Error.raise_msg "schema element applied to %d arguments, expected %d"

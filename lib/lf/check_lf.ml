@@ -8,7 +8,18 @@
     - context formation and schema checking [Δ ⊢ Γ : G]
 
     Conservativity (Thm 3.1.5) is tested by running these judgments on
-    the outputs of the refinement-level checker. *)
+    the outputs of the refinement-level checker.
+
+    Since PR 9 the checking judgments are closure-based internally: the
+    classifier of every judgment is a {!Whnf.tclo} [(A, σ)] whose
+    substitution is pushed one constructor at a time ({!Whnf.clo_inst}
+    for spine steps, [dot1] under binders) instead of being applied
+    eagerly.  The subject term is always a concrete normal (terms are
+    canonical; only classifiers accumulate pending substitutions), and
+    the final atomic comparison is {!Whnf.conv_typ} on closures, so a
+    dependent application never forces the instantiated codomain unless
+    the comparison actually reaches it.  The [check_*]/[infer_*] entry
+    points keep their eager signatures. *)
 
 open Belr_support
 open Belr_syntax
@@ -68,57 +79,77 @@ let rec check_typ e (g : Ctxs.ctx) (a : typ) : unit =
       check_typ e (Ctxs.ctx_push g (Ctxs.CDecl (x, a1))) a2
 
 and check_spine_kind e g (sp : spine) (k : kind) : unit =
+  check_spine_kind_c e g sp (k, Lf.id)
+
+and check_spine_kind_c e g (sp : spine) ((k, sk) : Whnf.kclo) : unit =
   match (sp, k) with
   | [], Ktype -> ()
   | m :: sp', Kpi (_, a, k') ->
-      check_normal e g m a;
-      check_spine_kind e g sp' (Hsub.inst_kind k' m)
+      check_normal_c e g m (a, sk);
+      check_spine_kind_c e g sp' (Whnf.clo_inst (k', sk) m)
   | [], Kpi _ -> Error.raise_msg "type family is not fully applied"
   | _ :: _, Ktype -> Error.raise_msg "type family is over-applied"
 
 and check_normal e g (m : normal) (a : typ) : unit =
+  check_normal_c e g m (a, Lf.id)
+
+and check_normal_c e g (m : normal) (ca : Whnf.tclo) : unit =
+  (* under BELR_NO_WHNF the closure is forced here, reverting this rule
+     to the eager per-step substitution it performed before PR 9 *)
+  let (a, sa) as ca = Whnf.lazy_tclo ca in
   match (m, a) with
   | Lam (x, body), Pi (_, a1, a2) ->
-      check_normal e (Ctxs.ctx_push g (Ctxs.CDecl (x, a1))) body a2
+      (* the context stores concrete types (typ_of_bvar shifts them), so
+         the domain is forced here — memoized in the Hsub tables *)
+      let a1' = Hsub.sub_typ sa a1 in
+      check_normal_c e
+        (Ctxs.ctx_push g (Ctxs.CDecl (x, a1')))
+        body
+        (Whnf.clo_push (a2, sa))
   | Lam _, Atom _ ->
       Error.raise_msg "abstraction checked against atomic type %a" (pp_typ e g)
-        a
+        (Whnf.norm_tclo ca)
   | Root _, Pi _ ->
       Error.raise_msg "term %a is not η-long at type %a" (pp_normal e g) m
-        (pp_typ e g) a
+        (pp_typ e g) (Whnf.norm_tclo ca)
   | Root (h, sp), Atom _ ->
-      let a_h = infer_head e g h in
-      let a' = check_spine e g sp a_h in
-      if not (Equal.typ a a') then
+      let c_h = infer_head_c e g h in
+      let c' = check_spine_c e g sp c_h in
+      if not (Whnf.conv_typ ca c') then
         Error.raise_msg "type mismatch: expected %a, synthesized %a"
-          (pp_typ e g) a (pp_typ e g) a'
+          (pp_typ e g) (Whnf.norm_tclo ca) (pp_typ e g) (Whnf.norm_tclo c')
 
 and infer_neutral e g (m : normal) : typ =
   match m with
   | Root (h, sp) ->
-      let a_h = infer_head e g h in
-      check_spine e g sp a_h
+      let c_h = infer_head_c e g h in
+      Whnf.norm_tclo (check_spine_c e g sp c_h)
   | Lam _ -> Error.raise_msg "cannot synthesize a type for an abstraction"
 
 and check_spine e g (sp : spine) (a : typ) : typ =
+  Whnf.norm_tclo (check_spine_c e g sp (a, Lf.id))
+
+and check_spine_c e g (sp : spine) ((a, sa) : Whnf.tclo) : Whnf.tclo =
   match (sp, a) with
-  | [], _ -> a
+  | [], _ -> (a, sa)
   | m :: sp', Pi (_, a1, a2) ->
-      check_normal e g m a1;
-      check_spine e g sp' (Hsub.inst_typ a2 m)
+      check_normal_c e g m (a1, sa);
+      check_spine_c e g sp' (Whnf.clo_inst (a2, sa) m)
   | _ :: _, Atom _ -> Error.raise_msg "term is over-applied"
 
-and infer_head e g (h : head) : typ =
+and infer_head e g (h : head) : typ = Whnf.norm_tclo (infer_head_c e g h)
+
+and infer_head_c e g (h : head) : Whnf.tclo =
   match h with
-  | Const c -> (Sign.const_entry e.sg c).Sign.c_typ
-  | BVar i -> Ctxops.typ_of_bvar g i
-  | Proj (BVar i, k) -> Ctxops.typ_of_proj g i k
+  | Const c -> ((Sign.const_entry e.sg c).Sign.c_typ, Lf.id)
+  | BVar i -> (Ctxops.typ_of_bvar g i, Lf.id)
+  | Proj (BVar i, k) -> (Ctxops.typ_of_proj g i k, Lf.id)
   | Proj (PVar (p, s), k) ->
       let g_p, el, ms = pvar_decl e p in
       check_sub e g s g_p;
       let blk = Hsub.inst_block el ms in
       (* blk is valid in g_p; transport components through s *)
-      Ctxops.proj_typ blk (mk_pvar p s) s k
+      (Ctxops.proj_typ blk (mk_pvar p s) s k, Lf.id)
   | Proj (_, _) ->
       Error.raise_msg "projection base must be a block or parameter variable"
   | PVar _ ->
@@ -127,7 +158,9 @@ and infer_head e g (h : head) : typ =
   | MVar (u, s) ->
       let g_u, p = mvar_decl e u in
       check_sub e g s g_u;
-      Hsub.sub_typ s p
+      (* the mvar's declared type is transported lazily: consumers see
+         the closure (p, s) and unfold only what they inspect *)
+      (p, s)
 
 (** [check_sub e g s g2] checks [Δ; g ⊢ s : g2] ([s] maps [g2]-variables
     to terms over [g]). *)
@@ -147,7 +180,7 @@ and check_sub e (g : Ctxs.ctx) (s : sub) (g2 : Ctxs.ctx) : unit =
           let g2' = { g2 with Ctxs.c_decls = rest } in
           check_sub e g s' g2';
           match f with
-          | Obj m -> check_normal e g m (Hsub.sub_typ s' a)
+          | Obj m -> check_normal_c e g m (a, s')
           | Tup _ ->
               Error.raise_msg "tuple substituted for an ordinary variable"
           | Undef -> Error.raise_msg "undefined substitution entry")
@@ -248,7 +281,7 @@ let check_elem_inst e g (el : Ctxs.elem) (ms : normal list) : unit =
     match (params, ms) with
     | [], [] -> ()
     | (_, a) :: params', m :: ms' ->
-        check_normal e g m (Hsub.sub_typ s a);
+        check_normal_c e g m (a, s);
         go (dot_obj m s) params' ms'
     | _ ->
         Error.raise_msg "schema element applied to %d arguments, expected %d"

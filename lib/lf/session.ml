@@ -1,11 +1,12 @@
 (** A session: one isolated checking world.
 
-    The kernel keeps three pieces of ambient mutable state — the
+    The kernel keeps four pieces of ambient mutable state — the
     hash-consing store ({!Belr_syntax.Store.state}), the hereditary
-    substitution memo tables ({!Hsub.tables}), and the
+    substitution memo tables ({!Hsub.tables}), the weak-head
+    normalization memo tables ({!Whnf.tables}), and the
     {!Belr_support.Limits} depth counters — plus the signature Σ, which
     is already a first-class value ({!Sign.t}).  A [Session.t] packs all
-    four, and {!with_} brackets a computation so that world is installed
+    five, and {!with_} brackets a computation so that world is installed
     for its duration and restored afterwards (exceptions included).
 
     Invariants (DESIGN.md §S23):
@@ -32,6 +33,7 @@ type t = {
   mutable sn_sign : Sign.t;
   mutable sn_store : Store.state;
   mutable sn_hsub : Hsub.tables;
+  mutable sn_whnf : Whnf.tables;
   sn_limits : Limits.state;
 }
 
@@ -40,6 +42,7 @@ let create () =
     sn_sign = Sign.create ();
     sn_store = Store.fresh_state ();
     sn_hsub = Hsub.fresh_tables ();
+    sn_whnf = Whnf.fresh_tables ();
     sn_limits = Limits.fresh_state ();
   }
 
@@ -51,16 +54,19 @@ let sign s = s.sn_sign
 let with_ (s : t) (f : unit -> 'a) : 'a =
   let prev_store = Store.current_state () in
   let prev_hsub = Hsub.current_tables () in
+  let prev_whnf = Whnf.current_tables () in
   let outer_limits = Limits.fresh_state () in
   Limits.capture outer_limits;
   Store.use_state s.sn_store;
   Hsub.use_tables s.sn_hsub;
+  Whnf.use_tables s.sn_whnf;
   Limits.install s.sn_limits;
   Fun.protect
     ~finally:(fun () ->
       Limits.capture s.sn_limits;
       Store.use_state prev_store;
       Hsub.use_tables prev_hsub;
+      Whnf.use_tables prev_whnf;
       Limits.install outer_limits)
     f
 
@@ -71,6 +77,7 @@ let reset (s : t) : unit =
   s.sn_sign <- Sign.create ();
   s.sn_store <- Store.fresh_state ();
   s.sn_hsub <- Hsub.fresh_tables ();
+  s.sn_whnf <- Whnf.fresh_tables ();
   Limits.clear_state s.sn_limits
 
 (** Live interned nodes in the session's store (the memory-pressure

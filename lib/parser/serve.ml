@@ -168,6 +168,19 @@ let g_store_interned =
 let g_store_dedup =
   Metrics.gauge ~help:"store dedup ratio (hits / lookups)" "store.dedup_ratio"
 
+let g_whnf_hits =
+  Metrics.gauge ~help:"whnf memo hits" "whnf.memo_hits"
+
+let g_whnf_misses =
+  Metrics.gauge ~help:"whnf memo misses" "whnf.memo_misses"
+
+let g_whnf_forced =
+  Metrics.gauge ~help:"delayed substitutions forced by whnf" "whnf.forced"
+
+let g_whnf_eager =
+  Metrics.gauge ~help:"whnf eager fallbacks to full substitution"
+    "whnf.eager"
+
 let g_gc_heap = Metrics.gauge ~help:"GC heap words" "gc.heap_words"
 
 let g_gc_top_heap =
@@ -225,6 +238,11 @@ let sample_gauges (t : t) (ses : session) : unit =
       Metrics.set_int g_store_live st.Belr_syntax.Lf.st_live;
       Metrics.set_int g_store_interned st.Belr_syntax.Lf.st_interned;
       Metrics.set g_store_dedup (Belr_syntax.Lf.dedup_ratio ());
+      let ws = Belr_lf.Whnf.stats () in
+      Metrics.set_int g_whnf_hits ws.Belr_lf.Whnf.ws_hits;
+      Metrics.set_int g_whnf_misses ws.Belr_lf.Whnf.ws_misses;
+      Metrics.set_int g_whnf_forced ws.Belr_lf.Whnf.ws_forced;
+      Metrics.set_int g_whnf_eager ws.Belr_lf.Whnf.ws_eager;
       List.iter
         (fun (name, peak) ->
           Metrics.set_int (Metrics.gauge ("limits.peak." ^ name)) peak)

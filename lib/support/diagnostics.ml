@@ -17,7 +17,8 @@
     - [E09xx]       resource limits: [E0901] depth/stack exhausted,
                     [E0902] out of memory, [E0903] request
                     deadline/step budget exceeded ([belr serve]),
-                    [E0904] malformed serve protocol request
+                    [E0904] malformed serve protocol request,
+                    [E0905] evaluation fuel exhausted
     - [W09xx]       daemon degradation: [W0901] session store reset on
                     memory pressure
     - [W06xx]       the [--total] analyses: [W0601] non-exhaustive
@@ -90,6 +91,7 @@ let registry : code_class list =
     cc "E0902" Error "resource limit: out of memory";
     cc "E0903" Error "resource limit: request deadline or step budget exceeded";
     cc "E0904" Error "serve protocol: malformed request";
+    cc "E0905" Error "resource limit: evaluation fuel (step budget) exhausted";
     cc "W0901" Warning "serve session: store reset on memory pressure";
     cc "W0601" Warning "totality: non-exhaustive coverage (retired: shallow)";
     cc "W0602" Warning "totality: unproven termination (retired: guardedness)";
@@ -324,6 +326,12 @@ let recover :
         (make ~loc ~code:"E0903" Error
            "resource limit exceeded: the request step budget of %d passed; \
             the result is partial"
+           n)
+  | exception Limits.Fuel_exhausted n ->
+      fail
+        (make ~loc ~code:"E0905" Error
+           "resource limit exceeded: evaluation used more than %d steps; \
+            re-run with a larger --max-eval-steps"
            n)
   | exception Fault.Injected site ->
       fail

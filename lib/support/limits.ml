@@ -95,6 +95,26 @@ let trips = ref 0
 
 let trip_count () = !trips
 
+(** Count a resource-guard trip recorded outside this module (e.g. the
+    evaluator's fuel check). *)
+let trip () = incr trips
+
+(* --- evaluation fuel ---------------------------------------------------- *)
+
+exception Fuel_exhausted of int
+(** [Fuel_exhausted n]: the evaluator performed more than [n] steps.
+    Rendered as the stable [E0905] diagnostic. *)
+
+let default_eval_fuel = 1_000_000
+
+let eval_fuel = ref default_eval_fuel
+
+(** Set the evaluation step budget (the CLI's [--max-eval-steps]; clamped
+    to be at least 1). *)
+let set_eval_fuel n = eval_fuel := max 1 n
+
+let eval_fuel_limit () = !eval_fuel
+
 let deadline : int64 option ref = ref None
 
 let deadline_ms_armed = ref 0

@@ -130,6 +130,30 @@ let rec resolve_mobj st (o : Meta.mobj) : Meta.mobj =
   if Equal.mobj o o' then o
   else Limits.guard depth (fun () -> resolve_mobj st o')
 
+let rec resolve_sub st (s : sub) : sub =
+  let s' = Msub.sub 0 (sol_msub st) s in
+  if Equal.sub s s' then s else Limits.guard depth (fun () -> resolve_sub st s')
+
+(** Weak-head resolution (PR 9): splice in the solution of a {e head}
+    meta-variable and hereditarily reduce it against the spine, repeating
+    until the head is rigid or unsolved.  Deep occurrences of solved
+    variables stay in place — the rigid-rigid decomposition reaches them
+    one constructor at a time, so a solved variable buried in an argument
+    that the comparison never needs is never substituted out.  This is
+    the unifier's analogue of {!Belr_lf.Whnf.whnf_normal}; the
+    [BELR_NO_WHNF] ablation reverts to full {!resolve_normal} at every
+    node. *)
+let rec head_unfold st (m : normal) : normal =
+  match m with
+  | Root (MVar (u, s), sp) -> (
+      match lookup_sol st u with
+      | Some (Meta.MOTerm (_, n)) ->
+          Limits.guard depth (fun () ->
+              head_unfold st (Hsub.reduce (Hsub.sub_normal s n) sp))
+      | Some _ -> raise (Unify "term meta-variable solved by a non-term")
+      | None -> m)
+  | _ -> m
+
 let rec resolve_msrt st (s : Meta.msrt) : Meta.msrt =
   let s' = Msub.msrt 0 (sol_msub st) s in
   if Equal.msrt s s' then s
@@ -155,6 +179,43 @@ and occurs_front u = function
 and occurs_sub u = function
   | Empty | Shift _ -> false
   | Dot (f, s) -> occurs_front u f || occurs_sub u s
+
+(** Occurs check over the sharing structure: hash-consed terms are DAGs,
+    and the plain structural descent above revisits shared subtrees as
+    often as they are referenced.  With the store on, the verdict is
+    memoized per node id for the one query variable (the table lives only
+    for this check — solutions recorded later could change the answer). *)
+let occurs_normal_shared (u : int) (m : normal) : bool =
+  if not (store_enabled ()) then occurs_normal u m
+  else begin
+    let seen : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+    let rec go_n m =
+      let id = normal_id m in
+      match Hashtbl.find_opt seen id with
+      | Some b -> b
+      | None ->
+          let b =
+            match m with
+            | Lam (_, n) -> go_n n
+            | Root (h, sp) -> go_h h || List.exists go_n sp
+          in
+          Hashtbl.add seen id b;
+          b
+    and go_h = function
+      | Const _ | BVar _ -> false
+      | MVar (v, s) | PVar (v, s) -> v = u || go_s s
+      | Proj (b, _) -> go_h b
+    and go_s = function
+      | Empty | Shift _ -> false
+      | Dot (f, s) ->
+          (match f with
+          | Obj m -> go_n m
+          | Tup t -> List.exists go_n t
+          | Undef -> false)
+          || go_s s
+    in
+    go_n m
+  end
 
 (* --- pattern substitutions and inversion -------------------------------- *)
 
@@ -244,7 +305,10 @@ let rec unify_normal st (m1 : normal) (m2 : normal) : unit =
   Limits.guard depth (fun () -> unify_normal_inner st m1 m2)
 
 and unify_normal_inner st (m1 : normal) (m2 : normal) : unit =
-  let m1 = resolve_normal st m1 and m2 = resolve_normal st m2 in
+  let m1, m2 =
+    if Whnf.whnf_enabled () then (head_unfold st m1, head_unfold st m2)
+    else (resolve_normal st m1, resolve_normal st m2)
+  in
   if Equal.normal m1 m2 then ()
   else
   match (m1, m2) with
@@ -260,8 +324,12 @@ and unify_normal_inner st (m1 : normal) (m2 : normal) : unit =
       fail "cannot unify an abstraction with a neutral term"
 
 and solve_mvar st (u : int) (s : sub) (m : normal) : unit =
+  (* under lazy head-unfolding [m] may still mention solved variables
+     whose solutions mention [u]; resolve fully before the occurs check
+     and inversion (a fixpoint no-op when already resolved) *)
+  let m = resolve_normal st m in
   Telemetry.bump c_occurs;
-  if occurs_normal u m then fail "occurs check failed";
+  if occurs_normal_shared u m then fail "occurs check failed";
   let m' = invert_term s m in
   let psi =
     match decl st u with
@@ -276,11 +344,19 @@ and unify_head st (h1 : head) (h2 : head) : unit =
   | BVar i, BVar j when i = j -> ()
   | Proj (b1, k1), Proj (b2, k2) when k1 = k2 -> unify_proj_base st b1 b2
   | MVar (u1, s1), MVar (u2, s2) when u1 = u2 ->
-      if not (Equal.sub s1 s2) then
-        fail "meta-variable under two different substitutions"
+      (* cheap structural check first; under lazy head-unfolding the subs
+         may still mention solved variables, so resolve before failing *)
+      if
+        not
+          (Equal.sub s1 s2
+          || Equal.sub (resolve_sub st s1) (resolve_sub st s2))
+      then fail "meta-variable under two different substitutions"
   | PVar (p1, s1), PVar (p2, s2) when p1 = p2 ->
-      if not (Equal.sub s1 s2) then
-        fail "parameter variable under two different substitutions"
+      if
+        not
+          (Equal.sub s1 s2
+          || Equal.sub (resolve_sub st s1) (resolve_sub st s2))
+      then fail "parameter variable under two different substitutions"
   | _ -> fail "head mismatch"
 
 and unify_proj_base st (b1 : head) (b2 : head) : unit =

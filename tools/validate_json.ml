@@ -82,6 +82,11 @@ let check_structure (j : J.t) : string option =
                     "memo_misses";
                     "memo_hit_rate";
                     "mfi_skips";
+                    "whnf_memo_hits";
+                    "whnf_memo_misses";
+                    "whnf_memo_hit_rate";
+                    "whnf_forced";
+                    "whnf_eager";
                     "equal_phys_hits";
                     "equal_phys_misses";
                   ]
