@@ -130,6 +130,19 @@ let print_worlds_results (wr : Belr_analysis.Worlds.result) =
          else ""))
     wr.Belr_analysis.Worlds.wr_fns
 
+let print_modes_results (mr : Belr_analysis.Modes.result) =
+  Fmt.pr "signature: %d mode declaration(s), %d missing@."
+    mr.Belr_analysis.Modes.mr_modes mr.Belr_analysis.Modes.mr_missing;
+  List.iter
+    (fun (f : Belr_analysis.Modes.fam_report) ->
+      Fmt.pr "modes %s : %s (%d clause(s), %d input(s), %d output(s))%s@."
+        f.Belr_analysis.Modes.mf_name
+        (if Belr_analysis.Modes.clean f then "clean" else "dirty")
+        f.Belr_analysis.Modes.mf_clauses f.Belr_analysis.Modes.mf_inputs
+        f.Belr_analysis.Modes.mf_outputs
+        (if f.Belr_analysis.Modes.mf_sorted then "  [sort-level]" else ""))
+    mr.Belr_analysis.Modes.mr_fams
+
 let run_worlds files verbose json no_strict max_errors max_depth
     max_eval_steps werror stats trace profile kernel_stats =
   Limits.set_max_depth max_depth;
@@ -165,6 +178,43 @@ let run_worlds files verbose json no_strict max_errors max_depth
       0
   | code ->
       Fmt.epr "worlds failed: %a.@." Diagnostics.pp_summary sink;
+      code
+
+let run_modes files verbose json max_errors max_depth max_eval_steps werror
+    stats trace profile kernel_stats =
+  Limits.set_max_depth max_depth;
+  Limits.set_eval_fuel max_eval_steps;
+  let telemetry = stats || trace <> None || profile <> None in
+  if telemetry then begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  end;
+  let sink = Diagnostics.sink ~max_errors ~werror () in
+  let sg = Belr_parser.Driver.check_files sink files in
+  let mr = Belr_parser.Driver.modes sink sg in
+  if telemetry then begin
+    Telemetry.set_enabled false;
+    Option.iter (fun f -> write_report sink f (Telemetry.trace_json ())) trace;
+    Option.iter
+      (fun f -> write_report sink f (Telemetry.profile_json ()))
+      profile
+  end;
+  (* written on every exit path: a report full of findings is the point *)
+  Option.iter
+    (fun f ->
+      write_report sink f (Belr_analysis.Modes.report_json ~files sink mr))
+    json;
+  Diagnostics.dump Fmt.stderr sink;
+  if stats then Fmt.epr "%a@?" Telemetry.pp_stats ();
+  if kernel_stats then print_kernel_stats ();
+  match Diagnostics.exit_code sink with
+  | 0 ->
+      Fmt.pr "%d file(s) mode-checked: %a.@." (List.length files)
+        Diagnostics.pp_summary sink;
+      if verbose then print_modes_results mr;
+      0
+  | code ->
+      Fmt.epr "modes failed: %a.@." Diagnostics.pp_summary sink;
       code
 
 let run_total files verbose json depth budget max_errors max_depth
@@ -204,7 +254,7 @@ let run_total files verbose json depth budget max_errors max_depth
       Fmt.epr "total failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_check files verbose total lint worlds max_errors max_depth
+let run_check files verbose total lint worlds modes max_errors max_depth
     max_eval_steps werror stats trace profile kernel_stats metrics =
   Limits.set_max_depth max_depth;
   Limits.set_eval_fuel max_eval_steps;
@@ -218,6 +268,7 @@ let run_check files verbose total lint worlds max_errors max_depth
   let sg = Belr_parser.Driver.check_files sink files in
   if total then Belr_parser.Driver.analyze sink sg;
   if worlds then ignore (Belr_parser.Driver.worlds sink sg);
+  if modes then ignore (Belr_parser.Driver.modes sink sg);
   let lint_result =
     if lint then Some (Belr_parser.Driver.lint sink sg) else None
   in
@@ -247,10 +298,20 @@ let run_check files verbose total lint worlds max_errors max_depth
       Fmt.epr "check failed: %a.@." Diagnostics.pp_summary sink;
       code
 
-let run_lint files verbose total worlds json max_errors max_depth
-    max_eval_steps werror stats trace profile kernel_stats =
+let run_lint files verbose total worlds modes only skip json max_errors
+    max_depth max_eval_steps werror stats trace profile kernel_stats =
   Limits.set_max_depth max_depth;
   Limits.set_eval_fuel max_eval_steps;
+  (* the pass-name converter validates [--only]/[--skip] at parse time,
+     so selection cannot fail here; keep the hard error anyway in case a
+     pass is ever unregistered between parsing and running *)
+  let passes =
+    match Belr_analysis.Passes.select ~only ~skip () with
+    | Result.Ok ps -> ps
+    | Result.Error msg ->
+        Fmt.epr "belr lint: %s@." msg;
+        exit 124
+  in
   let telemetry = stats || trace <> None || profile <> None in
   if telemetry then begin
     Telemetry.reset ();
@@ -258,9 +319,10 @@ let run_lint files verbose total worlds json max_errors max_depth
   end;
   let sink = Diagnostics.sink ~max_errors ~werror () in
   let sg = Belr_parser.Driver.check_files sink files in
-  let lr = Belr_parser.Driver.lint sink sg in
+  let lr = Belr_parser.Driver.lint ~passes sink sg in
   if total then ignore (Belr_parser.Driver.total sink sg);
   if worlds then ignore (Belr_parser.Driver.worlds sink sg);
+  if modes then ignore (Belr_parser.Driver.modes sink sg);
   if telemetry then begin
     Telemetry.set_enabled false;
     Option.iter (fun f -> write_report sink f (Telemetry.trace_json ())) trace;
@@ -322,6 +384,21 @@ let run_serve deadline_ms max_live_nodes max_errors max_depth max_eval_steps
   | None -> ());
   Log.close ();
   Option.iter close_out_noerr log_oc;
+  0
+
+(** [belr codes]: dump the diagnostics registry — the single source of
+    truth for every stable code belr can emit — as an aligned table, or
+    as the markdown table embedded in README.md ([--markdown]). *)
+let run_codes markdown =
+  if markdown then print_string (Diagnostics.registry_markdown ())
+  else
+    List.iter
+      (fun (c : Diagnostics.code_class) ->
+        Fmt.pr "%-6s  %-8s %-8s %s@." c.Diagnostics.cc_code
+          (Diagnostics.code_family c.Diagnostics.cc_code)
+          (Diagnostics.severity_label c.Diagnostics.cc_severity)
+          c.Diagnostics.cc_doc)
+      Diagnostics.registry;
   0
 
 let files_arg =
@@ -391,6 +468,63 @@ let worlds_json_arg =
            per-function extension/family/violation counts, signature \
            block/worlds counts, every diagnostic with code and location, \
            summary, exit code) to $(docv)")
+
+let modes_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "modes" ]
+        ~doc:
+          "also run the mode & uniqueness analyzer (Twelf-style $(b,%mode) \
+           declarations): a groundness dataflow checks that every clause \
+           of a moded family can schedule its premises so inputs are \
+           ground before each call and outputs are ground afterwards, and \
+           a uniqueness pass flags input-overlapping clauses with \
+           divergent rigid outputs; findings carry stable codes (E0730 \
+           ill-moded clause, E0731 ungroundable output, W0732 missing \
+           %mode declaration, W0733 non-unique output)")
+
+let modes_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "write the machine-readable modes report (schema belr-modes/1: \
+           per-family clause/input/output/violation counts, signature \
+           mode/missing counts, every diagnostic with code and location, \
+           summary, exit code) to $(docv)")
+
+let pass_name_conv =
+  let known () =
+    List.map (fun p -> p.Belr_analysis.Pass.p_name) Belr_analysis.Passes.all
+  in
+  let parse s =
+    if List.mem s (known ()) then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown lint pass %s (expected one of: %s)" s
+              (String.concat ", " (known ()))))
+  in
+  Arg.conv ~docv:"PASS" (parse, Fmt.string)
+
+let only_arg =
+  Arg.(
+    value
+    & opt (list pass_name_conv) []
+    & info [ "only" ] ~docv:"PASS[,PASS…]"
+        ~doc:
+          "run only the named lint passes, in registry order (subord, \
+           adequacy, sorts, unused, shadowing); naming an unknown pass \
+           is a hard error, not a silent no-op")
+
+let skip_arg =
+  Arg.(
+    value
+    & opt (list pass_name_conv) []
+    & info [ "skip" ] ~docv:"PASS[,PASS…]"
+        ~doc:
+          "run every lint pass except the named ones; naming an unknown \
+           pass is a hard error, not a silent no-op")
 
 let no_strict_arg =
   Arg.(
@@ -508,24 +642,27 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun files v t li wo me md ev we st tr pr ks mx ->
-          run_check files v t li wo me md ev we st tr pr ks mx)
+      const (fun files v t li wo mo me md ev we st tr pr ks mx ->
+          run_check files v t li wo mo me md ev we st tr pr ks mx)
       $ files_arg $ verbose_arg $ total_arg $ lint_flag_arg $ worlds_flag_arg
-      $ max_errors_arg $ max_depth_arg $ max_eval_steps_arg $ werror_arg
-      $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg $ metrics_arg)
+      $ modes_flag_arg $ max_errors_arg $ max_depth_arg $ max_eval_steps_arg
+      $ werror_arg $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg
+      $ metrics_arg)
 
 let lint_cmd =
   let doc =
     "check source files, then run the signature analyses (subordination, \
-     adequacy, dead sorts, unused declarations, shadowing); add \
-     $(b,--total) to fold the totality analyzer into the same stream"
+     adequacy, dead sorts, unused declarations, shadowing); filter them \
+     with $(b,--only) / $(b,--skip), and add $(b,--total), $(b,--worlds), \
+     or $(b,--modes) to fold those analyzers into the same stream"
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
-      const (fun files v t wo js me md ev we st tr pr ks ->
-          run_lint files v t wo js me md ev we st tr pr ks)
-      $ files_arg $ verbose_arg $ total_arg $ worlds_flag_arg $ lint_json_arg
+      const (fun files v t wo mo on sk js me md ev we st tr pr ks ->
+          run_lint files v t wo mo on sk js me md ev we st tr pr ks)
+      $ files_arg $ verbose_arg $ total_arg $ worlds_flag_arg
+      $ modes_flag_arg $ only_arg $ skip_arg $ lint_json_arg
       $ max_errors_arg $ max_depth_arg $ max_eval_steps_arg $ werror_arg
       $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
 
@@ -566,6 +703,45 @@ let worlds_cmd =
       $ files_arg $ verbose_arg $ worlds_json_arg $ no_strict_arg
       $ max_errors_arg $ max_depth_arg $ max_eval_steps_arg $ werror_arg
       $ stats_arg $ trace_arg $ profile_arg $ kernel_stats_arg)
+
+let modes_cmd =
+  let doc =
+    "check source files, then run the mode & uniqueness analyzer: each \
+     $(b,%mode) declaration assigns input (+) and output (-) polarities \
+     to a family's arguments, a groundness dataflow verifies every \
+     clause can order its premises so calls are made with ground inputs \
+     and deliver ground outputs, and a uniqueness pass flags clauses \
+     whose inputs overlap but whose rigid outputs diverge; verdicts \
+     carry stable codes (E0730, E0731, W0732, W0733) and $(b,--json) \
+     writes the belr-modes/1 report"
+  in
+  Cmd.v
+    (Cmd.info "modes" ~doc)
+    Term.(
+      const (fun files v js me md ev we st tr pr ks ->
+          run_modes files v js me md ev we st tr pr ks)
+      $ files_arg $ verbose_arg $ modes_json_arg $ max_errors_arg
+      $ max_depth_arg $ max_eval_steps_arg $ werror_arg $ stats_arg
+      $ trace_arg $ profile_arg $ kernel_stats_arg)
+
+let markdown_arg =
+  Arg.(
+    value & flag
+    & info [ "markdown" ]
+        ~doc:
+          "print the registry as the GitHub-flavored markdown table \
+           embedded in README.md (the test suite keeps the two in sync)")
+
+let codes_cmd =
+  let doc =
+    "list every stable diagnostic code belr can emit — code, class \
+     (error/warning/bug family), default severity, and one-line \
+     description — straight from the diagnostics registry, so the \
+     listing cannot drift from the implementation"
+  in
+  Cmd.v
+    (Cmd.info "codes" ~doc)
+    Term.(const (fun md -> run_codes md) $ markdown_arg)
 
 let deadline_ms_arg =
   Arg.(
@@ -641,6 +817,7 @@ let main =
   in
   Cmd.group
     (Cmd.info "belr" ~version:"1.0.0" ~doc)
-    [ check_cmd; lint_cmd; total_cmd; worlds_cmd; serve_cmd ]
+    [ check_cmd; lint_cmd; total_cmd; worlds_cmd; modes_cmd; codes_cmd;
+      serve_cmd ]
 
 let () = exit (Cmd.eval' main)

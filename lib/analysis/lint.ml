@@ -29,10 +29,13 @@ type result = {
   lr_subord : Subord.t;  (** the subordination relation, for reuse *)
 }
 
-(** Run all passes over [sg], reporting into [sink]. *)
-let run (sink : Diagnostics.sink) (sg : Sign.t) : result =
+(** Run the given passes (default: all of {!Passes.all}, in registry
+    order) over [sg], reporting into [sink].  Callers filter with
+    {!Passes.select} ([--only] / [--skip]). *)
+let run ?passes (sink : Diagnostics.sink) (sg : Sign.t) : result =
+  let passes = Option.value ~default:Passes.all passes in
   Telemetry.with_span "lint" (fun () ->
-      let counts = Pass.run_all Passes.all sg sink in
+      let counts = Pass.run_all passes sg sink in
       { lr_passes = counts; lr_subord = Subord.analyze sg })
 
 let schema_id = "belr-lint/1"

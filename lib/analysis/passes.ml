@@ -520,3 +520,21 @@ let all : Pass.t list =
       p_run = shadow_pass;
     };
   ]
+
+(** Resolve the [--only] / [--skip] pass-name filters against the
+    registry.  An unknown name is a hard error (never a silent no-op
+    filter), naming the offender and the valid set. *)
+let select ?(only = []) ?(skip = []) () : (Pass.t list, string) result =
+  let known = List.map (fun p -> p.Pass.p_name) all in
+  match List.find_opt (fun n -> not (List.mem n known)) (only @ skip) with
+  | Some n ->
+      Result.Error
+        (Printf.sprintf "unknown lint pass %s (expected one of: %s)" n
+           (String.concat ", " known))
+  | None ->
+      Result.Ok
+        (List.filter
+           (fun p ->
+             (only = [] || List.mem p.Pass.p_name only)
+             && not (List.mem p.Pass.p_name skip))
+           all)

@@ -20,6 +20,10 @@ LFR even <| nat : sort =
 and odd <| nat : sort =
 | s : even -> odd;
 
+% an empty mode: even carries no arguments, so the analyzer only checks
+% that each clause (via the erased nat-level view) schedules its premises
+%mode even;
+
 % half is total on even numbers; both matches are partial on nat
 rec half : [ |- even] -> [ |- nat] =
 fn d => case d of

@@ -40,6 +40,11 @@ schema xaG <| xdG = | xeW : block (x : tm, u : aeq x x);
 % aeq field of xaG's element erases to the same deq skeleton.
 %block xbW = block (x : tm, u : deq x x);
 %worlds (xbW) tm deq;
+
+% Modes (checked by `belr modes`): algorithmic equality is a decision
+% procedure — both terms are inputs.  Only the sort-level clauses are
+% moded; declarative deq (e-sym, e-trans) is genuinely un-moded.
+%mode aeq +M +N;
 |bel}
 
 let aeq_refl_src =

@@ -45,6 +45,11 @@ schema xaG <| xdG = | xeW : {A : tp} block (x : tm, u : aeq x x A);
 
 %block xbW = {A : tp} block (x : tm, u : deq x x A);
 %worlds (xbW) tm deq;
+
+% Algorithmic equality synthesizes the classifying type: the two terms
+% are inputs, the tp argument is an output (e-app recovers A from the
+% arrow type its first premise produces — +M +N +A would be ill-moded).
+%mode aeq +M +N -A;
 |bel}
 
 let aeq_sym_src =

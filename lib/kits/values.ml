@@ -50,6 +50,11 @@ LF isval : tm -> type =
 %block xtW = block (x : tm);
 %worlds (xtW) tm;
 
+% evaluation is a function of its first argument: term in, value out;
+% isval is a pure test (one input, nothing produced)
+%mode evalv +M -V;
+%mode isval +M;
+
 rec result-val : (M : [ |- tm]) (V : [ |- tm])
                  [ |- eval M V] -> [ |- isval V] =
 mlam M => mlam V => fn d =>

@@ -88,6 +88,23 @@ type worlds_entry = {
 (** A [%worlds (b₁ | … | bₙ) fam] declaration: contexts at uses of [fam]
     may only extend by instances of the listed blocks. *)
 
+type mode_entry = {
+  m_fam : Lf.cid_typ;
+      (** the moded family, resolved through [s_refines] when the
+          declaration named a sort family *)
+  m_srt : Lf.cid_srt option;
+      (** when the declaration named a sort family: the analyzer checks
+          that family's (sharper) clauses instead of the type family's *)
+  m_name : string;  (** the family name as written in the declaration *)
+  m_args : (bool * string) list;
+      (** one (polarity, argument name) per explicit argument position,
+          in order; [true] = input ([+]) *)
+  m_loc : Loc.t;  (** where the [%mode] declaration stands *)
+}
+(** A [%mode fam +M … -N] declaration: input ([+]) positions must be
+    ground for the judgment to be invoked, output ([-]) positions are
+    ground when it succeeds. *)
+
 type sym =
   | Sym_typ of Lf.cid_typ
   | Sym_srt of Lf.cid_srt
@@ -99,6 +116,9 @@ type sym =
   | Sym_worlds of Lf.cid_typ
       (** bound under the synthetic name [fam ^ "%worlds"], keyed by the
           family — one [%worlds] per family, enforced by [bind_name] *)
+  | Sym_mode of Lf.cid_typ
+      (** bound under [fam ^ "%mode"], keyed by the resolved family — one
+          [%mode] per (erased) family, enforced by [bind_name] *)
 
 type t = {
   typs : (int, typ_entry) Hashtbl.t;
@@ -109,6 +129,7 @@ type t = {
   recs : (int, rec_entry) Hashtbl.t;
   blocks : (int, block_entry) Hashtbl.t;
   worlds : (Lf.cid_typ, worlds_entry) Hashtbl.t;  (** keyed by family *)
+  modes : (Lf.cid_typ, mode_entry) Hashtbl.t;  (** keyed by resolved family *)
   csorts : (int * int, Lf.srt * int) Hashtbl.t;
       (** (constant, sort family) → (assigned sort, implicit count) *)
   by_name : (string, sym) Hashtbl.t;
@@ -134,6 +155,7 @@ let create () =
     recs = Hashtbl.create 16;
     blocks = Hashtbl.create 16;
     worlds = Hashtbl.create 16;
+    modes = Hashtbl.create 16;
     csorts = Hashtbl.create 64;
     by_name = Hashtbl.create 128;
     poisoned = Hashtbl.create 16;
@@ -272,6 +294,21 @@ let add_worlds sg ~fam ~fam_name ~blocks ~loc : unit =
   bind_name sg (fam_name ^ "%worlds") (Sym_worlds fam);
   Hashtbl.replace sg.worlds fam { w_fam = fam; w_blocks = blocks; w_loc = loc }
 
+(** Declare the [%mode] of a family — at most one per resolved family,
+    enforced through the synthetic name binding [fam ^ "%mode"] exactly
+    like {!add_worlds}.  [name] is the surface name the declaration used
+    (a sort family keeps its own name even though it keys under its
+    refined type family). *)
+let add_mode sg ~fam ~srt ~name ~args ~loc : unit =
+  if Hashtbl.mem sg.modes fam then
+    Error.raise_msg "the mode of %s is already declared"
+      (match Hashtbl.find_opt sg.typs fam with
+      | Some te -> te.t_name
+      | None -> name);
+  bind_name sg (name ^ "%mode") (Sym_mode fam);
+  Hashtbl.replace sg.modes fam
+    { m_fam = fam; m_srt = srt; m_name = name; m_args = args; m_loc = loc }
+
 let set_rec_body sg id body =
   match Hashtbl.find_opt sg.recs id with
   | Some e -> e.r_body <- Some body
@@ -351,7 +388,8 @@ let retract_name sg name =
       | Sym_sschema h -> Hashtbl.remove sg.sschemas h
       | Sym_rec r -> Hashtbl.remove sg.recs r
       | Sym_block b -> Hashtbl.remove sg.blocks b
-      | Sym_worlds f -> Hashtbl.remove sg.worlds f);
+      | Sym_worlds f -> Hashtbl.remove sg.worlds f
+      | Sym_mode f -> Hashtbl.remove sg.modes f);
       Hashtbl.remove sg.by_name name);
   Hashtbl.remove sg.poisoned name;
   Hashtbl.remove sg.locs name
@@ -413,6 +451,14 @@ let all_blocks sg : (int * block_entry) list =
 
 let all_worlds sg : worlds_entry list =
   Hashtbl.fold (fun _ e acc -> e :: acc) sg.worlds []
+
+(** The declared mode of a family (resolved through [s_refines] for sort
+    families at declaration time), if any. *)
+let mode_of sg (fam : Lf.cid_typ) : mode_entry option =
+  Hashtbl.find_opt sg.modes fam
+
+let all_modes sg : mode_entry list =
+  Hashtbl.fold (fun _ e acc -> e :: acc) sg.modes []
 
 let all_typs sg : (Lf.cid_typ * typ_entry) list =
   Hashtbl.fold (fun id e acc -> (id, e) :: acc) sg.typs []

@@ -83,11 +83,11 @@ let check_files (sink : Diagnostics.sink) (files : string list) :
     under {!Diagnostics.recover}; the [--max-errors] cap is absorbed here
     like in checking, in which case the per-pass counts cover only the
     passes that ran. *)
-let lint (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
+let lint ?passes (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
     Belr_analysis.Lint.result =
   let result = ref None in
   Diagnostics.with_stop sink (fun () ->
-      result := Some (Belr_analysis.Lint.run sink sg));
+      result := Some (Belr_analysis.Lint.run ?passes sink sg));
   match !result with
   | Some r -> r
   | None ->
@@ -133,6 +133,21 @@ let worlds ?check_strict (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
   | Some r -> r
   | None -> Belr_analysis.Worlds.empty_result
 
+(** The mode & uniqueness analysis behind [belr modes] and
+    [check --modes] ([%mode] declarations, DESIGN.md §S27): groundness
+    dataflow and output-uniqueness over every moded family, reported
+    through the {e same} sink as checking — E0730/E0731 errors and
+    W0732/W0733 warnings via the diagnostics registry.  Every family is
+    analyzed under recovery. *)
+let modes (sink : Diagnostics.sink) (sg : Belr_lf.Sign.t) :
+    Belr_analysis.Modes.result =
+  let result = ref None in
+  Diagnostics.with_stop sink (fun () ->
+      result := Some (Belr_analysis.Modes.run sink sg));
+  match !result with
+  | Some r -> r
+  | None -> Belr_analysis.Modes.empty_result
+
 (* --- session-scoped entry points ---------------------------------------- *)
 
 (** The same entry points, but run inside an explicit
@@ -157,10 +172,10 @@ let check_files_in (ses : Belr_lf.Session.t) (sink : Diagnostics.sink)
       ses.Belr_lf.Session.sn_sign <- sg;
       sg)
 
-let lint_in (ses : Belr_lf.Session.t) (sink : Diagnostics.sink) :
+let lint_in ?passes (ses : Belr_lf.Session.t) (sink : Diagnostics.sink) :
     Belr_analysis.Lint.result =
   Belr_lf.Session.with_ ses (fun () ->
-      lint sink (Belr_lf.Session.sign ses))
+      lint ?passes sink (Belr_lf.Session.sign ses))
 
 let total_in ?depth ?budget (ses : Belr_lf.Session.t)
     (sink : Diagnostics.sink) : Belr_comp.Totality.result =
@@ -171,3 +186,8 @@ let worlds_in ?check_strict (ses : Belr_lf.Session.t)
     (sink : Diagnostics.sink) : Belr_analysis.Worlds.result =
   Belr_lf.Session.with_ ses (fun () ->
       worlds ?check_strict sink (Belr_lf.Session.sign ses))
+
+let modes_in (ses : Belr_lf.Session.t) (sink : Diagnostics.sink) :
+    Belr_analysis.Modes.result =
+  Belr_lf.Session.with_ ses (fun () ->
+      modes sink (Belr_lf.Session.sign ses))

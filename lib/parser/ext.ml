@@ -119,6 +119,15 @@ type decl =
       (** [%worlds (b₁ | … | bₙ) fam₁ … famₖ;] — declares the regular
           worlds of each family: contexts appearing at its uses may only
           extend by instances of the listed blocks *)
+  | Dmode of {
+      md_loc : Loc.t;
+      md_fam : Loc.t * string;  (** the moded (type or sort) family *)
+      md_args : (Loc.t * bool * string) list;
+          (** one [(+|-) name] per explicit argument position, in order;
+              [true] marks an input ([+]) position *)
+    }
+      (** [%mode fam +M … -N;] — declares the mode of a judgment family:
+          [+] positions are inputs, [-] positions outputs (Twelf-style) *)
 
 and rec_def = { r_loc : Loc.t; r_name : string; r_sort : csort; r_body : cexp }
 
@@ -135,6 +144,7 @@ let decl_loc : decl -> Loc.t = function
   | Drec [] -> Loc.ghost
   | Dblock { bl_loc; _ } -> bl_loc
   | Dworlds { ws_loc; _ } -> ws_loc
+  | Dmode { md_loc; _ } -> md_loc
 
 let typ_decl_names (d : typ_decl) : string list =
   (* a refinement's "constructors" name existing constants of the refined
@@ -151,6 +161,11 @@ let typ_decl_names (d : typ_decl) : string list =
     family for free. *)
 let worlds_name (fam : string) : string = fam ^ "%worlds"
 
+(** The synthetic signature name binding the [%mode] declaration of
+    family [fam] (same discipline as {!worlds_name}: one [%mode] per
+    family, enforced by [Sign.bind_name]'s duplicate rejection). *)
+let mode_name (fam : string) : string = fam ^ "%mode"
+
 (** Every name a declaration would bind in the signature — the set to
     poison when the declaration fails to check.  A schema also auto-binds
     its trivial refinement under [name ^ "^"]. *)
@@ -162,6 +177,7 @@ let declared_names : decl -> string list = function
   | Dblock { bl_world; _ } -> [ bl_world.w_name ]
   | Dworlds { ws_fams; _ } ->
       List.map (fun (_, f) -> worlds_name f) ws_fams
+  | Dmode { md_fam = _, f; _ } -> [ mode_name f ]
 
 (* --- surface name references (incremental invalidation) ---------------- *)
 
@@ -256,5 +272,6 @@ let referenced_names (d : decl) : string list =
       List.iter (fun (_, t) -> term t) w.w_fields
   | Dworlds { ws_blocks; ws_fams; _ } ->
       List.iter (fun (_, b) -> add b) ws_blocks;
-      List.iter (fun (_, f) -> add f) ws_fams);
+      List.iter (fun (_, f) -> add f) ws_fams
+  | Dmode { md_fam = _, f; _ } -> add f);
   List.sort_uniq String.compare !acc

@@ -59,9 +59,9 @@ let keyword = function
   | "and" -> Some Token.KW_AND
   | _ -> None
 
-(** Does a [%block] / [%worlds] directive start at the current position?
-    The word after [%] must not continue as an identifier, so a comment
-    like [%blocked: …] still skips to end of line. *)
+(** Does a [%block] / [%worlds] / [%mode] directive start at the current
+    position?  The word after [%] must not continue as an identifier, so
+    a comment like [%blocked: …] still skips to end of line. *)
 let directive_at st : Token.t option =
   let word w tok =
     let n = String.length w in
@@ -77,7 +77,10 @@ let directive_at st : Token.t option =
   in
   match word "block" Token.KW_PBLOCK with
   | Some t -> Some t
-  | None -> word "worlds" Token.KW_PWORLDS
+  | None -> (
+      match word "worlds" Token.KW_PWORLDS with
+      | Some t -> Some t
+      | None -> word "mode" Token.KW_PMODE)
 
 let rec skip_ws st =
   match peek st with
@@ -144,7 +147,12 @@ let next (st : state) : lexeme =
       (* skip_ws left a [%] in place only for a directive *)
       match directive_at st with
       | Some tok ->
-          let n = match tok with Token.KW_PBLOCK -> 5 | _ -> 6 in
+          let n =
+            match tok with
+            | Token.KW_PBLOCK -> 5
+            | Token.KW_PMODE -> 4
+            | _ -> 6
+          in
           for _ = 0 to n do
             advance st
           done;
@@ -194,6 +202,8 @@ let next (st : state) : lexeme =
         | '\\' -> Token.BACKSLASH
         | '#' -> Token.HASH
         | '^' -> Token.CARET
+        | '+' -> Token.PLUS
+        | '-' -> Token.MINUS
         | c ->
             Error.raise_at
               (Loc.make ~source:st.name ~start_pos:start ~end_pos:(here st))

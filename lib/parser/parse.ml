@@ -611,9 +611,33 @@ let parse_decl st : Ext.decl option =
              ws_blocks = List.rev !blocks;
              ws_fams = List.rev !fams;
            })
+  | KW_PMODE ->
+      (* %mode fam +M … -N; — '+' marks an input position, '-' an output *)
+      let loc = cur_loc st in
+      advance st;
+      let floc = cur_loc st in
+      let fam = expect_ident st in
+      let args = ref [] in
+      let rec go () =
+        match cur_tok st with
+        | PLUS | MINUS ->
+            let aloc = cur_loc st in
+            let input = cur_tok st = PLUS in
+            advance st;
+            let x = expect_ident st in
+            args := (aloc, input, x) :: !args;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      expect st SEMI;
+      Some
+        (Ext.Dmode
+           { md_loc = loc; md_fam = (floc, fam); md_args = List.rev !args })
   | _ ->
       fail st
-        "expected a declaration (LF, LFR, schema, rec, %%block, or %%worlds)"
+        "expected a declaration (LF, LFR, schema, rec, %%block, %%worlds, \
+         or %%mode)"
 
 let parse_program ?name (src : string) : Ext.program =
   let st = make (Lexer.tokens ?name src) in

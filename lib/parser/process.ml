@@ -226,6 +226,27 @@ let process_decl_inner (sg : Sign.t) (d : Ext.decl) : unit =
           in
           Sign.add_worlds sg ~fam ~fam_name:f ~blocks ~loc:ws_loc)
         ws_fams
+  | Ext.Dmode { md_loc; md_fam = floc, f; md_args } ->
+      (* a sort family keys its mode under the refined type family (one
+         mode per erased judgment), but the analyzer will check the sort
+         family's own — sharper — clauses *)
+      let fam, srt, arity =
+        match Sign.lookup_name sg f with
+        | Some (Sign.Sym_typ a) ->
+            (a, None, Lf.kind_arity (Sign.typ_entry sg a).Sign.t_kind)
+        | Some (Sign.Sym_srt s) ->
+            let se = Sign.srt_entry sg s in
+            (se.Sign.s_refines, Some s, Lf.skind_arity se.Sign.s_kind)
+        | _ -> Error.raise_at floc "%s does not name a type or sort family" f
+      in
+      let n = List.length md_args in
+      if n <> arity then
+        Error.raise_at md_loc
+          "%%mode for %s declares %d argument position(s) but the family \
+           has %d"
+          f n arity;
+      let args = List.map (fun (_, input, x) -> (input, x)) md_args in
+      Sign.add_mode sg ~fam ~srt ~name:f ~args ~loc:md_loc
   | Ext.Drec defs ->
       (* two-phase, like [Dmutual]: declare every header first so the
          bodies of a [rec … and …;] group can call any member *)
@@ -291,7 +312,7 @@ let process_decl (sg : Sign.t) (d : Ext.decl) : unit =
         (fun (def : Ext.rec_def) ->
           Sign.set_decl_loc sg def.Ext.r_name def.Ext.r_loc)
         defs
-  | Ext.Dschema _ | Ext.Dblock _ | Ext.Dworlds _ -> ());
+  | Ext.Dschema _ | Ext.Dblock _ | Ext.Dworlds _ | Ext.Dmode _ -> ());
   if Telemetry.enabled () then
     let arg =
       match Ext.declared_names d with name :: _ -> name | [] -> ""

@@ -8,8 +8,8 @@
     { "id": <any>, "method": "check", "session": "s"?,
       "source": "…"? | "file": "path"?,
       "deadline_ms": <int>?, "step_budget": <int>?, "max_depth": <int>? }
-    { "id": <any>, "method": "lint" | "total" | "stats" | "reset"
-                           | "metrics" | "health",
+    { "id": <any>, "method": "lint" | "total" | "modes" | "stats"
+                           | "reset" | "metrics" | "health",
       "session": "s"?, … }
     v}
 
@@ -93,6 +93,7 @@ type session = {
           declarations across the unchanged text prefix) *)
   mutable ss_lint_cache : analysis_cache option;
   mutable ss_total_cache : analysis_cache option;
+  mutable ss_modes_cache : analysis_cache option;
 }
 
 type t = {
@@ -148,7 +149,8 @@ let m_method_hist : (string * Metrics.histogram) list =
         Metrics.histogram
           ~help:(Printf.sprintf "latency of serve %s requests (ns)" m)
           ("serve." ^ m) ))
-    [ "check"; "lint"; "total"; "stats"; "reset"; "metrics"; "health" ]
+    [ "check"; "lint"; "total"; "modes"; "stats"; "reset"; "metrics";
+      "health" ]
 
 let g_sessions = Metrics.gauge ~help:"live serve sessions" "serve.sessions"
 
@@ -267,6 +269,7 @@ let find_session (t : t) (name : string) : session =
           ss_parse_ok = false;
           ss_lint_cache = None;
           ss_total_cache = None;
+          ss_modes_cache = None;
         }
       in
       Hashtbl.replace t.sv_sessions name s;
@@ -996,6 +999,29 @@ let handle_request (t : t) ~(rid : string) (rq : request) : J.t =
         ~extra_telemetry:
           [ ("rechecked", J.Int rechecked); ("reused", J.Int reused) ]
         ()
+  | "modes" ->
+      let result, rechecked, reused =
+        with_analysis_cache ses sink
+          ~get:(fun s -> s.ss_modes_cache)
+          ~set:(fun s c -> s.ss_modes_cache <- c)
+          (fun () ->
+            let mr = Driver.modes_in ses.ss_core sink in
+            let fams = mr.Belr_analysis.Modes.mr_fams in
+            let n_clean =
+              List.length (List.filter Belr_analysis.Modes.clean fams)
+            in
+            J.Obj
+              [
+                ("modes", J.Int mr.Belr_analysis.Modes.mr_modes);
+                ("families", J.Int (List.length fams));
+                ("clean", J.Int n_clean);
+                ("missing", J.Int mr.Belr_analysis.Modes.mr_missing);
+              ])
+      in
+      finish ~result
+        ~extra_telemetry:
+          [ ("rechecked", J.Int rechecked); ("reused", J.Int reused) ]
+        ()
   | "stats" ->
       (* back-compat alias: the historical shape, with the aggregate
          fields now read off the metrics registry *)
@@ -1034,6 +1060,7 @@ let handle_request (t : t) ~(rid : string) (rq : request) : J.t =
       ses.ss_parse_ok <- false;
       ses.ss_lint_cache <- None;
       ses.ss_total_cache <- None;
+      ses.ss_modes_cache <- None;
       finish
         ~result:
           (J.Obj
@@ -1078,8 +1105,8 @@ let handle_request (t : t) ~(rid : string) (rq : request) : J.t =
   | m ->
       reject
         (Printf.sprintf
-           "unknown method %S (expected check, lint, total, stats, reset, \
-            metrics, or health)"
+           "unknown method %S (expected check, lint, total, modes, stats, \
+            reset, metrics, or health)"
            m)
   with exn -> crash_restore exn
 

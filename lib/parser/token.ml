@@ -10,6 +10,7 @@ type t =
   | KW_BLOCK
   | KW_PBLOCK  (** the declaration directive [%block] *)
   | KW_PWORLDS  (** the declaration directive [%worlds] *)
+  | KW_PMODE  (** the declaration directive [%mode] *)
   | KW_TYPE
   | KW_SORT
   | KW_FN
@@ -37,6 +38,8 @@ type t =
   | BACKSLASH
   | HASH
   | CARET  (** [^], promotion *)
+  | PLUS  (** [+], an input position in a [%mode] declaration *)
+  | MINUS  (** [-], an output position in a [%mode] declaration *)
   | ARROW  (** [->] *)
   | DARROW  (** [=>] *)
   | REFINES  (** [<|] *)
@@ -53,6 +56,7 @@ let to_string = function
   | KW_BLOCK -> "block"
   | KW_PBLOCK -> "%block"
   | KW_PWORLDS -> "%worlds"
+  | KW_PMODE -> "%mode"
   | KW_TYPE -> "type"
   | KW_SORT -> "sort"
   | KW_FN -> "fn"
@@ -80,6 +84,8 @@ let to_string = function
   | BACKSLASH -> "\\"
   | HASH -> "#"
   | CARET -> "^"
+  | PLUS -> "+"
+  | MINUS -> "-"
   | ARROW -> "->"
   | DARROW -> "=>"
   | REFINES -> "<|"

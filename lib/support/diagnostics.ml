@@ -27,6 +27,9 @@
                     vacuous Π-dependency, [W0702] adequacy, [W0703] empty
                     sort, [E0702] subsort cycle, [W0704] unused
                     declaration, [W0705] shadowing
+    - [E073x]/[W073x]  the [belr modes] analysis: [E0730] ill-moded
+                    clause, [E0731] ungroundable output, [W0732] missing
+                    [%mode], [W0733] non-unique output
     - [B00xx]       internal bugs: [B0001] invariant violation, [B0002]
                     unexpected exception, [B0003] injected fault (the
                     [BELR_FAULT] robustness hook)
@@ -103,6 +106,14 @@ let registry : code_class list =
                         has no %worlds declaration";
     cc "W0722" Warning "worlds: pattern meta-variable with no strict \
                         occurrence";
+    cc "E0730" Error "modes: ill-moded clause (a premise input is never \
+                      ground)";
+    cc "E0731" Error "modes: a clause cannot ground an output position of \
+                      its conclusion";
+    cc "W0732" Warning "modes: judgment family reachable from a moded \
+                        clause or a rec has no %mode declaration";
+    cc "W0733" Warning "modes: overlapping inputs with divergent rigid \
+                        outputs (output not unique)";
     cc "W0701" Warning "lint: vacuous Pi-dependency";
     cc "W0702" Warning "lint: constant leaves the second-order HOAS fragment";
     cc "W0703" Warning "lint: empty refinement sort";
@@ -134,6 +145,36 @@ let check_codes (classes : code_class list) : (unit, string) result =
 (** Look up a code's registry row, if published. *)
 let code_class (code : string) : code_class option =
   List.find_opt (fun c -> c.cc_code = code) registry
+
+(** A code's family letter spelled out ([Exxxx] error-class, [Wxxxx]
+    warning-class, [Bxxxx] bug-class).  Distinct from the {e default
+    severity}: E0002, say, is an error-class code reported as a note. *)
+let code_family (code : string) : string =
+  if code = "" then "?"
+  else
+    match code.[0] with
+    | 'E' -> "error"
+    | 'W' -> "warning"
+    | 'B' -> "bug"
+    | _ -> "?"
+
+(** The registry rendered as a GitHub-flavored markdown table — the
+    single source of the README "Diagnostic codes" section.  [belr codes
+    --markdown] prints it and the test suite asserts README.md embeds it
+    verbatim, so the docs cannot drift from the registry. *)
+let registry_markdown () : string =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "| Code | Class | Default severity | Description |\n";
+  Buffer.add_string b "|------|-------|------------------|-------------|\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %s | %s | %s |\n" c.cc_code
+           (code_family c.cc_code)
+           (severity_label c.cc_severity)
+           c.cc_doc))
+    registry;
+  Buffer.contents b
 
 (** The diagnostic as machine-readable JSON — the shape shared by the
     [belr-lint/1] findings array and the [belr-serve/1] reply stream:

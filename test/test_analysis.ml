@@ -111,6 +111,137 @@ let subord_tests =
           (Subord.pairs r.Lint.lr_subord <> []));
   ]
 
+(* --- dependents_of: the O(V+E) invalidation frontier --------------------- *)
+
+(** Reference implementation of {!Subord.dependents_of}: plain forward
+    reachability over {!Subord.direct_edges}, one DFS per seed. *)
+let brute_dependents sg seeds =
+  let edges = Subord.direct_edges sg in
+  let seen = Hashtbl.create 16 in
+  let rec visit x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.replace seen x ();
+      List.iter (fun (u, v) -> if u = x then visit v) edges
+    end
+  in
+  List.iter visit seeds;
+  List.sort compare (Hashtbl.fold (fun a () acc -> a :: acc) seen [])
+
+let fam_named sg n =
+  match Sign.lookup_name sg n with
+  | Some (Sign.Sym_typ a) -> a
+  | _ -> Alcotest.failf "%s is not a type family" n
+
+(* Random signatures as one mutual LF group — mutual recursion means any
+   family can reference any other, so arbitrary edge graphs (including
+   cycles) are expressible.  Edge (u, v) is a constant of [fv] with
+   domain [fu], i.e. [fu ≼ fv]. *)
+let src_of_graph (n, edges) =
+  let b = Buffer.create 256 in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (if i = 0 then "LF " else "and ");
+    Buffer.add_string b (Printf.sprintf "f%d : type =\n| k%d : f%d" i i i);
+    List.iteri
+      (fun j (u, v) ->
+        if v = i then
+          Buffer.add_string b (Printf.sprintf "\n| e%d : f%d -> f%d" j u v))
+      edges;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.add_string b ";";
+  Buffer.contents b
+
+let graph_gen =
+  QCheck.Gen.(
+    int_range 2 5 >>= fun n ->
+    let cells =
+      List.concat_map
+        (fun u ->
+          List.filter_map
+            (fun v -> if u = v then None else Some (u, v))
+            (List.init n Fun.id))
+        (List.init n Fun.id)
+    in
+    list_repeat (List.length cells) bool >>= fun flips ->
+    let edges =
+      List.combine cells flips |> List.filter snd |> List.map fst
+    in
+    return (n, edges))
+
+let graph_print (n, edges) = src_of_graph (n, edges)
+
+let with_graph_sig (n, edges) k =
+  let sink = Diagnostics.sink () in
+  let sg =
+    Driver.check_sources sink [ ("gen.bel", src_of_graph (n, edges)) ]
+  in
+  if Diagnostics.error_count sink > 0 then
+    QCheck.Test.fail_reportf "generated fixture does not check:@.%s"
+      (src_of_graph (n, edges))
+  else k sg
+
+let dependents_qcheck =
+  [
+    QCheck.Test.make ~count:200
+      ~name:
+        "dependents_of agrees with brute-force reachability and with the \
+         Floyd-Warshall closure on random signatures"
+      (QCheck.make ~print:graph_print graph_gen)
+      (fun (n, edges) ->
+        with_graph_sig (n, edges) (fun sg ->
+            let sub = Subord.analyze sg in
+            List.for_all
+              (fun i ->
+                let seed = fam_named sg (Printf.sprintf "f%d" i) in
+                let fast = Subord.dependents_of sg [ seed ] in
+                fast = brute_dependents sg [ seed ]
+                && fast
+                   = List.sort compare (Subord.dependents sub [ seed ]))
+              (List.init n Fun.id)));
+    QCheck.Test.make ~count:100
+      ~name:"dependents_of of a seed set is the union of the singletons"
+      (QCheck.make ~print:graph_print graph_gen)
+      (fun (n, edges) ->
+        with_graph_sig (n, edges) (fun sg ->
+            let seeds =
+              List.init n (fun i -> fam_named sg (Printf.sprintf "f%d" i))
+            in
+            let union =
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun s -> Subord.dependents_of sg [ s ])
+                   seeds)
+            in
+            Subord.dependents_of sg seeds = union));
+  ]
+
+let dependents_tests =
+  [
+    test "a mutual group is its own invalidation frontier" (fun () ->
+        let _, sg =
+          check
+            [
+              ( "mut.bel",
+                "LF a : type = | ca : b -> a\n\
+                 and b : type = | cb : a -> b;\n" );
+            ]
+        in
+        let a = fam_named sg "a" and bf = fam_named sg "b" in
+        let both = List.sort compare [ a; bf ] in
+        Alcotest.(check bool) "from a" true
+          (Subord.dependents_of sg [ a ] = both);
+        Alcotest.(check bool) "from b" true
+          (Subord.dependents_of sg [ bf ] = both);
+        let sub = Subord.analyze sg in
+        Alcotest.(check bool) "mutual" true (Subord.mutual sub a bf));
+    test "an isolated family depends only on itself" (fun () ->
+        let _, sg = check [ ("iso.bel", nat ^ "LF tm : type = | c : tm;\n") ] in
+        let tm = fam_named sg "tm" in
+        Alcotest.(check bool) "singleton" true
+          (Subord.dependents_of sg [ tm ] = [ tm ]));
+  ]
+  @ List.map QCheck_alcotest.to_alcotest dependents_qcheck
+
 (* --- the passes on seeded fixtures -------------------------------------- *)
 
 let pass_tests =
@@ -379,6 +510,7 @@ let report_tests =
 let suites =
   [
     ("analysis.subordination", subord_tests);
+    ("analysis.dependents", dependents_tests);
     ("analysis.passes", pass_tests);
     ("analysis.clean", clean_tests);
     ("analysis.contract", contract_tests);

@@ -21,6 +21,7 @@ let fragments =
     "#"; "^"; "|"; ":"; "="; ","; "."; "<"; ">"; "type"; "sort"; " LF ";
     " LFR "; " rec "; " schema "; " block "; " and "; " case "; " of ";
     " fn "; " mlam "; " let "; " in "; "tm"; "aeq"; "xeW"; "Psi"; "M"; "%";
+    " %mode "; "+M"; "-V"; "*A";
   |]
 
 let mutate_once r (src : string) : string =
@@ -62,13 +63,31 @@ let never_crashes i (src : string) : unit =
     let sg = Driver.check_sources sink [ ("fuzz.bel", src) ] in
     ignore (Driver.lint sink sg);
     ignore (Driver.total sink sg);
-    ignore (Driver.worlds sink sg)
+    ignore (Driver.worlds sink sg);
+    ignore (Driver.modes sink sg)
   with
   | () ->
       let rendered = Fmt.str "%a" (fun ppf s -> Diagnostics.dump ppf s) sink in
       ignore rendered;
       if Diagnostics.bug_count sink > 0 then
-        Alcotest.failf "mutant %d: internal bug diagnostic:@.%s" i rendered
+        Alcotest.failf "mutant %d: internal bug diagnostic:@.%s" i rendered;
+      (* every finding carries a registered code, and the exit code is
+         one of the two documented values — mutants must not invent
+         diagnostics or exit statuses *)
+      List.iter
+        (fun (d : Diagnostics.t) ->
+          if
+            not
+              (List.exists
+                 (fun c -> c.Diagnostics.cc_code = d.Diagnostics.d_code)
+                 Diagnostics.registry)
+          then
+            Alcotest.failf "mutant %d: unregistered code %s" i
+              d.Diagnostics.d_code)
+        (Diagnostics.all sink);
+      let ec = Diagnostics.exit_code sink in
+      if ec <> 0 && ec <> 1 then
+        Alcotest.failf "mutant %d: unstable exit code %d" i ec
   | exception e ->
       Alcotest.failf "mutant %d: uncaught exception %s" i
         (Printexc.to_string e)
@@ -97,6 +116,10 @@ let tests =
     run_battery "heavily mutated development never crashes the checker"
       0x5EED3 30
       (Belr_kits.Surface.full_src ^ Belr_kits.Surface.signature_src);
+    (* the values kit ships two %mode declarations, so these mutants
+       steer straight into the mode analyzer's parser and dataflow *)
+    run_battery "mutated moded development never crashes the mode analyzer"
+      0x5EED4 60 Belr_kits.Values.src;
   ]
 
 let suites = [ ("fuzz", tests) ]

@@ -7,4 +7,5 @@ let () =
    @ Test_typed_equal.suites @ Test_diagnostics.suites @ Test_telemetry.suites
    @ Test_store.suites @ Test_analysis.suites @ Test_totality.suites
    @ Test_session.suites @ Test_serve.suites @ Test_metrics.suites
-   @ Test_worlds.suites @ Test_whnf.suites @ Test_fuzz.suites)
+   @ Test_worlds.suites @ Test_modes.suites @ Test_whnf.suites
+   @ Test_fuzz.suites)

@@ -48,7 +48,7 @@ let parse_tests =
   [
     ok "parses the signature" (fun () ->
         let p = Parse.parse_program Surface.signature_src in
-        Alcotest.(check int) "decls" 7 (List.length p));
+        Alcotest.(check int) "decls" 8 (List.length p));
     ok "parses a rec with branches" (fun () ->
         match Parse.parse_program Surface.ceq_src with
         | [ Ext.Drec [ { r_body = Ext.EMlam _; _ } ] ] -> ()

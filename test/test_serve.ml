@@ -397,6 +397,39 @@ let observability_tests =
         let t3 = round t (request ~meth:"total" 6) in
         Alcotest.(check int) "post-reset total re-analyzes all" 3
           (tele_field "rechecked" t3));
+    test "warm modes replies replay the cached analysis" (fun () ->
+        let t = Serve.create () in
+        let moded = src3 nat ^ "\n\n%mode nat;" in
+        ignore (round t (request ~source:moded 1));
+        let m1 = round t (request ~meth:"modes" 2) in
+        Alcotest.(check string) "cold modes ok" "ok" (str_field "status" m1);
+        Alcotest.(check int) "cold modes analyzes all" 4
+          (tele_field "rechecked" m1);
+        (match J.member "result" m1 with
+        | Some res ->
+            Alcotest.(check bool) "one mode declaration" true
+              (J.member "modes" res = Some (J.Int 1));
+            Alcotest.(check bool) "one moded family" true
+              (J.member "families" res = Some (J.Int 1));
+            Alcotest.(check bool) "clean" true
+              (J.member "clean" res = Some (J.Int 1));
+            Alcotest.(check bool) "nothing missing" true
+              (J.member "missing" res = Some (J.Int 0))
+        | None -> Alcotest.fail "modes reply lacks result");
+        let m2 = round t (request ~meth:"modes" 3) in
+        Alcotest.(check int) "warm modes re-analyzes none" 0
+          (tele_field "rechecked" m2);
+        Alcotest.(check int) "warm modes reuses all" 4
+          (tele_field "reused" m2);
+        Alcotest.(check bool) "same result" true
+          (J.member "result" m1 = J.member "result" m2);
+        Alcotest.(check (list string)) "same findings" (codes m1) (codes m2);
+        (* reset drops the cache along with the session's world *)
+        ignore (round t (request ~meth:"reset" 4));
+        ignore (round t (request ~source:moded 5));
+        let m3 = round t (request ~meth:"modes" 6) in
+        Alcotest.(check int) "post-reset modes re-analyzes all" 4
+          (tele_field "rechecked" m3));
     test "stats exposes the registry's incremental counters" (fun () ->
         let t = Serve.create () in
         ignore (round t (request ~source:(src3 nat) 1));

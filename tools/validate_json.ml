@@ -9,7 +9,10 @@
     [findings], and [summary] sections, a [belr-worlds/1] report its
     [functions] array (name + extension/violation/nonstrict counts +
     clean flag per entry) plus the [signature], [findings], and
-    [summary] sections, and a [belr-bench/1] report a non-empty
+    [summary] sections, a [belr-modes/1] report its [families] array
+    (name + clause/illmoded/ungrounded/nonunique counts + clean flag
+    per entry) plus the [signature] (modes/missing counts), [findings],
+    and [summary] sections, and a [belr-bench/1] report a non-empty
     [experiments] object of per-experiment objects.
 
     A [.jsonl] argument is validated line by line; every non-blank line
@@ -36,8 +39,8 @@
     exposition (every sample [belr_]-prefixed and numeric, the serve
     request counter present, at least one [_bucket{le=...}] series).
     Exit 0 iff every file passes; the [@smoke], [@lint], [@total],
-    [@worlds], [@serve], [@metrics], and [@bench-json] dune aliases
-    fail the build otherwise. *)
+    [@worlds], [@modes], [@serve], [@metrics], and [@bench-json] dune
+    aliases fail the build otherwise. *)
 
 module J = Belr_support.Json
 
@@ -222,6 +225,61 @@ let check_structure (j : J.t) : string option =
                             Some "worlds report lacks \"summary\""
                           else None)
                 | _ -> Some "worlds report lacks its \"signature\" object"))
+      | Some (J.String "belr-modes/1") -> (
+          match Option.bind (J.member "families" j) J.to_list with
+          | None -> Some "modes report lacks a \"families\" array"
+          | Some fams -> (
+              let bad_fam f =
+                match
+                  ( J.member "name" f,
+                    J.member "clauses" f,
+                    J.member "illmoded" f,
+                    J.member "ungrounded" f,
+                    J.member "nonunique" f,
+                    J.member "clean" f )
+                with
+                | ( Some (J.String _),
+                    Some (J.Int _),
+                    Some (J.Int _),
+                    Some (J.Int _),
+                    Some (J.Int _),
+                    Some (J.Bool _) ) ->
+                    false
+                | _ -> true
+              in
+              if List.exists bad_fam fams then
+                Some
+                  "a families entry is missing its \"name\" string, its \
+                   \"clauses\"/\"illmoded\"/\"ungrounded\"/\"nonunique\" \
+                   counts, or its \"clean\" boolean"
+              else
+                match J.member "signature" j with
+                | Some (J.Obj _ as sigj) -> (
+                    if J.member "modes" sigj = None then
+                      Some "modes \"signature\" section lacks \"modes\""
+                    else if J.member "missing" sigj = None then
+                      Some "modes \"signature\" section lacks \"missing\""
+                    else
+                      match
+                        Option.bind (J.member "findings" j) J.to_list
+                      with
+                      | None -> Some "modes report lacks a \"findings\" array"
+                      | Some findings ->
+                          let bad_finding f =
+                            match
+                              (J.member "code" f, J.member "severity" f)
+                            with
+                            | Some (J.String _), Some (J.String _) -> false
+                            | _ -> true
+                          in
+                          if List.exists bad_finding findings then
+                            Some
+                              "a findings entry is missing its \"code\" or \
+                               \"severity\" string"
+                          else if J.member "summary" j = None then
+                            Some "modes report lacks \"summary\""
+                          else None)
+                | _ -> Some "modes report lacks its \"signature\" object"))
       | Some (J.String "belr-metrics/1") -> (
           let arr k = Option.bind (J.member k j) J.to_list in
           match (arr "counters", arr "gauges", arr "histograms") with
